@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Fig. 8: power saving of the seven restricted core configurations
+ * relative to the L4+B4 baseline, for all apps.
+ *
+ * Expected shape (Section V-C): little-only configurations save the
+ * most power; for lightly loaded apps (angry_bird, video_player) the
+ * saving comes without performance loss; L2+B1 and L4+B1 are the
+ * balanced sweet spots.
+ */
+
+#include <cstdio>
+
+#include "base/argparse.hh"
+#include "base/csv.hh"
+#include "base/strutil.hh"
+#include "bench_util.hh"
+
+using namespace biglittle;
+
+int
+main(int argc, char **argv)
+{
+    ArgParser args("bench_fig08_core_configs_power",
+                   "Fig. 8: power saving with core combinations");
+    args.addString("csv", "", "mirror rows into this CSV file");
+    args.parse(argc, argv);
+
+    std::unique_ptr<CsvWriter> csv;
+    if (!args.getString("csv").empty()) {
+        csv = std::make_unique<CsvWriter>(args.getString("csv"));
+        csv->header({"app", "config", "power_mw",
+                     "power_saving_pct"});
+    }
+
+    const auto configs = standardCoreConfigs();
+    const auto apps = allApps();
+
+    std::vector<std::vector<AppRunResult>> by_config;
+    for (const CoreConfig &cc : configs) {
+        ExperimentConfig cfg;
+        cfg.coreConfig = cc;
+        cfg.label = cc.label;
+        by_config.push_back(runApps(cfg, apps));
+    }
+    const auto &baseline = by_config.back();
+
+    std::string header = padRight("app", 18);
+    for (const CoreConfig &cc : configs)
+        header += padLeft(cc.label, 9);
+    std::printf("%s\n", header.c_str());
+    std::puts("  (power saving vs L4+B4, %)");
+
+    for (std::size_t a = 0; a < apps.size(); ++a) {
+        std::string line = padRight(apps[a].name, 18);
+        for (std::size_t c = 0; c < configs.size(); ++c) {
+            const double saving = -pctChange(
+                by_config[c][a].avgPowerMw, baseline[a].avgPowerMw);
+            line += padLeft(format("%.1f", saving), 9);
+            if (csv) {
+                csv->beginRow();
+                csv->cell(apps[a].name);
+                csv->cell(configs[c].label);
+                csv->cell(by_config[c][a].avgPowerMw);
+                csv->cell(saving);
+                csv->endRow();
+            }
+        }
+        std::printf("%s\n", line.c_str());
+    }
+    return 0;
+}

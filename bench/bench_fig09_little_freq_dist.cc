@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Fig. 9: little-cluster frequency residency per app (share of
+ * core-active time at each OPP; idle time excluded).
+ *
+ * Expected shape (Section VI-A): diverse distributions - the video
+ * apps sit at the lowest frequency, games with fluctuating load
+ * spread across the range.
+ */
+
+#include "base/argparse.hh"
+#include "base/csv.hh"
+#include "bench_util.hh"
+#include "core/report.hh"
+
+using namespace biglittle;
+
+int
+main(int argc, char **argv)
+{
+    ArgParser args("bench_fig09_little_freq_dist",
+                   "Fig. 9: little-core frequency distribution");
+    args.addString("csv", "", "mirror rows into this CSV file");
+    args.parse(argc, argv);
+
+    std::unique_ptr<CsvWriter> csv;
+    if (!args.getString("csv").empty())
+        csv = std::make_unique<CsvWriter>(args.getString("csv"));
+
+    const auto results = runApps(baselineConfig(), allApps());
+    printFreqResidencyTable(results, /*big=*/false, csv.get());
+    return 0;
+}

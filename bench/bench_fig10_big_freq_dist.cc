@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Fig. 10: big-cluster frequency residency per app (share of
+ * core-active time at each OPP; idle time excluded).
+ *
+ * Expected shape (Section VI-A): latency workloads that use big
+ * cores to absorb bursts (encoder, virus_scanner, photo_editor) run
+ * them at high frequencies; games/browsing/video use big cores
+ * mostly at low frequencies for occasional overflow load.
+ */
+
+#include "base/argparse.hh"
+#include "base/csv.hh"
+#include "bench_util.hh"
+#include "core/report.hh"
+
+using namespace biglittle;
+
+int
+main(int argc, char **argv)
+{
+    ArgParser args("bench_fig10_big_freq_dist",
+                   "Fig. 10: big-core frequency distribution");
+    args.addString("csv", "", "mirror rows into this CSV file");
+    args.parse(argc, argv);
+
+    std::unique_ptr<CsvWriter> csv;
+    if (!args.getString("csv").empty())
+        csv = std::make_unique<CsvWriter>(args.getString("csv"));
+
+    const auto results = runApps(baselineConfig(), allApps());
+    printFreqResidencyTable(results, /*big=*/true, csv.get());
+    return 0;
+}

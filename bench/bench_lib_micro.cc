@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Library microbenchmarks (google-benchmark): throughput of the
+ * event queue, the load tracker, the analytic performance model, and
+ * end-to-end simulation speed (simulated milliseconds per wall
+ * second for a full app run).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/experiment.hh"
+#include "platform/perf_model.hh"
+#include "sched/load.hh"
+#include "sim/simulation.hh"
+#include "workload/apps.hh"
+
+using namespace biglittle;
+
+namespace
+{
+
+void
+BM_EventQueueScheduleService(benchmark::State &state)
+{
+    EventQueue queue;
+    const int n = static_cast<int>(state.range(0));
+    std::vector<std::unique_ptr<CallbackEvent>> events;
+    events.reserve(n);
+    for (int i = 0; i < n; ++i) {
+        events.push_back(std::make_unique<CallbackEvent>([] {}));
+    }
+    for (auto _ : state) {
+        for (int i = 0; i < n; ++i)
+            queue.schedule(*events[i],
+                           queue.now() + 1 + (i * 7919) % 1000);
+        while (queue.serviceOne()) {
+        }
+    }
+    state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EventQueueScheduleService)->Arg(64)->Arg(1024);
+
+void
+BM_LoadTrackerUpdate(benchmark::State &state)
+{
+    LoadTracker tracker(32.0);
+    double f = 0.3;
+    for (auto _ : state) {
+        tracker.update(0.8, f);
+        f = f < 0.9 ? f + 1e-4 : 0.3;
+        benchmark::DoNotOptimize(tracker.value());
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LoadTrackerUpdate);
+
+void
+BM_PerfModelNsPerInst(benchmark::State &state)
+{
+    const PlatformParams params = exynos5422Params();
+    const CacheModel l2(params.clusters[0].l2);
+    WorkClass wc{0.6, 0.02, 900.0};
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(perf_model::nsPerInst(
+            params.clusters[0].perf, l2, 1300000, wc));
+        wc.footprintKB = wc.footprintKB < 4096 ? wc.footprintKB + 1
+                                               : 128.0;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PerfModelNsPerInst);
+
+void
+BM_FullAppSimulation(benchmark::State &state)
+{
+    for (auto _ : state) {
+        Experiment experiment;
+        AppSpec app = angryBirdApp();
+        app.duration = msToTicks(2000);
+        const AppRunResult result = experiment.runApp(app);
+        benchmark::DoNotOptimize(result.avgFps);
+    }
+    state.SetLabel("2000 simulated ms per iteration");
+}
+BENCHMARK(BM_FullAppSimulation)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

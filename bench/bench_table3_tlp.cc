@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Table III: thread-level parallelism with all 8 cores - idle %,
+ * little-only % and big-active % of active windows, and the Blake
+ * TLP metric, for the twelve Table II apps under the default system.
+ *
+ * Expected shape (Section V-A): TLP below 3 for everything except
+ * bbench (~4); big-core involvement is low for most apps but high
+ * (tens of percent) for bbench, encoder, virus_scanner and
+ * eternity_warrior2.
+ */
+
+#include "base/argparse.hh"
+#include "base/csv.hh"
+#include "bench_util.hh"
+#include "core/report.hh"
+
+using namespace biglittle;
+
+int
+main(int argc, char **argv)
+{
+    ArgParser args("bench_table3_tlp",
+                   "Table III: TLP of the app suite, 8 cores");
+    args.addString("csv", "", "mirror rows into this CSV file");
+    args.parse(argc, argv);
+
+    std::unique_ptr<CsvWriter> csv;
+    if (!args.getString("csv").empty())
+        csv = std::make_unique<CsvWriter>(args.getString("csv"));
+
+    const auto results = runApps(baselineConfig(), allApps());
+    printTlpTable(results, csv.get());
+    return 0;
+}

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Table IV: the per-app joint distribution of active big x little
+ * core counts per 10 ms window, for all twelve apps.
+ *
+ * Expected shape (Section V-B): mass concentrated in the big=0 row
+ * for most apps; when big cores are used at all, one big core
+ * dominates (a single big core absorbs the burst); bbench is the
+ * only app with weight spread into the 2-3 big rows.
+ */
+
+#include <cstdio>
+
+#include "base/argparse.hh"
+#include "base/csv.hh"
+#include "bench_util.hh"
+#include "core/report.hh"
+
+using namespace biglittle;
+
+int
+main(int argc, char **argv)
+{
+    ArgParser args("bench_table4_tlp_matrix",
+                   "Table IV: TLP distributions by core type");
+    args.addString("csv", "", "mirror rows into this CSV file");
+    args.parse(argc, argv);
+
+    std::unique_ptr<CsvWriter> csv;
+    if (!args.getString("csv").empty()) {
+        csv = std::make_unique<CsvWriter>(args.getString("csv"));
+        csv->header({"app", "big_cores", "little0", "little1",
+                     "little2", "little3", "little4"});
+    }
+
+    const auto results = runApps(baselineConfig(), allApps());
+    for (const AppRunResult &r : results) {
+        printTlpMatrix(r, csv.get());
+        std::puts("");
+    }
+    return 0;
+}

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Table V: efficiency decomposition of the scheduler+governor - the
+ * share of 10 ms execution windows in the {min, <50%, 50-70%,
+ * 70-95%, >95%, full} utilization categories per app.
+ *
+ * Expected shape (Section VI-B): min and <50% dominate for most apps
+ * (the governor keeps a conservative margin, and many loads need
+ * less than a little core at 500 MHz); bursty bbench/encoder show
+ * large >95% shares, and encoder/virus_scanner a few percent of
+ * full.
+ */
+
+#include "base/argparse.hh"
+#include "base/csv.hh"
+#include "bench_util.hh"
+#include "core/report.hh"
+
+using namespace biglittle;
+
+int
+main(int argc, char **argv)
+{
+    ArgParser args("bench_table5_efficiency",
+                   "Table V: scheduler/governor efficiency");
+    args.addString("csv", "", "mirror rows into this CSV file");
+    args.parse(argc, argv);
+
+    std::unique_ptr<CsvWriter> csv;
+    if (!args.getString("csv").empty())
+        csv = std::make_unique<CsvWriter>(args.getString("csv"));
+
+    const auto results = runApps(baselineConfig(), allApps());
+    printEfficiencyTable(results, csv.get());
+    return 0;
+}

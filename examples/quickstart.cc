@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Quickstart: the smallest end-to-end use of the biglittle workbench.
+ *
+ * Builds the Exynos 5422 platform model with the default HMP
+ * scheduler and interactive governor, runs one FPS-oriented game and
+ * one latency-oriented app, and prints their performance, power and
+ * TLP.  Then shows the architectural side: the big/little speedup of
+ * a single cache-sensitive kernel.
+ */
+
+#include <cstdio>
+
+#include "core/experiment.hh"
+#include "core/report.hh"
+#include "platform/perf_model.hh"
+#include "workload/apps.hh"
+#include "workload/spec.hh"
+
+using namespace biglittle;
+
+int
+main()
+{
+    // 1. Run two of the paper's applications on the default system.
+    Experiment experiment;
+
+    std::puts("== running angry_bird (FPS-oriented) ==");
+    const AppRunResult game = experiment.runApp(angryBirdApp());
+    printRunSummary(game);
+
+    std::puts("\n== running pdf_reader (latency-oriented) ==");
+    const AppRunResult reader = experiment.runApp(pdfReaderApp());
+    printRunSummary(reader);
+
+    std::puts("\n== TLP distribution of pdf_reader (Table IV) ==");
+    printTlpMatrix(reader);
+
+    // 2. The architectural comparison behind Fig. 2: how much faster
+    // is a big core, and how much does the 2 MB L2 matter?
+    const PlatformParams params = exynos5422Params();
+    const SpecKernel &mcf = specKernelByName("mcf");
+    const SpecKernel &hmmer = specKernelByName("hmmer");
+    const double s_mcf = perf_model::speedup(
+        params.clusters[1], 1300000, params.clusters[0], 1300000,
+        mcf.workClass);
+    const double s_hmmer = perf_model::speedup(
+        params.clusters[1], 1300000, params.clusters[0], 1300000,
+        hmmer.workClass);
+    std::printf("\nbig@1.3GHz speedup over little@1.3GHz: "
+                "mcf %.2fx (cache-sensitive), hmmer %.2fx "
+                "(compute-bound)\n",
+                s_mcf, s_hmmer);
+    return 0;
+}

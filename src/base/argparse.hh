@@ -1,0 +1,86 @@
+/**
+ * @file
+ * A small declarative command-line parser for bench binaries and
+ * examples: `--name value`, `--name=value`, and boolean `--flag`
+ * forms, with typed accessors, defaults, and generated --help text.
+ */
+
+#ifndef BIGLITTLE_BASE_ARGPARSE_HH
+#define BIGLITTLE_BASE_ARGPARSE_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace biglittle
+{
+
+/** Declarative CLI option parser. */
+class ArgParser
+{
+  public:
+    /**
+     * @param program name shown in usage output
+     * @param description one-line summary shown in --help
+     */
+    ArgParser(std::string program, std::string description);
+
+    /** Declare a string-valued option. */
+    void addString(const std::string &name, const std::string &def,
+                   const std::string &help);
+
+    /** Declare an integer-valued option. */
+    void addInt(const std::string &name, std::int64_t def,
+                const std::string &help);
+
+    /** Declare a floating-point option. */
+    void addDouble(const std::string &name, double def,
+                   const std::string &help);
+
+    /** Declare a boolean flag (false by default, set by presence). */
+    void addFlag(const std::string &name, const std::string &help);
+
+    /**
+     * Parse argv.  Unknown options are fatal().  `--help` prints the
+     * generated usage text and exits(0).
+     * @return leftover positional arguments.
+     */
+    std::vector<std::string> parse(int argc, const char *const *argv);
+
+    std::string getString(const std::string &name) const;
+    std::int64_t getInt(const std::string &name) const;
+    double getDouble(const std::string &name) const;
+    bool getFlag(const std::string &name) const;
+
+    /** True if the user supplied the option explicitly. */
+    bool wasSet(const std::string &name) const;
+
+    /** Render the --help text (also printed on parse of --help). */
+    std::string helpText() const;
+
+  private:
+    enum class Kind { string, integer, real, flag };
+
+    struct Option
+    {
+        Kind kind;
+        std::string help;
+        std::string value; // current value, textual
+        std::string def;   // default, textual
+        bool set = false;
+    };
+
+    std::string program;
+    std::string description;
+    std::map<std::string, Option> options;
+    std::vector<std::string> order;
+
+    const Option &lookup(const std::string &name, Kind kind) const;
+    void declare(const std::string &name, Kind kind,
+                 const std::string &def, const std::string &help);
+};
+
+} // namespace biglittle
+
+#endif // BIGLITTLE_BASE_ARGPARSE_HH

@@ -1,0 +1,103 @@
+#include "base/csv.hh"
+
+#include <cstdio>
+
+#include "base/logging.hh"
+
+namespace biglittle
+{
+
+CsvWriter::CsvWriter(const std::string &path)
+    : out(path)
+{
+    if (!out)
+        fatal("cannot open CSV output file '%s'", path.c_str());
+}
+
+void
+CsvWriter::header(const std::vector<std::string> &columns)
+{
+    BL_ASSERT(!headerWritten && !rowOpen);
+    beginRow();
+    for (const auto &c : columns)
+        rawCell(escape(c));
+    // header does not count as a data row
+    out << '\n';
+    rowOpen = false;
+    headerWritten = true;
+}
+
+void
+CsvWriter::beginRow()
+{
+    BL_ASSERT(!rowOpen);
+    rowOpen = true;
+    firstCell = true;
+}
+
+void
+CsvWriter::rawCell(const std::string &value)
+{
+    BL_ASSERT(rowOpen);
+    if (!firstCell)
+        out << ',';
+    out << value;
+    firstCell = false;
+}
+
+void
+CsvWriter::cell(const std::string &value)
+{
+    rawCell(escape(value));
+}
+
+void
+CsvWriter::cell(double value)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", value);
+    rawCell(buf);
+}
+
+void
+CsvWriter::cell(std::uint64_t value)
+{
+    rawCell(std::to_string(value));
+}
+
+void
+CsvWriter::endRow()
+{
+    BL_ASSERT(rowOpen);
+    out << '\n';
+    rowOpen = false;
+    ++rows;
+}
+
+void
+CsvWriter::row(const std::vector<std::string> &cells)
+{
+    beginRow();
+    for (const auto &c : cells)
+        cell(c);
+    endRow();
+}
+
+std::string
+CsvWriter::escape(const std::string &value)
+{
+    const bool needs_quote =
+        value.find_first_of(",\"\n\r") != std::string::npos;
+    if (!needs_quote)
+        return value;
+    std::string quoted = "\"";
+    for (const char ch : value) {
+        if (ch == '"')
+            quoted += '"';
+        quoted += ch;
+    }
+    quoted += '"';
+    return quoted;
+}
+
+} // namespace biglittle

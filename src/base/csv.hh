@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Minimal CSV emission for experiment results.
+ *
+ * Every bench binary can optionally mirror its console tables into a
+ * CSV file so results can be post-processed (plotted) outside the
+ * workbench.  Quoting follows RFC 4180.
+ */
+
+#ifndef BIGLITTLE_BASE_CSV_HH
+#define BIGLITTLE_BASE_CSV_HH
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace biglittle
+{
+
+/** Row-at-a-time CSV writer. */
+class CsvWriter
+{
+  public:
+    /** Open @p path for writing; fatal() on failure. */
+    explicit CsvWriter(const std::string &path);
+
+    /** Write a header row (same quoting rules as data rows). */
+    void header(const std::vector<std::string> &columns);
+
+    /** Start a new row. */
+    void beginRow();
+
+    /** Append a string cell to the current row. */
+    void cell(const std::string &value);
+
+    /** Append a numeric cell (printed with up to 6 significant dp). */
+    void cell(double value);
+
+    /** Append an integer cell. */
+    void cell(std::uint64_t value);
+
+    /** Terminate the current row. */
+    void endRow();
+
+    /** Convenience: write an entire row of strings. */
+    void row(const std::vector<std::string> &cells);
+
+    /** Number of data rows written so far (excluding header). */
+    std::size_t rowsWritten() const { return rows; }
+
+  private:
+    std::ofstream out;
+    bool rowOpen = false;
+    bool firstCell = true;
+    bool headerWritten = false;
+    std::size_t rows = 0;
+
+    void rawCell(const std::string &value);
+    static std::string escape(const std::string &value);
+};
+
+} // namespace biglittle
+
+#endif // BIGLITTLE_BASE_CSV_HH

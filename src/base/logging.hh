@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Status and error reporting in the gem5 tradition.
+ *
+ * panic()  - an internal invariant was violated (a biglittle bug);
+ *            aborts so a debugger or core dump can catch it.
+ * fatal()  - the user asked for something impossible (bad config);
+ *            exits with status 1.
+ * warn()   - something is suspicious but the run can continue.
+ * inform() - plain status output.
+ */
+
+#ifndef BIGLITTLE_BASE_LOGGING_HH
+#define BIGLITTLE_BASE_LOGGING_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace biglittle
+{
+
+/** Verbosity levels for runtime log filtering. */
+enum class LogLevel
+{
+    quiet,   ///< only fatal/panic messages
+    normal,  ///< warn + inform (default)
+    verbose, ///< adds debug trace output
+};
+
+/** Set the global log level. */
+void setLogLevel(LogLevel level);
+
+/** Get the global log level. */
+LogLevel logLevel();
+
+/** Abort with a formatted message: internal invariant violated. */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Exit(1) with a formatted message: unusable user configuration. */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Print a warning to stderr (suppressed at LogLevel::quiet). */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Print a status line to stderr (suppressed at LogLevel::quiet). */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Print a debug line (only at LogLevel::verbose). */
+void debugLog(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/**
+ * Abort if @p cond is false.  Unlike assert(), stays active in release
+ * builds; use for cheap structural invariants.
+ */
+#define BL_ASSERT(cond, ...)                                           \
+    do {                                                               \
+        if (!(cond)) {                                                 \
+            ::biglittle::panic("assertion '%s' failed at %s:%d",       \
+                               #cond, __FILE__, __LINE__);             \
+        }                                                              \
+    } while (0)
+
+} // namespace biglittle
+
+#endif // BIGLITTLE_BASE_LOGGING_HH

@@ -1,0 +1,121 @@
+#include "base/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/logging.hh"
+
+namespace biglittle
+{
+
+void
+RunningStats::add(double x)
+{
+    if (n == 0) {
+        minV = maxV = x;
+    } else {
+        minV = std::min(minV, x);
+        maxV = std::max(maxV, x);
+    }
+    ++n;
+    total += x;
+    const double delta = x - meanAcc;
+    meanAcc += delta / static_cast<double>(n);
+    m2 += delta * (x - meanAcc);
+}
+
+void
+RunningStats::merge(const RunningStats &other)
+{
+    if (other.n == 0)
+        return;
+    if (n == 0) {
+        *this = other;
+        return;
+    }
+    const double na = static_cast<double>(n);
+    const double nb = static_cast<double>(other.n);
+    const double delta = other.meanAcc - meanAcc;
+    const double combined = na + nb;
+    meanAcc += delta * nb / combined;
+    m2 += other.m2 + delta * delta * na * nb / combined;
+    n += other.n;
+    total += other.total;
+    minV = std::min(minV, other.minV);
+    maxV = std::max(maxV, other.maxV);
+}
+
+void
+RunningStats::reset()
+{
+    *this = RunningStats();
+}
+
+double
+RunningStats::mean() const
+{
+    return n ? meanAcc : 0.0;
+}
+
+double
+RunningStats::variance() const
+{
+    return n >= 2 ? m2 / static_cast<double>(n) : 0.0;
+}
+
+double
+RunningStats::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+double
+RunningStats::min() const
+{
+    return n ? minV : 0.0;
+}
+
+double
+RunningStats::max() const
+{
+    return n ? maxV : 0.0;
+}
+
+void
+SampleSeries::add(double x)
+{
+    samples.push_back(x);
+    summary.add(x);
+    sortedValid = false;
+}
+
+void
+SampleSeries::reset()
+{
+    samples.clear();
+    sorted.clear();
+    sortedValid = false;
+    summary.reset();
+}
+
+double
+SampleSeries::percentile(double p) const
+{
+    BL_ASSERT(p >= 0.0 && p <= 100.0);
+    if (samples.empty())
+        return 0.0;
+    if (!sortedValid) {
+        sorted = samples;
+        std::sort(sorted.begin(), sorted.end());
+        sortedValid = true;
+    }
+    if (sorted.size() == 1)
+        return sorted.front();
+    const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+    const auto lo = static_cast<std::size_t>(rank);
+    const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+} // namespace biglittle

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Streaming summary statistics.
+ *
+ * RunningStats accumulates count/mean/variance/min/max in O(1) space
+ * (Welford's algorithm).  SampleSeries additionally stores samples so
+ * percentiles can be queried; it is used for frame-time and latency
+ * distributions where min-FPS / tail behavior matters.
+ */
+
+#ifndef BIGLITTLE_BASE_STATS_HH
+#define BIGLITTLE_BASE_STATS_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace biglittle
+{
+
+/** Constant-space mean/variance/min/max accumulator. */
+class RunningStats
+{
+  public:
+    /** Add one observation. */
+    void add(double x);
+
+    /** Merge another accumulator into this one. */
+    void merge(const RunningStats &other);
+
+    /** Remove all observations. */
+    void reset();
+
+    std::size_t count() const { return n; }
+    bool empty() const { return n == 0; }
+
+    /** Arithmetic mean; 0 when empty. */
+    double mean() const;
+
+    /** Population variance; 0 when fewer than 2 samples. */
+    double variance() const;
+
+    /** Population standard deviation. */
+    double stddev() const;
+
+    /** Smallest observation; 0 when empty. */
+    double min() const;
+
+    /** Largest observation; 0 when empty. */
+    double max() const;
+
+    /** Sum of all observations. */
+    double sum() const { return total; }
+
+  private:
+    std::size_t n = 0;
+    double meanAcc = 0.0;
+    double m2 = 0.0;
+    double minV = 0.0;
+    double maxV = 0.0;
+    double total = 0.0;
+};
+
+/** Sample-retaining series supporting percentile queries. */
+class SampleSeries
+{
+  public:
+    /** Add one observation. */
+    void add(double x);
+
+    /** Remove all observations. */
+    void reset();
+
+    std::size_t count() const { return samples.size(); }
+    bool empty() const { return samples.empty(); }
+
+    double mean() const { return summary.mean(); }
+    double min() const { return summary.min(); }
+    double max() const { return summary.max(); }
+    double stddev() const { return summary.stddev(); }
+    double sum() const { return summary.sum(); }
+
+    /**
+     * Percentile by linear interpolation between closest ranks.
+     * @param p percentile in [0, 100].
+     */
+    double percentile(double p) const;
+
+    /** Median (50th percentile). */
+    double median() const { return percentile(50.0); }
+
+    /** Read-only access to raw samples (unsorted insertion order). */
+    const std::vector<double> &values() const { return samples; }
+
+  private:
+    std::vector<double> samples;
+    mutable std::vector<double> sorted;
+    mutable bool sortedValid = false;
+    RunningStats summary;
+};
+
+} // namespace biglittle
+
+#endif // BIGLITTLE_BASE_STATS_HH

@@ -1,0 +1,106 @@
+#include "base/strutil.hh"
+
+#include <cctype>
+#include <cstdarg>
+#include <cstdio>
+
+namespace biglittle
+{
+
+std::string
+format(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    va_list ap2;
+    va_copy(ap2, ap);
+    const int needed = std::vsnprintf(nullptr, 0, fmt, ap);
+    va_end(ap);
+    std::string out;
+    if (needed > 0) {
+        out.resize(static_cast<std::size_t>(needed) + 1);
+        std::vsnprintf(out.data(), out.size(), fmt, ap2);
+        out.resize(static_cast<std::size_t>(needed));
+    }
+    va_end(ap2);
+    return out;
+}
+
+std::string
+padRight(const std::string &s, std::size_t width)
+{
+    if (s.size() >= width)
+        return s;
+    return s + std::string(width - s.size(), ' ');
+}
+
+std::string
+padLeft(const std::string &s, std::size_t width)
+{
+    if (s.size() >= width)
+        return s;
+    return std::string(width - s.size(), ' ') + s;
+}
+
+std::string
+freqToString(FreqKHz f)
+{
+    if (f >= 1000000 && f % 10000 == 0)
+        return format("%.1fGHz", kHzToGHz(f));
+    if (f >= 1000000)
+        return format("%.2fGHz", kHzToGHz(f));
+    return format("%uMHz", f / 1000);
+}
+
+std::string
+ticksToString(Tick t)
+{
+    if (t >= oneSec)
+        return format("%.2fs", ticksToSeconds(t));
+    if (t >= oneMs)
+        return format("%.2fms", static_cast<double>(t) / oneMs);
+    if (t >= oneUs)
+        return format("%.2fus", static_cast<double>(t) / oneUs);
+    return format("%lluns", static_cast<unsigned long long>(t));
+}
+
+std::string
+percentToString(double fraction, int decimals)
+{
+    return format("%.*f", decimals, fraction * 100.0);
+}
+
+std::vector<std::string>
+split(const std::string &s, char sep)
+{
+    std::vector<std::string> parts;
+    std::size_t start = 0;
+    while (true) {
+        const std::size_t pos = s.find(sep, start);
+        if (pos == std::string::npos) {
+            parts.push_back(s.substr(start));
+            break;
+        }
+        parts.push_back(s.substr(start, pos - start));
+        start = pos + 1;
+    }
+    return parts;
+}
+
+bool
+startsWith(const std::string &s, const std::string &prefix)
+{
+    return s.size() >= prefix.size() &&
+           s.compare(0, prefix.size(), prefix) == 0;
+}
+
+std::string
+toLower(const std::string &s)
+{
+    std::string out = s;
+    for (auto &ch : out)
+        ch = static_cast<char>(std::tolower(static_cast<unsigned char>(ch)));
+    return out;
+}
+
+} // namespace biglittle

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Small string helpers used across the workbench: printf-style
+ * formatting into std::string, padding for table output, and
+ * human-readable unit rendering.
+ */
+
+#ifndef BIGLITTLE_BASE_STRUTIL_HH
+#define BIGLITTLE_BASE_STRUTIL_HH
+
+#include <string>
+#include <vector>
+
+#include "base/types.hh"
+
+namespace biglittle
+{
+
+/** printf into a std::string. */
+std::string format(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Left-justify @p s to @p width (no truncation). */
+std::string padRight(const std::string &s, std::size_t width);
+
+/** Right-justify @p s to @p width (no truncation). */
+std::string padLeft(const std::string &s, std::size_t width);
+
+/** Render a frequency as e.g. "1.30GHz" or "500MHz". */
+std::string freqToString(FreqKHz f);
+
+/** Render a tick count as e.g. "12.34ms" / "1.20s". */
+std::string ticksToString(Tick t);
+
+/** Render a fraction as a fixed-width percentage, e.g. "47.83". */
+std::string percentToString(double fraction, int decimals = 2);
+
+/** Split @p s on @p sep (no empty-segment suppression). */
+std::vector<std::string> split(const std::string &s, char sep);
+
+/** True if @p s equals @p prefix at position 0. */
+bool startsWith(const std::string &s, const std::string &prefix);
+
+/** Lower-case copy (ASCII). */
+std::string toLower(const std::string &s);
+
+} // namespace biglittle
+
+#endif // BIGLITTLE_BASE_STRUTIL_HH

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every biglittle module.
+ *
+ * Simulated time is kept as an integer count of nanoseconds (Tick) so
+ * that event ordering is exact and runs are bit-reproducible.  CPU
+ * frequencies follow the Linux cpufreq convention of integer kHz.
+ */
+
+#ifndef BIGLITTLE_BASE_TYPES_HH
+#define BIGLITTLE_BASE_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace biglittle
+{
+
+/** Simulated time in nanoseconds. */
+using Tick = std::uint64_t;
+
+/** A time delta in nanoseconds (signed for arithmetic safety). */
+using TickDelta = std::int64_t;
+
+/** CPU frequency in kHz, following the Linux cpufreq convention. */
+using FreqKHz = std::uint32_t;
+
+/** Supply voltage in millivolts. */
+using MilliVolt = std::uint32_t;
+
+/** Identifier of a logical CPU (0-based, platform-wide). */
+using CoreId = std::uint32_t;
+
+/** Identifier of a schedulable task. */
+using TaskId = std::uint64_t;
+
+/** Sentinel for "no core". */
+constexpr CoreId invalidCoreId = std::numeric_limits<CoreId>::max();
+
+/** Sentinel for "never" / unscheduled. */
+constexpr Tick maxTick = std::numeric_limits<Tick>::max();
+
+/** One microsecond expressed in ticks. */
+constexpr Tick oneUs = 1000ull;
+
+/** One millisecond expressed in ticks. */
+constexpr Tick oneMs = 1000ull * oneUs;
+
+/** One second expressed in ticks. */
+constexpr Tick oneSec = 1000ull * oneMs;
+
+/** Convert integral milliseconds to ticks. */
+constexpr Tick
+msToTicks(std::uint64_t ms)
+{
+    return ms * oneMs;
+}
+
+/** Convert integral microseconds to ticks. */
+constexpr Tick
+usToTicks(std::uint64_t us)
+{
+    return us * oneUs;
+}
+
+/** Convert ticks to (truncated) whole milliseconds. */
+constexpr std::uint64_t
+ticksToMs(Tick t)
+{
+    return t / oneMs;
+}
+
+/** Convert ticks to seconds as a double (for reporting only). */
+constexpr double
+ticksToSeconds(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(oneSec);
+}
+
+/** Convert a frequency in kHz to Hz as a double. */
+constexpr double
+kHzToHz(FreqKHz f)
+{
+    return static_cast<double>(f) * 1e3;
+}
+
+/** Convert a frequency in kHz to GHz as a double (for reporting). */
+constexpr double
+kHzToGHz(FreqKHz f)
+{
+    return static_cast<double>(f) * 1e-6;
+}
+
+/**
+ * Cycles executed during an interval of @p t ticks at frequency @p f.
+ *
+ * Computed in double precision: the performance model works with
+ * fractional "work units" throughout, so exact integer cycle counts
+ * are not required.
+ */
+constexpr double
+cyclesIn(Tick t, FreqKHz f)
+{
+    return ticksToSeconds(t) * kHzToHz(f);
+}
+
+} // namespace biglittle
+
+#endif // BIGLITTLE_BASE_TYPES_HH

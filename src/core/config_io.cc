@@ -1,0 +1,221 @@
+#include "core/config_io.hh"
+
+#include <fstream>
+#include <sstream>
+
+#include "base/logging.hh"
+#include "base/strutil.hh"
+
+namespace biglittle
+{
+
+GovernorKind
+governorKindFromName(const std::string &name)
+{
+    const std::string lower = toLower(name);
+    if (lower == "interactive")
+        return GovernorKind::interactive;
+    if (lower == "performance")
+        return GovernorKind::performance;
+    if (lower == "powersave")
+        return GovernorKind::powersave;
+    if (lower == "ondemand")
+        return GovernorKind::ondemand;
+    if (lower == "conservative")
+        return GovernorKind::conservative;
+    if (lower == "schedutil")
+        return GovernorKind::schedutil;
+    if (lower == "userspace")
+        return GovernorKind::userspace;
+    fatal("unknown governor '%s'", name.c_str());
+}
+
+namespace
+{
+
+std::string
+trim(const std::string &s)
+{
+    const auto begin = s.find_first_not_of(" \t\r");
+    if (begin == std::string::npos)
+        return "";
+    const auto end = s.find_last_not_of(" \t\r");
+    return s.substr(begin, end - begin + 1);
+}
+
+double
+parseNumber(const std::string &key, const std::string &value)
+{
+    char *end = nullptr;
+    const double v = std::strtod(value.c_str(), &end);
+    if (end == value.c_str() || *end != '\0')
+        fatal("config key '%s': '%s' is not a number", key.c_str(),
+              value.c_str());
+    return v;
+}
+
+bool
+parseBool(const std::string &key, const std::string &value)
+{
+    const std::string lower = toLower(value);
+    if (lower == "true" || lower == "1" || lower == "yes" ||
+        lower == "on")
+        return true;
+    if (lower == "false" || lower == "0" || lower == "no" ||
+        lower == "off")
+        return false;
+    fatal("config key '%s': '%s' is not a boolean", key.c_str(),
+          value.c_str());
+}
+
+void
+applyKey(ExperimentConfig &cfg, const std::string &key,
+         const std::string &value)
+{
+    const auto num = [&] { return parseNumber(key, value); };
+    if (key == "governor") {
+        cfg.governor = governorKindFromName(value);
+    } else if (key == "label") {
+        cfg.label = value;
+    } else if (key == "interactive.sampling_ms") {
+        cfg.interactive.samplingRate =
+            msToTicks(static_cast<std::uint64_t>(num()));
+    } else if (key == "interactive.target_load") {
+        cfg.interactive.targetLoad = num();
+    } else if (key == "interactive.go_hispeed_load") {
+        cfg.interactive.goHispeedLoad = num();
+    } else if (key == "interactive.hispeed_fraction") {
+        cfg.interactive.hispeedFraction = num();
+    } else if (key == "sched.up_threshold") {
+        cfg.sched.upThreshold = static_cast<std::uint32_t>(num());
+    } else if (key == "sched.down_threshold") {
+        cfg.sched.downThreshold = static_cast<std::uint32_t>(num());
+    } else if (key == "sched.half_life_ms") {
+        cfg.sched.loadHalfLifeMs = num();
+    } else if (key == "sched.timeslice_ms") {
+        cfg.sched.timeslice =
+            msToTicks(static_cast<std::uint64_t>(num()));
+    } else if (key == "sched.boost_khz") {
+        cfg.sched.upMigrationBoostFreq =
+            static_cast<FreqKHz>(num());
+    } else if (key == "cores.little") {
+        cfg.coreConfig.littleCores =
+            static_cast<std::uint32_t>(num());
+    } else if (key == "cores.big") {
+        cfg.coreConfig.bigCores = static_cast<std::uint32_t>(num());
+    } else if (key == "thermal.enabled") {
+        cfg.thermalEnabled = parseBool(key, value);
+    } else if (key == "thermal.hot_trip_c") {
+        cfg.thermal.hotTripC = num();
+    } else if (key == "thermal.cool_trip_c") {
+        cfg.thermal.coolTripC = num();
+    } else if (key == "userspace.little_khz") {
+        cfg.userspaceLittleFreq = static_cast<FreqKHz>(num());
+    } else if (key == "userspace.big_khz") {
+        cfg.userspaceBigFreq = static_cast<FreqKHz>(num());
+    } else if (key == "sample_window_ms") {
+        cfg.sampleWindow =
+            msToTicks(static_cast<std::uint64_t>(num()));
+    } else {
+        fatal("unknown config key '%s'", key.c_str());
+    }
+}
+
+} // namespace
+
+ExperimentConfig
+parseExperimentConfig(const std::string &text)
+{
+    ExperimentConfig cfg;
+    std::istringstream in(text);
+    std::string line;
+    int line_no = 0;
+    while (std::getline(in, line)) {
+        ++line_no;
+        const auto hash = line.find('#');
+        if (hash != std::string::npos)
+            line = line.substr(0, hash);
+        line = trim(line);
+        if (line.empty())
+            continue;
+        const auto eq = line.find('=');
+        if (eq == std::string::npos)
+            fatal("config line %d: expected 'key = value', got '%s'",
+                  line_no, line.c_str());
+        const std::string key = trim(line.substr(0, eq));
+        const std::string value = trim(line.substr(eq + 1));
+        if (key.empty() || value.empty())
+            fatal("config line %d: empty key or value", line_no);
+        applyKey(cfg, key, value);
+    }
+    // Keep the label of the core combination coherent.
+    cfg.coreConfig.label = format("L%u+B%u",
+                                  cfg.coreConfig.littleCores,
+                                  cfg.coreConfig.bigCores);
+    return cfg;
+}
+
+ExperimentConfig
+loadExperimentConfig(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("cannot open config file '%s'", path.c_str());
+    std::stringstream ss;
+    ss << in.rdbuf();
+    return parseExperimentConfig(ss.str());
+}
+
+std::string
+saveExperimentConfig(const ExperimentConfig &cfg)
+{
+    std::string out;
+    out += format("governor = %s\n", governorKindName(cfg.governor));
+    out += format("label = %s\n", cfg.label.c_str());
+    out += format("interactive.sampling_ms = %llu\n",
+                  static_cast<unsigned long long>(
+                      ticksToMs(cfg.interactive.samplingRate)));
+    out += format("interactive.target_load = %g\n",
+                  cfg.interactive.targetLoad);
+    out += format("interactive.go_hispeed_load = %g\n",
+                  cfg.interactive.goHispeedLoad);
+    out += format("interactive.hispeed_fraction = %g\n",
+                  cfg.interactive.hispeedFraction);
+    out += format("sched.up_threshold = %u\n",
+                  cfg.sched.upThreshold);
+    out += format("sched.down_threshold = %u\n",
+                  cfg.sched.downThreshold);
+    out += format("sched.half_life_ms = %g\n",
+                  cfg.sched.loadHalfLifeMs);
+    out += format("sched.timeslice_ms = %llu\n",
+                  static_cast<unsigned long long>(
+                      ticksToMs(cfg.sched.timeslice)));
+    out += format("sched.boost_khz = %u\n",
+                  cfg.sched.upMigrationBoostFreq);
+    out += format("cores.little = %u\n", cfg.coreConfig.littleCores);
+    out += format("cores.big = %u\n", cfg.coreConfig.bigCores);
+    out += format("thermal.enabled = %s\n",
+                  cfg.thermalEnabled ? "true" : "false");
+    out += format("thermal.hot_trip_c = %g\n", cfg.thermal.hotTripC);
+    out += format("thermal.cool_trip_c = %g\n",
+                  cfg.thermal.coolTripC);
+    out += format("userspace.little_khz = %u\n",
+                  cfg.userspaceLittleFreq);
+    out += format("userspace.big_khz = %u\n", cfg.userspaceBigFreq);
+    out += format("sample_window_ms = %llu\n",
+                  static_cast<unsigned long long>(
+                      ticksToMs(cfg.sampleWindow)));
+    return out;
+}
+
+void
+writeExperimentConfig(const ExperimentConfig &cfg,
+                      const std::string &path)
+{
+    std::ofstream out(path);
+    if (!out)
+        fatal("cannot write config file '%s'", path.c_str());
+    out << saveExperimentConfig(cfg);
+}
+
+} // namespace biglittle

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Textual (de)serialization of ExperimentConfig: a small key=value
+ * format so experimental conditions can be stored in files, shared,
+ * and passed to the bench binaries and examples with `--config`.
+ *
+ * Format: one `key = value` pair per line; `#` starts a comment;
+ * blank lines ignored.  Unknown keys are fatal (typos must not
+ * silently change an experiment).  Example:
+ *
+ *   # Section VI-C point: 60 ms sampling
+ *   governor = interactive
+ *   interactive.sampling_ms = 60
+ *   interactive.target_load = 70
+ *   sched.up_threshold = 700
+ *   sched.down_threshold = 256
+ *   sched.half_life_ms = 32
+ *   cores.little = 4
+ *   cores.big = 4
+ *   thermal.enabled = true
+ *   label = interval-60ms
+ */
+
+#ifndef BIGLITTLE_CORE_CONFIG_IO_HH
+#define BIGLITTLE_CORE_CONFIG_IO_HH
+
+#include <string>
+
+#include "core/experiment.hh"
+
+namespace biglittle
+{
+
+/** Parse a governor name ("interactive", "powersave", ...). */
+GovernorKind governorKindFromName(const std::string &name);
+
+/**
+ * Parse a config from key=value text.  Starts from the default
+ * ExperimentConfig; unknown keys or malformed values are fatal().
+ */
+ExperimentConfig parseExperimentConfig(const std::string &text);
+
+/** Load a config file; fatal() if unreadable. */
+ExperimentConfig loadExperimentConfig(const std::string &path);
+
+/**
+ * Serialize a config to the same key=value text (only keys the
+ * format covers; platform params are always the Exynos 5422 model).
+ * parse(save(cfg)) reproduces cfg for those fields.
+ */
+std::string saveExperimentConfig(const ExperimentConfig &config);
+
+/** Write saveExperimentConfig() output to a file. */
+void writeExperimentConfig(const ExperimentConfig &config,
+                           const std::string &path);
+
+} // namespace biglittle
+
+#endif // BIGLITTLE_CORE_CONFIG_IO_HH

@@ -1,0 +1,91 @@
+#include "core/efficiency.hh"
+
+#include "base/logging.hh"
+
+namespace biglittle
+{
+
+EfficiencyAnalyzer::EfficiencyAnalyzer(Simulation &sim_in,
+                                       AsymmetricPlatform &platform,
+                                       Tick window)
+    : sim(sim_in), plat(platform), windowTicks(window)
+{
+    BL_ASSERT(windowTicks > 0);
+    lastBusyTicks.assign(plat.coreCount(), 0);
+}
+
+void
+EfficiencyAnalyzer::start()
+{
+    plat.sync();
+    for (const Core *core : plat.cores())
+        lastBusyTicks[core->id()] = core->busyTicks();
+    if (sampleTask == nullptr) {
+        sampleTask = &sim.addPeriodic(
+            windowTicks, [this](Tick now) { sampleWindow(now); },
+            EventPriority::stats, "efficiency-analyzer");
+    }
+    sampleTask->start();
+}
+
+void
+EfficiencyAnalyzer::stop()
+{
+    if (sampleTask != nullptr)
+        sampleTask->cancel();
+}
+
+void
+EfficiencyAnalyzer::sampleWindow(Tick)
+{
+    plat.sync();
+    for (const Core *core : plat.cores()) {
+        const Tick busy = core->busyTicks();
+        const Tick delta = busy - lastBusyTicks[core->id()];
+        lastBusyTicks[core->id()] = busy;
+        if (delta == 0)
+            continue; // no execution in this window
+        const double util = static_cast<double>(delta) /
+                            static_cast<double>(windowTicks);
+        const FreqDomain &domain = core->freqDomain();
+        const bool at_max = domain.currentFreq() == domain.maxFreq();
+        const bool at_min = domain.currentFreq() == domain.minFreq();
+        if (core->type() == CoreType::big && at_max && util >= 0.99) {
+            ++fullCount;
+        } else if (util >= 0.95) {
+            ++above95;
+        } else if (util >= 0.70) {
+            ++from70to95;
+        } else if (util >= 0.50) {
+            ++from50to70;
+        } else if (core->type() == CoreType::little && at_min) {
+            ++minCount;
+        } else {
+            ++below50;
+        }
+    }
+}
+
+EfficiencyReport
+EfficiencyAnalyzer::report() const
+{
+    EfficiencyReport r;
+    const std::uint64_t total = minCount + below50 + from50to70 +
+                                from70to95 + above95 + fullCount;
+    r.executionWindows = total;
+    if (total == 0)
+        return r;
+    const auto pct = [total](std::uint64_t n) {
+        return 100.0 * static_cast<double>(n) /
+               static_cast<double>(total);
+    };
+    r.minPct = pct(minCount);
+    r.below50Pct = pct(below50);
+    r.from50to70Pct = pct(from50to70);
+    r.from70to95Pct = pct(from70to95);
+    r.above95Pct = pct(above95);
+    r.fullPct = pct(fullCount);
+    return r;
+}
+
+} // namespace biglittle

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Scheduler/governor efficiency decomposition (Table V).
+ *
+ * Execution windows (10 ms, per core, windows in which the core did
+ * some work) are classified by how well the chosen core type and
+ * frequency fit the observed load:
+ *
+ *   full    the core is a big core at maximum frequency and still
+ *           ~100% utilized - demand exceeds the platform's capacity
+ *   >95%    utilization above 95% (underprovisioned)
+ *   70-95%  comfortable margin
+ *   50-70%  the paper's "<70%" column
+ *   <50%    overprovisioned (wasted capacity)
+ *   min     utilization below 50% on a little core already at its
+ *           minimum frequency - capacity cannot be reduced further
+ */
+
+#ifndef BIGLITTLE_CORE_EFFICIENCY_HH
+#define BIGLITTLE_CORE_EFFICIENCY_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "base/types.hh"
+#include "platform/platform.hh"
+#include "sim/simulation.hh"
+
+namespace biglittle
+{
+
+/** Table V fractions (percent of execution windows). */
+struct EfficiencyReport
+{
+    double minPct = 0.0;
+    double below50Pct = 0.0;
+    double from50to70Pct = 0.0;
+    double from70to95Pct = 0.0;
+    double above95Pct = 0.0;
+    double fullPct = 0.0;
+
+    std::uint64_t executionWindows = 0;
+};
+
+/** Periodic classifier feeding an EfficiencyReport. */
+class EfficiencyAnalyzer
+{
+  public:
+    EfficiencyAnalyzer(Simulation &sim, AsymmetricPlatform &platform,
+                       Tick window = msToTicks(10));
+
+    EfficiencyAnalyzer(const EfficiencyAnalyzer &) = delete;
+    EfficiencyAnalyzer &operator=(const EfficiencyAnalyzer &) = delete;
+
+    void start();
+    void stop();
+
+    /** Snapshot of the accumulated decomposition. */
+    EfficiencyReport report() const;
+
+  private:
+    Simulation &sim;
+    AsymmetricPlatform &plat;
+    Tick windowTicks;
+
+    PeriodicTask *sampleTask = nullptr;
+    std::vector<Tick> lastBusyTicks;
+
+    std::uint64_t minCount = 0;
+    std::uint64_t below50 = 0;
+    std::uint64_t from50to70 = 0;
+    std::uint64_t from70to95 = 0;
+    std::uint64_t above95 = 0;
+    std::uint64_t fullCount = 0;
+
+    void sampleWindow(Tick now);
+};
+
+} // namespace biglittle
+
+#endif // BIGLITTLE_CORE_EFFICIENCY_HH

@@ -1,0 +1,298 @@
+#include "core/experiment.hh"
+
+#include <memory>
+
+#include "base/logging.hh"
+#include "governor/simple_governors.hh"
+#include "sched/hmp.hh"
+#include "sim/simulation.hh"
+#include "workload/behavior.hh"
+#include "workload/microbench.hh"
+
+namespace biglittle
+{
+
+const char *
+governorKindName(GovernorKind kind)
+{
+    switch (kind) {
+      case GovernorKind::interactive:
+        return "interactive";
+      case GovernorKind::performance:
+        return "performance";
+      case GovernorKind::powersave:
+        return "powersave";
+      case GovernorKind::ondemand:
+        return "ondemand";
+      case GovernorKind::conservative:
+        return "conservative";
+      case GovernorKind::schedutil:
+        return "schedutil";
+      case GovernorKind::userspace:
+        return "userspace";
+    }
+    return "unknown";
+}
+
+double
+AppRunResult::performanceValue() const
+{
+    if (metric == AppMetric::latency)
+        return static_cast<double>(latency) /
+               static_cast<double>(oneMs);
+    return avgFps;
+}
+
+namespace
+{
+
+/** Everything a run needs, wired together with correct lifetimes. */
+struct Rig
+{
+    Simulation sim;
+    AsymmetricPlatform platform;
+    HmpScheduler sched;
+    PowerModel power;
+    std::vector<std::unique_ptr<Governor>> governors;
+    std::vector<std::unique_ptr<ThermalThrottle>> throttles;
+
+    explicit Rig(const ExperimentConfig &cfg)
+        : platform(sim, cfg.platform),
+          sched(sim, platform, cfg.sched), power(platform)
+    {
+        platform.applyCoreConfig(cfg.coreConfig);
+        for (std::size_t i = 0; i < platform.clusterCount(); ++i) {
+            Cluster &cl = platform.cluster(i);
+            governors.push_back(makeGovernor(cfg, cl));
+            if (cfg.thermalEnabled) {
+                throttles.push_back(std::make_unique<ThermalThrottle>(
+                    sim, cl, cfg.thermal));
+            }
+        }
+    }
+
+    std::unique_ptr<Governor>
+    makeGovernor(const ExperimentConfig &cfg, Cluster &cl)
+    {
+        switch (cfg.governor) {
+          case GovernorKind::interactive:
+            return std::make_unique<InteractiveGovernor>(
+                sim, cl, cfg.interactive);
+          case GovernorKind::performance:
+            return std::make_unique<PerformanceGovernor>(sim, cl);
+          case GovernorKind::powersave:
+            return std::make_unique<PowersaveGovernor>(sim, cl);
+          case GovernorKind::ondemand:
+            return std::make_unique<OndemandGovernor>(sim, cl);
+          case GovernorKind::conservative:
+            return std::make_unique<ConservativeGovernor>(sim, cl);
+          case GovernorKind::schedutil:
+            return std::make_unique<SchedutilGovernor>(sim, cl);
+          case GovernorKind::userspace: {
+            FreqKHz f = cl.type() == CoreType::little
+                ? cfg.userspaceLittleFreq : cfg.userspaceBigFreq;
+            if (f == 0)
+                f = cl.freqDomain().minFreq();
+            return std::make_unique<UserspaceGovernor>(sim, cl, f);
+          }
+        }
+        panic("unhandled governor kind");
+    }
+
+    void
+    startSystem()
+    {
+        for (auto &gov : governors)
+            gov->start();
+        for (auto &throttle : throttles)
+            throttle->start();
+        sched.start();
+    }
+};
+
+} // namespace
+
+Experiment::Experiment(ExperimentConfig config)
+    : cfg(std::move(config))
+{
+}
+
+AppRunResult
+Experiment::runApp(const AppSpec &app)
+{
+    Rig rig(cfg);
+    StateSampler sampler(rig.sim, rig.platform, cfg.sampleWindow);
+    EfficiencyAnalyzer efficiency(rig.sim, rig.platform,
+                                  cfg.sampleWindow);
+    AppInstance instance(rig.sim, rig.sched, app);
+
+    rig.startSystem();
+    sampler.start();
+    efficiency.start();
+    const PowerSnapshot before = rig.power.snapshot();
+    const Tick start = rig.sim.now();
+    instance.start();
+
+    const Tick cap = start +
+        (app.metric == AppMetric::latency
+             ? std::min(app.duration, cfg.maxSimTime)
+             : app.duration);
+    if (app.metric == AppMetric::latency) {
+        while (!instance.done() && rig.sim.now() < cap)
+            rig.sim.runFor(msToTicks(10));
+    } else {
+        rig.sim.runUntil(cap);
+    }
+
+    AppRunResult result;
+    result.app = app.name;
+    result.configLabel = cfg.label;
+    result.metric = app.metric;
+    result.simulatedTime = rig.sim.now() - start;
+    result.completed =
+        app.metric == AppMetric::latency ? instance.done() : true;
+    if (app.metric == AppMetric::latency) {
+        result.latency = instance.done() ? instance.latency()
+                                         : result.simulatedTime;
+        if (!instance.done())
+            warn("app '%s' hit the simulation cap before finishing",
+                 app.name.c_str());
+    } else {
+        result.avgFps = instance.frameStats().averageFps();
+        result.minFps = instance.frameStats().minFps();
+        result.frames = instance.frameStats().frames();
+    }
+
+    const PowerSnapshot after = rig.power.snapshot();
+    result.energy = rig.power.energyBetween(before, after);
+    result.avgPowerMw = result.energy.averagePowerMw();
+
+    result.tlp = makeTlpReport(sampler);
+    result.efficiency = efficiency.report();
+    result.littleResidency =
+        makeFreqResidency(rig.platform.littleCluster());
+    result.bigResidency = makeFreqResidency(rig.platform.bigCluster());
+    result.sched = rig.sched.stats();
+    for (const auto &task : rig.sched.tasks()) {
+        TaskSummary summary;
+        summary.name = task->name();
+        summary.instructionsRetired = task->instructionsRetired();
+        summary.littleRuntime = task->runtimeOn(CoreType::little);
+        summary.bigRuntime = task->runtimeOn(CoreType::big);
+        summary.typeMigrations = task->typeMigrations();
+        result.tasks.push_back(std::move(summary));
+    }
+    return result;
+}
+
+KernelRunResult
+Experiment::runKernel(const SpecKernel &kernel, CoreType type,
+                      FreqKHz freq)
+{
+    ExperimentConfig run_cfg = cfg;
+    run_cfg.governor = GovernorKind::userspace;
+    if (type == CoreType::little)
+        run_cfg.userspaceLittleFreq = freq;
+    else
+        run_cfg.userspaceBigFreq = freq;
+
+    Experiment sub(run_cfg);
+    Rig rig(sub.cfg);
+
+    // Pin to the first online core of the requested cluster.
+    Cluster &cluster = rig.platform.clusterOf(type);
+    Core *target = nullptr;
+    for (std::size_t i = 0; i < cluster.coreCount(); ++i) {
+        if (cluster.core(i).online()) {
+            target = &cluster.core(i);
+            break;
+        }
+    }
+    if (target == nullptr)
+        fatal("no online %s core for kernel '%s'", coreTypeName(type),
+              kernel.name.c_str());
+
+    Task &task = rig.sched.createTask(kernel.name, kernel.workClass,
+                                      target->id());
+    bool finished = false;
+    ContinuousBehavior behavior(
+        rig.sim, task, Rng(7), kernel.instructions,
+        [&finished](Tick) { finished = true; });
+
+    rig.startSystem();
+    const PowerSnapshot before = rig.power.snapshot();
+    const Tick start = rig.sim.now();
+    behavior.start();
+
+    const Tick cap = start + cfg.maxSimTime;
+    while (!finished && rig.sim.now() < cap)
+        rig.sim.runFor(msToTicks(50));
+    if (!finished)
+        fatal("kernel '%s' did not finish within the simulation cap",
+              kernel.name.c_str());
+
+    KernelRunResult result;
+    result.kernel = kernel.name;
+    result.coreType = type;
+    result.freq = freq;
+    result.runtime = behavior.completionTick() - start;
+    const PowerSnapshot after = rig.power.snapshot();
+    result.energy = rig.power.energyBetween(before, after);
+    // Average power over the kernel's own runtime (the run loop may
+    // overshoot completion by part of a slice).
+    result.avgPowerMw = result.energy.elapsed > 0
+        ? result.energy.totalMj() / ticksToSeconds(result.energy.elapsed)
+        : 0.0;
+    return result;
+}
+
+MicrobenchResult
+Experiment::runMicrobench(CoreType type, FreqKHz freq,
+                          double utilization, Tick duration)
+{
+    ExperimentConfig run_cfg = cfg;
+    run_cfg.governor = GovernorKind::userspace;
+    if (type == CoreType::little)
+        run_cfg.userspaceLittleFreq = freq;
+    else
+        run_cfg.userspaceBigFreq = freq;
+
+    Experiment sub(run_cfg);
+    Rig rig(sub.cfg);
+
+    Cluster &cluster = rig.platform.clusterOf(type);
+    Core *target = nullptr;
+    for (std::size_t i = 0; i < cluster.coreCount(); ++i) {
+        if (cluster.core(i).online()) {
+            target = &cluster.core(i);
+            break;
+        }
+    }
+    if (target == nullptr)
+        fatal("no online %s core for the microbenchmark",
+              coreTypeName(type));
+
+    UtilizationMicrobench bench(rig.sim, rig.sched, target->id(),
+                                utilization);
+    rig.startSystem();
+    const PowerSnapshot before = rig.power.snapshot();
+    const Tick start = rig.sim.now();
+    const Tick busy_before = target->busyTicks();
+    bench.start();
+    rig.sim.runUntil(start + duration);
+
+    rig.platform.sync();
+    MicrobenchResult result;
+    result.coreType = type;
+    result.freq = freq;
+    result.targetUtilization = utilization;
+    result.achievedUtilization =
+        static_cast<double>(target->busyTicks() - busy_before) /
+        static_cast<double>(duration);
+    const PowerSnapshot after = rig.power.snapshot();
+    result.avgPowerMw =
+        rig.power.energyBetween(before, after).averagePowerMw();
+    return result;
+}
+
+} // namespace biglittle

@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Experiment: the one-stop harness that assembles a platform, the
+ * HMP scheduler, per-cluster governors and the measurement
+ * instruments, runs a workload, and returns every metric the paper's
+ * tables and figures need.  All bench binaries and examples are thin
+ * wrappers over this class.
+ */
+
+#ifndef BIGLITTLE_CORE_EXPERIMENT_HH
+#define BIGLITTLE_CORE_EXPERIMENT_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/types.hh"
+#include "core/efficiency.hh"
+#include "core/freq_residency.hh"
+#include "core/state_sampler.hh"
+#include "core/tlp.hh"
+#include "governor/interactive.hh"
+#include "platform/params.hh"
+#include "platform/power.hh"
+#include "platform/thermal.hh"
+#include "sched/sched_params.hh"
+#include "workload/app_model.hh"
+#include "workload/spec.hh"
+
+namespace biglittle
+{
+
+/** Which frequency policy each cluster runs. */
+enum class GovernorKind
+{
+    interactive, ///< Algorithm 2, the platform default
+    performance,
+    powersave,
+    ondemand,
+    conservative, ///< stepwise ondemand variant
+    schedutil, ///< modern capacity-driven policy
+    userspace, ///< fixed frequency (Figs. 2/3/6)
+};
+
+/** Human-readable governor name. */
+const char *governorKindName(GovernorKind kind);
+
+/** Everything that defines one experimental condition. */
+struct ExperimentConfig
+{
+    PlatformParams platform = exynos5422Params();
+    SchedParams sched = baselineSchedParams();
+    GovernorKind governor = GovernorKind::interactive;
+    InteractiveParams interactive = defaultInteractiveParams();
+
+    /** Fixed frequencies for GovernorKind::userspace (0 = min). */
+    FreqKHz userspaceLittleFreq = 0;
+    FreqKHz userspaceBigFreq = 0;
+
+    /** Online core combination (Figs. 7/8). */
+    CoreConfig coreConfig = {4, 4, "L4+B4"};
+
+    /**
+     * Thermal throttling of each cluster (a single big core can
+     * sustain max frequency; parallel big-cluster bursts settle near
+     * 1.0-1.4 GHz, as real phones do).
+     */
+    bool thermalEnabled = true;
+    ThermalParams thermal;
+
+    /** Characterization sampling window (the paper's 10 ms). */
+    Tick sampleWindow = msToTicks(10);
+
+    /** Cap for latency apps that never finish (safety net). */
+    Tick maxSimTime = msToTicks(300000);
+
+    std::string label = "default";
+};
+
+/** Per-task summary captured at the end of a run. */
+struct TaskSummary
+{
+    std::string name;
+    double instructionsRetired = 0.0;
+    Tick littleRuntime = 0;
+    Tick bigRuntime = 0;
+    std::uint64_t typeMigrations = 0;
+
+    /** Share of execution time spent on big cores, in percent. */
+    double
+    bigSharePct() const
+    {
+        const Tick total = littleRuntime + bigRuntime;
+        return total == 0 ? 0.0
+                          : 100.0 * static_cast<double>(bigRuntime) /
+                                static_cast<double>(total);
+    }
+};
+
+/** All metrics of one application run. */
+struct AppRunResult
+{
+    std::string app;
+    std::string configLabel;
+    AppMetric metric = AppMetric::fps;
+
+    Tick simulatedTime = 0;
+    bool completed = false; ///< latency apps: script finished in time
+
+    // performance
+    Tick latency = 0; ///< latency apps
+    double avgFps = 0.0; ///< fps apps
+    double minFps = 0.0; ///< fps apps: worst 1-second window
+    std::uint64_t frames = 0;
+
+    // power/energy
+    EnergyBreakdown energy;
+    double avgPowerMw = 0.0;
+
+    // characterization
+    TlpReport tlp;
+    EfficiencyReport efficiency;
+    FreqResidency littleResidency;
+    FreqResidency bigResidency;
+    SchedStats sched;
+    std::vector<TaskSummary> tasks; ///< per-thread breakdown
+
+    /** Headline performance number: ms latency or average FPS. */
+    double performanceValue() const;
+};
+
+/** Metrics of one single-core fixed-frequency kernel run. */
+struct KernelRunResult
+{
+    std::string kernel;
+    CoreType coreType = CoreType::little;
+    FreqKHz freq = 0;
+
+    Tick runtime = 0;
+    double avgPowerMw = 0.0;
+    EnergyBreakdown energy;
+};
+
+/** Metrics of one microbenchmark utilization point. */
+struct MicrobenchResult
+{
+    CoreType coreType = CoreType::little;
+    FreqKHz freq = 0;
+    double targetUtilization = 0.0;
+    double achievedUtilization = 0.0;
+    double avgPowerMw = 0.0;
+};
+
+/** Assembles and runs experimental conditions. */
+class Experiment
+{
+  public:
+    explicit Experiment(ExperimentConfig config = ExperimentConfig{});
+
+    const ExperimentConfig &config() const { return cfg; }
+
+    /** Run one application under the configured system. */
+    AppRunResult runApp(const AppSpec &app);
+
+    /**
+     * Run a single-threaded kernel pinned to one core of @p type
+     * clocked at @p freq (Figs. 2/3); the other cluster idles at its
+     * minimum frequency.
+     */
+    KernelRunResult runKernel(const SpecKernel &kernel, CoreType type,
+                              FreqKHz freq);
+
+    /**
+     * Hold @p utilization on one core of @p type at @p freq for
+     * @p duration and report average power (Fig. 6).
+     */
+    MicrobenchResult runMicrobench(CoreType type, FreqKHz freq,
+                                   double utilization, Tick duration);
+
+  private:
+    ExperimentConfig cfg;
+};
+
+} // namespace biglittle
+
+#endif // BIGLITTLE_CORE_EXPERIMENT_HH

@@ -1,0 +1,32 @@
+#include "core/freq_residency.hh"
+
+namespace biglittle
+{
+
+FreqResidency
+makeFreqResidency(Cluster &cluster)
+{
+    cluster.sync();
+    FreqResidency res;
+    for (const Opp &opp : cluster.freqDomain().opps()) {
+        double ticks = 0.0;
+        for (std::size_t i = 0; i < cluster.coreCount(); ++i) {
+            ticks +=
+                cluster.core(i).busyTicksByFreq().weightAt(opp.freq);
+        }
+        FreqResidency::Entry entry;
+        entry.freq = opp.freq;
+        entry.activeSeconds = ticks / static_cast<double>(oneSec);
+        entry.fraction = 0.0;
+        res.totalActiveSeconds += entry.activeSeconds;
+        res.entries.push_back(entry);
+    }
+    if (res.totalActiveSeconds > 0.0) {
+        for (auto &entry : res.entries)
+            entry.fraction = entry.activeSeconds /
+                             res.totalActiveSeconds;
+    }
+    return res;
+}
+
+} // namespace biglittle

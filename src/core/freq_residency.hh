@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Frequency residency: the Figs. 9/10 decomposition.  For each
+ * cluster, the fraction of core-active time spent at each operating
+ * frequency, aggregated over the cluster's cores (idle time is
+ * excluded, as in the paper's distributions).
+ */
+
+#ifndef BIGLITTLE_CORE_FREQ_RESIDENCY_HH
+#define BIGLITTLE_CORE_FREQ_RESIDENCY_HH
+
+#include <vector>
+
+#include "base/types.hh"
+#include "platform/cluster.hh"
+
+namespace biglittle
+{
+
+/** One cluster's active-time share per OPP. */
+struct FreqResidency
+{
+    struct Entry
+    {
+        FreqKHz freq;
+        double activeSeconds;
+        double fraction; ///< of the cluster's total active time
+    };
+
+    std::vector<Entry> entries; ///< ascending frequency
+    double totalActiveSeconds = 0.0;
+};
+
+/** Compute the residency of @p cluster from its cores' accounting. */
+FreqResidency makeFreqResidency(Cluster &cluster);
+
+} // namespace biglittle
+
+#endif // BIGLITTLE_CORE_FREQ_RESIDENCY_HH

@@ -1,0 +1,233 @@
+#include "core/report.hh"
+
+#include <cstdio>
+
+#include "base/csv.hh"
+#include "base/strutil.hh"
+
+namespace biglittle
+{
+
+namespace
+{
+void
+printRule(std::size_t width)
+{
+    std::puts(std::string(width, '-').c_str());
+}
+} // namespace
+
+void
+printTlpTable(const std::vector<AppRunResult> &results, CsvWriter *csv)
+{
+    std::printf("%s\n",
+                (padRight("App", 20) + padLeft("Idle%", 9) +
+                 padLeft("Little%", 9) + padLeft("Big%", 9) +
+                 padLeft("TLP", 7))
+                    .c_str());
+    printRule(54);
+    if (csv)
+        csv->header({"app", "idle_pct", "little_pct", "big_pct",
+                     "tlp"});
+    for (const AppRunResult &r : results) {
+        std::printf("%s%9.2f%9.2f%9.2f%7.2f\n",
+                    padRight(r.app, 20).c_str(), r.tlp.idlePct,
+                    r.tlp.littleSharePct, r.tlp.bigSharePct, r.tlp.tlp);
+        if (csv) {
+            csv->beginRow();
+            csv->cell(r.app);
+            csv->cell(r.tlp.idlePct);
+            csv->cell(r.tlp.littleSharePct);
+            csv->cell(r.tlp.bigSharePct);
+            csv->cell(r.tlp.tlp);
+            csv->endRow();
+        }
+    }
+}
+
+void
+printTlpMatrix(const AppRunResult &result, CsvWriter *csv)
+{
+    const auto &m = result.tlp.matrixPct;
+    if (m.empty())
+        return;
+    const std::size_t rows = m.size();
+    const std::size_t cols = m.front().size();
+
+    std::printf("%s (big rows x little cols, %% of windows)\n",
+                result.app.c_str());
+    std::string header = padRight("", 6);
+    for (std::size_t l = 0; l < cols; ++l)
+        header += padLeft(format("C%zu", l), 8);
+    std::printf("%s\n", header.c_str());
+    for (std::size_t b = 0; b < rows; ++b) {
+        std::string line = padRight(format("C%zu", b), 6);
+        for (std::size_t l = 0; l < cols; ++l)
+            line += padLeft(format("%.2f", m[b][l]), 8);
+        std::printf("%s\n", line.c_str());
+        if (csv) {
+            csv->beginRow();
+            csv->cell(result.app);
+            csv->cell(static_cast<std::uint64_t>(b));
+            for (std::size_t l = 0; l < cols; ++l)
+                csv->cell(m[b][l]);
+            csv->endRow();
+        }
+    }
+}
+
+void
+printEfficiencyTable(const std::vector<AppRunResult> &results,
+                     CsvWriter *csv)
+{
+    std::printf("%s\n",
+                (padRight("App", 20) + padLeft("Min", 8) +
+                 padLeft("<50%", 8) + padLeft("50-70%", 8) +
+                 padLeft("70-95%", 8) + padLeft(">95%", 8) +
+                 padLeft("Full", 8))
+                    .c_str());
+    printRule(68);
+    if (csv)
+        csv->header({"app", "min", "below50", "from50to70",
+                     "from70to95", "above95", "full"});
+    for (const AppRunResult &r : results) {
+        const EfficiencyReport &e = r.efficiency;
+        std::printf("%s%8.2f%8.2f%8.2f%8.2f%8.2f%8.2f\n",
+                    padRight(r.app, 20).c_str(), e.minPct,
+                    e.below50Pct, e.from50to70Pct, e.from70to95Pct,
+                    e.above95Pct, e.fullPct);
+        if (csv) {
+            csv->beginRow();
+            csv->cell(r.app);
+            csv->cell(e.minPct);
+            csv->cell(e.below50Pct);
+            csv->cell(e.from50to70Pct);
+            csv->cell(e.from70to95Pct);
+            csv->cell(e.above95Pct);
+            csv->cell(e.fullPct);
+            csv->endRow();
+        }
+    }
+}
+
+void
+printFreqResidencyTable(const std::vector<AppRunResult> &results,
+                        bool big, CsvWriter *csv)
+{
+    if (results.empty())
+        return;
+    const FreqResidency &first =
+        big ? results.front().bigResidency
+            : results.front().littleResidency;
+
+    std::string header = padRight("App", 20);
+    for (const auto &entry : first.entries)
+        header += padLeft(freqToString(entry.freq), 9);
+    std::printf("%s\n", header.c_str());
+    printRule(header.size());
+    if (csv) {
+        std::vector<std::string> cols = {"app"};
+        for (const auto &entry : first.entries)
+            cols.push_back(format("f_%u", entry.freq));
+        csv->header(cols);
+    }
+    for (const AppRunResult &r : results) {
+        const FreqResidency &res =
+            big ? r.bigResidency : r.littleResidency;
+        std::string line = padRight(r.app, 20);
+        for (const auto &entry : res.entries)
+            line += padLeft(format("%.1f", entry.fraction * 100.0), 9);
+        std::printf("%s\n", line.c_str());
+        if (csv) {
+            csv->beginRow();
+            csv->cell(r.app);
+            for (const auto &entry : res.entries)
+                csv->cell(entry.fraction * 100.0);
+            csv->endRow();
+        }
+    }
+}
+
+void
+printRunSummary(const AppRunResult &result)
+{
+    if (result.metric == AppMetric::latency) {
+        std::printf("%s [%s]: latency %.1f ms, avg power %.0f mW, "
+                    "TLP %.2f\n",
+                    result.app.c_str(), result.configLabel.c_str(),
+                    static_cast<double>(result.latency) /
+                        static_cast<double>(oneMs),
+                    result.avgPowerMw, result.tlp.tlp);
+    } else {
+        std::printf("%s [%s]: avg %.1f FPS (min %.1f), avg power "
+                    "%.0f mW, TLP %.2f\n",
+                    result.app.c_str(), result.configLabel.c_str(),
+                    result.avgFps, result.minFps, result.avgPowerMw,
+                    result.tlp.tlp);
+    }
+}
+
+namespace
+{
+
+void
+printTaskRows(const std::vector<TaskSummary> &tasks, CsvWriter *csv)
+{
+    std::printf("%s\n",
+                (padRight("task", 26) + padLeft("Minst", 9) +
+                 padLeft("little ms", 11) + padLeft("big ms", 9) +
+                 padLeft("big %", 8) + padLeft("migr", 6))
+                    .c_str());
+    printRule(69);
+    if (csv)
+        csv->header({"task", "minst", "little_ms", "big_ms",
+                     "big_share_pct", "migrations"});
+    for (const TaskSummary &t : tasks) {
+        const double little_ms = static_cast<double>(t.littleRuntime) /
+                                 static_cast<double>(oneMs);
+        const double big_ms = static_cast<double>(t.bigRuntime) /
+                              static_cast<double>(oneMs);
+        std::printf("%s%9.1f%11.1f%9.1f%8.1f%6llu\n",
+                    padRight(t.name, 26).c_str(),
+                    t.instructionsRetired / 1e6, little_ms, big_ms,
+                    t.bigSharePct(),
+                    static_cast<unsigned long long>(
+                        t.typeMigrations));
+        if (csv) {
+            csv->beginRow();
+            csv->cell(t.name);
+            csv->cell(t.instructionsRetired / 1e6);
+            csv->cell(little_ms);
+            csv->cell(big_ms);
+            csv->cell(t.bigSharePct());
+            csv->cell(static_cast<std::uint64_t>(t.typeMigrations));
+            csv->endRow();
+        }
+    }
+}
+
+} // namespace
+
+void
+printTaskTable(const AppRunResult &result, CsvWriter *csv)
+{
+    printTaskRows(result.tasks, csv);
+}
+
+void
+printTaskTable(const HmpScheduler &sched, CsvWriter *csv)
+{
+    std::vector<TaskSummary> tasks;
+    for (const auto &task : sched.tasks()) {
+        TaskSummary t;
+        t.name = task->name();
+        t.instructionsRetired = task->instructionsRetired();
+        t.littleRuntime = task->runtimeOn(CoreType::little);
+        t.bigRuntime = task->runtimeOn(CoreType::big);
+        t.typeMigrations = task->typeMigrations();
+        tasks.push_back(std::move(t));
+    }
+    printTaskRows(tasks, csv);
+}
+
+} // namespace biglittle

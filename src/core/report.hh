@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Console table printers that mirror the layout of the paper's
+ * tables and figure data series, shared by the bench binaries and
+ * the examples.  Each printer can optionally mirror its rows into a
+ * CSV file.
+ */
+
+#ifndef BIGLITTLE_CORE_REPORT_HH
+#define BIGLITTLE_CORE_REPORT_HH
+
+#include <string>
+#include <vector>
+
+#include "core/experiment.hh"
+#include "sched/hmp.hh"
+
+namespace biglittle
+{
+
+class CsvWriter;
+
+/** Table III: idle / little / big / TLP rows per app. */
+void printTlpTable(const std::vector<AppRunResult> &results,
+                   CsvWriter *csv = nullptr);
+
+/** Table IV: the 5x5 big x little matrix for one app. */
+void printTlpMatrix(const AppRunResult &result,
+                    CsvWriter *csv = nullptr);
+
+/** Table V: efficiency decomposition rows per app. */
+void printEfficiencyTable(const std::vector<AppRunResult> &results,
+                          CsvWriter *csv = nullptr);
+
+/**
+ * Figs. 9/10: per-app frequency-residency distribution of one
+ * cluster (@p big selects which cluster's residency to print).
+ */
+void printFreqResidencyTable(const std::vector<AppRunResult> &results,
+                             bool big, CsvWriter *csv = nullptr);
+
+/** One-line performance/power summary for a run. */
+void printRunSummary(const AppRunResult &result);
+
+/**
+ * Per-task breakdown of a finished run: instructions retired,
+ * execution time split by core type, and type migrations.  Takes
+ * the scheduler so it can walk the live task list (call before the
+ * rig is torn down).
+ */
+void printTaskTable(const HmpScheduler &sched,
+                    CsvWriter *csv = nullptr);
+
+/** Same table from a completed run's captured task summaries. */
+void printTaskTable(const AppRunResult &result,
+                    CsvWriter *csv = nullptr);
+
+} // namespace biglittle
+
+#endif // BIGLITTLE_CORE_REPORT_HH

@@ -1,0 +1,87 @@
+#include "core/state_sampler.hh"
+
+#include "base/logging.hh"
+
+namespace biglittle
+{
+
+StateSampler::StateSampler(Simulation &sim_in,
+                           AsymmetricPlatform &platform, Tick window)
+    : sim(sim_in), plat(platform), windowTicks(window)
+{
+    BL_ASSERT(windowTicks > 0);
+    for (const Core *core : plat.cores()) {
+        if (core->type() == CoreType::big)
+            ++nBig;
+        else
+            ++nLittle;
+    }
+    counts.assign((nBig + 1) * (nLittle + 1), 0);
+    lastBusyTicks.assign(plat.coreCount(), 0);
+}
+
+std::size_t
+StateSampler::cell(std::size_t big, std::size_t little) const
+{
+    BL_ASSERT(big <= nBig && little <= nLittle);
+    return big * (nLittle + 1) + little;
+}
+
+void
+StateSampler::start()
+{
+    plat.sync();
+    for (const Core *core : plat.cores())
+        lastBusyTicks[core->id()] = core->busyTicks();
+    if (sampleTask == nullptr) {
+        sampleTask = &sim.addPeriodic(
+            windowTicks, [this](Tick now) { sampleWindow(now); },
+            EventPriority::stats, "state-sampler");
+    }
+    sampleTask->start();
+}
+
+void
+StateSampler::stop()
+{
+    if (sampleTask != nullptr)
+        sampleTask->cancel();
+}
+
+void
+StateSampler::sampleWindow(Tick)
+{
+    plat.sync();
+    std::size_t big_active = 0;
+    std::size_t little_active = 0;
+    for (const Core *core : plat.cores()) {
+        const Tick busy = core->busyTicks();
+        const bool active = busy > lastBusyTicks[core->id()];
+        lastBusyTicks[core->id()] = busy;
+        if (!active)
+            continue;
+        if (core->type() == CoreType::big)
+            ++big_active;
+        else
+            ++little_active;
+    }
+    ++counts[cell(big_active, little_active)];
+    ++totalWindows;
+}
+
+std::uint64_t
+StateSampler::windowsAt(std::size_t big, std::size_t little) const
+{
+    return counts[cell(big, little)];
+}
+
+double
+StateSampler::fractionAt(std::size_t big, std::size_t little) const
+{
+    if (totalWindows == 0)
+        return 0.0;
+    return static_cast<double>(windowsAt(big, little)) /
+           static_cast<double>(totalWindows);
+}
+
+} // namespace biglittle

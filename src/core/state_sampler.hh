@@ -1,0 +1,82 @@
+/**
+ * @file
+ * StateSampler: the measurement methodology of Section V.
+ *
+ * Matching the paper, the CPU state is checked every 10 ms: a core
+ * counts as active in a window if it accumulated any busy time during
+ * that window (not merely at the sampling instant).  The sampler
+ * maintains the joint distribution of (active big cores, active
+ * little cores) per window - exactly the 5x5 matrices of Table IV -
+ * from which the Table III columns and the Blake-style TLP metric
+ * are derived.
+ */
+
+#ifndef BIGLITTLE_CORE_STATE_SAMPLER_HH
+#define BIGLITTLE_CORE_STATE_SAMPLER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "base/types.hh"
+#include "platform/platform.hh"
+#include "sim/simulation.hh"
+
+namespace biglittle
+{
+
+/** Windowed active-core-count sampler. */
+class StateSampler
+{
+  public:
+    StateSampler(Simulation &sim, AsymmetricPlatform &platform,
+                 Tick window = msToTicks(10));
+
+    StateSampler(const StateSampler &) = delete;
+    StateSampler &operator=(const StateSampler &) = delete;
+
+    /** Begin sampling (first window closes one window from now). */
+    void start();
+
+    /** Stop sampling. */
+    void stop();
+
+    Tick window() const { return windowTicks; }
+
+    /** Total windows observed. */
+    std::uint64_t windows() const { return totalWindows; }
+
+    /** Windows with exactly @p big big and @p little little cores. */
+    std::uint64_t windowsAt(std::size_t big, std::size_t little) const;
+
+    /** Fraction of all windows at (big, little); 0 when no windows. */
+    double fractionAt(std::size_t big, std::size_t little) const;
+
+    /** Windows with no core active at all. */
+    std::uint64_t idleWindows() const { return windowsAt(0, 0); }
+
+    /** Number of big cores in the platform (matrix rows - 1). */
+    std::size_t bigCores() const { return nBig; }
+
+    /** Number of little cores in the platform (matrix cols - 1). */
+    std::size_t littleCores() const { return nLittle; }
+
+  private:
+    Simulation &sim;
+    AsymmetricPlatform &plat;
+    Tick windowTicks;
+
+    std::size_t nBig = 0;
+    std::size_t nLittle = 0;
+
+    PeriodicTask *sampleTask = nullptr;
+    std::vector<Tick> lastBusyTicks; ///< per core, id order
+    std::vector<std::uint64_t> counts; ///< (nBig+1) x (nLittle+1)
+    std::uint64_t totalWindows = 0;
+
+    void sampleWindow(Tick now);
+    std::size_t cell(std::size_t big, std::size_t little) const;
+};
+
+} // namespace biglittle
+
+#endif // BIGLITTLE_CORE_STATE_SAMPLER_HH

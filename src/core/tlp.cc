@@ -1,0 +1,65 @@
+#include "core/tlp.hh"
+
+namespace biglittle
+{
+
+TlpReport
+makeTlpReport(const StateSampler &sampler)
+{
+    TlpReport report;
+    const std::size_t nb = sampler.bigCores();
+    const std::size_t nl = sampler.littleCores();
+
+    report.matrixPct.assign(nb + 1, std::vector<double>(nl + 1, 0.0));
+
+    std::uint64_t total = 0;
+    std::uint64_t active = 0;
+    std::uint64_t little_only = 0;
+    std::uint64_t any_big = 0;
+    double core_sum = 0.0;
+    double little_sum = 0.0;
+    double big_sum = 0.0;
+
+    for (std::size_t b = 0; b <= nb; ++b) {
+        for (std::size_t l = 0; l <= nl; ++l) {
+            const std::uint64_t n = sampler.windowsAt(b, l);
+            report.matrixPct[b][l] =
+                100.0 * sampler.fractionAt(b, l);
+            total += n;
+            if (b + l == 0)
+                continue;
+            active += n;
+            core_sum += static_cast<double>(n) *
+                        static_cast<double>(b + l);
+            little_sum +=
+                static_cast<double>(n) * static_cast<double>(l);
+            big_sum += static_cast<double>(n) * static_cast<double>(b);
+            if (b == 0)
+                little_only += n;
+            else
+                any_big += n;
+        }
+    }
+
+    if (total > 0) {
+        report.idlePct = 100.0 * static_cast<double>(total - active) /
+                         static_cast<double>(total);
+    }
+    if (active > 0) {
+        const auto a = static_cast<double>(active);
+        report.littleOnlyWindowPct =
+            100.0 * static_cast<double>(little_only) / a;
+        report.anyBigWindowPct =
+            100.0 * static_cast<double>(any_big) / a;
+        report.tlp = core_sum / a;
+        report.littleTlp = little_sum / a;
+        report.bigTlp = big_sum / a;
+    }
+    if (core_sum > 0.0) {
+        report.littleSharePct = 100.0 * little_sum / core_sum;
+        report.bigSharePct = 100.0 * big_sum / core_sum;
+    }
+    return report;
+}
+
+} // namespace biglittle

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * TLP analysis: turns a StateSampler's joint distribution into the
+ * Table III columns (idle %, little-only %, big-active %, TLP) and
+ * the Table IV matrix.
+ *
+ * Following the paper: idle% is over all windows; the little and big
+ * columns split the *active core-cycles* by core type (they sum to
+ * 100, as the Table III rows do - big is the share of core-active
+ * windows contributed by big cores); TLP is the average number of
+ * active cores over active windows (the Blake et al. metric).
+ */
+
+#ifndef BIGLITTLE_CORE_TLP_HH
+#define BIGLITTLE_CORE_TLP_HH
+
+#include <vector>
+
+#include "core/state_sampler.hh"
+
+namespace biglittle
+{
+
+/** Table III row plus the Table IV matrix for one run. */
+struct TlpReport
+{
+    double idlePct = 0.0; ///< windows with no active core, % of all
+    double littleSharePct = 0.0; ///< share of core-cycles on little
+    double bigSharePct = 0.0; ///< share of core-cycles on big
+    double tlp = 0.0; ///< avg active cores over active windows
+
+    /** % of active windows where only little cores are active. */
+    double littleOnlyWindowPct = 0.0;
+
+    /** % of active windows with at least one big core active. */
+    double anyBigWindowPct = 0.0;
+
+    /**
+     * matrixPct[big][little]: percentage of all windows with that
+     * active-core combination (Table IV layout).
+     */
+    std::vector<std::vector<double>> matrixPct;
+
+    /** Average number of active little cores over active windows. */
+    double littleTlp = 0.0;
+
+    /** Average number of active big cores over active windows. */
+    double bigTlp = 0.0;
+};
+
+/** Build a TlpReport from a sampler's accumulated windows. */
+TlpReport makeTlpReport(const StateSampler &sampler);
+
+} // namespace biglittle
+
+#endif // BIGLITTLE_CORE_TLP_HH

@@ -1,0 +1,80 @@
+#include "governor/governor.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+
+namespace biglittle
+{
+
+Governor::Governor(Simulation &sim_in, Cluster &cluster_in,
+                   std::string name_in)
+    : sim(sim_in), clusterRef(cluster_in),
+      governorName(std::move(name_in))
+{
+}
+
+FreqKHz
+Governor::initialFreq() const
+{
+    return clusterRef.freqDomain().minFreq();
+}
+
+void
+Governor::start()
+{
+    clusterRef.freqDomain().setFreqNow(initialFreq());
+    lastSampleTick = sim.now();
+    lastBusyTicks.assign(clusterRef.coreCount(), 0);
+    clusterRef.sync();
+    for (std::size_t i = 0; i < clusterRef.coreCount(); ++i)
+        lastBusyTicks[i] = clusterRef.core(i).busyTicks();
+    if (samplerTask == nullptr) {
+        samplerTask = &sim.addPeriodic(
+            samplingPeriod(), [this](Tick now) { onSample(now); },
+            EventPriority::governor,
+            clusterRef.name() + "." + governorName + ".sample");
+    }
+    samplerTask->setPeriod(samplingPeriod());
+    samplerTask->start();
+}
+
+void
+Governor::stop()
+{
+    if (samplerTask != nullptr)
+        samplerTask->cancel();
+}
+
+void
+Governor::onSample(Tick now)
+{
+    ++sampleCount;
+    sample(now);
+}
+
+double
+Governor::clusterUtilization()
+{
+    const Tick now = sim.now();
+    const Tick elapsed = now - lastSampleTick;
+    lastSampleTick = now;
+    if (elapsed == 0)
+        return 0.0;
+    clusterRef.sync();
+    double max_util = 0.0;
+    for (std::size_t i = 0; i < clusterRef.coreCount(); ++i) {
+        const Core &core = clusterRef.core(i);
+        const Tick busy = core.busyTicks();
+        const Tick delta = busy - lastBusyTicks[i];
+        lastBusyTicks[i] = busy;
+        if (!core.online())
+            continue;
+        max_util = std::max(
+            max_util, static_cast<double>(delta) /
+                          static_cast<double>(elapsed));
+    }
+    return std::min(1.0, max_util);
+}
+
+} // namespace biglittle

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Governor: base class for per-cluster DVFS policies.
+ *
+ * A governor samples its cluster's CPU utilization on a fixed period
+ * and requests a new frequency from the cluster's domain.  Like the
+ * Linux cpufreq core, the utilization of a multi-core policy is the
+ * maximum of the per-core busy fractions over the elapsed window (the
+ * busiest CPU must not be starved).
+ */
+
+#ifndef BIGLITTLE_GOVERNOR_GOVERNOR_HH
+#define BIGLITTLE_GOVERNOR_GOVERNOR_HH
+
+#include <string>
+#include <vector>
+
+#include "base/types.hh"
+#include "platform/cluster.hh"
+#include "sim/simulation.hh"
+
+namespace biglittle
+{
+
+/** Base class for cluster frequency governors. */
+class Governor
+{
+  public:
+    Governor(Simulation &sim, Cluster &cluster, std::string name);
+
+    virtual ~Governor() = default;
+
+    Governor(const Governor &) = delete;
+    Governor &operator=(const Governor &) = delete;
+
+    const std::string &name() const { return governorName; }
+    Cluster &cluster() { return clusterRef; }
+
+    /** Sampling period of this policy. */
+    virtual Tick samplingPeriod() const = 0;
+
+    /** Apply the policy's initial frequency and begin sampling. */
+    void start();
+
+    /** Stop sampling (frequency stays where it is). */
+    void stop();
+
+    /** Number of samples taken. */
+    std::uint64_t samples() const { return sampleCount; }
+
+  protected:
+    /** Frequency to apply when the governor starts. */
+    virtual FreqKHz initialFreq() const;
+
+    /** Policy hook: look at utilization, request a frequency. */
+    virtual void sample(Tick now) = 0;
+
+    /**
+     * Max per-core busy fraction over the window since the last call
+     * (first call measures from governor start).  In [0, 1].
+     */
+    double clusterUtilization();
+
+    Simulation &sim;
+    Cluster &clusterRef;
+
+  private:
+    std::string governorName;
+    PeriodicTask *samplerTask = nullptr;
+    std::uint64_t sampleCount = 0;
+
+    Tick lastSampleTick = 0;
+    std::vector<Tick> lastBusyTicks;
+
+    void onSample(Tick now);
+};
+
+} // namespace biglittle
+
+#endif // BIGLITTLE_GOVERNOR_GOVERNOR_HH

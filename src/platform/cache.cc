@@ -1,0 +1,29 @@
+#include "platform/cache.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/logging.hh"
+
+namespace biglittle
+{
+
+CacheModel::CacheModel(const CacheParams &params)
+    : cacheParams(params)
+{
+    BL_ASSERT(cacheParams.sizeKB > 0);
+}
+
+double
+CacheModel::missRatio(double footprint_kb) const
+{
+    BL_ASSERT(footprint_kb >= 0.0);
+    const double size = static_cast<double>(cacheParams.sizeKB);
+    if (footprint_kb <= size)
+        return missFloor;
+    const double uncached = 1.0 - size / footprint_kb;
+    const double capacity = std::pow(uncached, reuseExponent);
+    return std::min(1.0, missFloor + (1.0 - missFloor) * capacity);
+}
+
+} // namespace biglittle

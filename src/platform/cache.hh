@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Analytic L2 capacity model.
+ *
+ * The paper emphasizes that the asymmetric L2 sizes (2 MB big vs
+ * 512 KB little) widen the big/little performance gap beyond what
+ * microarchitecture alone would give.  We model the L2 as a capacity
+ * filter: traffic that misses the L1 hits the L2 unless the working
+ * set exceeds the cache, in which case a working-set-ratio fraction
+ * spills to DRAM.
+ */
+
+#ifndef BIGLITTLE_PLATFORM_CACHE_HH
+#define BIGLITTLE_PLATFORM_CACHE_HH
+
+#include "platform/params.hh"
+#include "platform/work_class.hh"
+
+namespace biglittle
+{
+
+/** Capacity model for one shared cluster L2. */
+class CacheModel
+{
+  public:
+    explicit CacheModel(const CacheParams &params);
+
+    /**
+     * Fraction of L2 accesses (L1 misses) that miss to DRAM for a
+     * working set of @p footprint_kb.
+     *
+     * Fits-in-cache working sets see only the cold/conflict floor;
+     * larger sets miss in proportion to the uncached share of the
+     * footprint, softened by an exponent that stands in for reuse
+     * locality.  Monotone in footprint, in [floor, 1].
+     */
+    double missRatio(double footprint_kb) const;
+
+    /** Cold/conflict miss floor (also the fits-in-cache rate). */
+    static constexpr double missFloor = 0.02;
+
+    /** Softening exponent on the uncached-share term. */
+    static constexpr double reuseExponent = 0.85;
+
+    const CacheParams &params() const { return cacheParams; }
+
+  private:
+    CacheParams cacheParams;
+};
+
+} // namespace biglittle
+
+#endif // BIGLITTLE_PLATFORM_CACHE_HH

@@ -1,0 +1,115 @@
+#include "platform/freq_domain.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+
+namespace biglittle
+{
+
+FreqDomain::FreqDomain(Simulation &sim_in, std::string name_in,
+                       std::vector<Opp> opps_in, Tick transition_latency)
+    : sim(sim_in), domainName(std::move(name_in)),
+      table(std::move(opps_in)), latency(transition_latency),
+      ceilingIndex(table.empty() ? 0 : table.size() - 1),
+      pendingIndex(table.size()),
+      applyEvent([this] { applyPending(); }, EventPriority::taskState,
+                 domainName + ".dvfs-apply")
+{
+    BL_ASSERT(!table.empty());
+    for (std::size_t i = 1; i < table.size(); ++i)
+        BL_ASSERT(table[i].freq > table[i - 1].freq);
+}
+
+double
+FreqDomain::currentVolts() const
+{
+    return static_cast<double>(currentOpp().voltage) / 1000.0;
+}
+
+std::size_t
+FreqDomain::indexFor(FreqKHz target) const
+{
+    for (std::size_t i = 0; i <= ceilingIndex; ++i) {
+        if (table[i].freq >= target)
+            return i;
+    }
+    return ceilingIndex;
+}
+
+void
+FreqDomain::setCeiling(FreqKHz ceiling)
+{
+    std::size_t index = 0;
+    for (std::size_t i = 0; i < table.size(); ++i) {
+        if (table[i].freq <= ceiling)
+            index = i;
+    }
+    ceilingIndex = index;
+    if (curIndex > ceilingIndex)
+        setFreqNow(table[ceilingIndex].freq);
+    if (pendingIndex < table.size() && pendingIndex > ceilingIndex)
+        pendingIndex = ceilingIndex;
+}
+
+void
+FreqDomain::requestFreq(FreqKHz target)
+{
+    const std::size_t index = indexFor(target);
+    if (index == curIndex) {
+        // Cancel any pending change that would move us away.
+        if (applyEvent.scheduled())
+            sim.eventQueue().deschedule(applyEvent);
+        pendingIndex = table.size();
+        return;
+    }
+    if (pendingIndex == index && applyEvent.scheduled())
+        return;
+    pendingIndex = index;
+    if (latency == 0) {
+        applyPending();
+        return;
+    }
+    sim.eventQueue().reschedule(applyEvent, sim.now() + latency);
+}
+
+void
+FreqDomain::setFreqNow(FreqKHz target)
+{
+    if (applyEvent.scheduled())
+        sim.eventQueue().deschedule(applyEvent);
+    pendingIndex = table.size();
+    applyIndex(indexFor(target));
+}
+
+void
+FreqDomain::applyPending()
+{
+    if (pendingIndex >= table.size())
+        return;
+    const std::size_t index = pendingIndex;
+    pendingIndex = table.size();
+    applyIndex(index);
+}
+
+void
+FreqDomain::applyIndex(std::size_t index)
+{
+    if (index == curIndex)
+        return;
+    const Opp old = table[curIndex];
+    const Opp next = table[index];
+    for (const auto &listener : listeners)
+        listener(old, next);
+    curIndex = index;
+    ++transitionCount;
+}
+
+void
+FreqDomain::addListener(ChangeListener listener)
+{
+    BL_ASSERT(listener != nullptr);
+    listeners.push_back(std::move(listener));
+}
+
+} // namespace biglittle

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * FreqDomain: per-cluster DVFS.
+ *
+ * Mirrors the target platform's constraint that each core type shares
+ * a single clock: a frequency request selects the lowest OPP at or
+ * above the request, and (optionally) becomes effective only after
+ * the hardware transition latency.  Listeners (the owning cluster)
+ * are told immediately before the change so they can close their
+ * time-energy accounting at the old operating point.
+ */
+
+#ifndef BIGLITTLE_PLATFORM_FREQ_DOMAIN_HH
+#define BIGLITTLE_PLATFORM_FREQ_DOMAIN_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "base/types.hh"
+#include "platform/params.hh"
+#include "sim/simulation.hh"
+
+namespace biglittle
+{
+
+/** One shared clock/voltage domain (a big.LITTLE cluster). */
+class FreqDomain
+{
+  public:
+    /** Called just before a change with (old OPP, new OPP). */
+    using ChangeListener = std::function<void(const Opp &, const Opp &)>;
+
+    /**
+     * @param sim time source and event scheduling
+     * @param name diagnostic name
+     * @param opps ascending-frequency OPP table (non-empty)
+     * @param transition_latency delay before a request takes effect
+     */
+    FreqDomain(Simulation &sim, std::string name, std::vector<Opp> opps,
+               Tick transition_latency);
+
+    /** Current effective OPP. */
+    const Opp &currentOpp() const { return table[curIndex]; }
+
+    /** Current effective frequency. */
+    FreqKHz currentFreq() const { return table[curIndex].freq; }
+
+    /** Current supply voltage in volts. */
+    double currentVolts() const;
+
+    /** Lowest available frequency. */
+    FreqKHz minFreq() const { return table.front().freq; }
+
+    /** Highest available frequency. */
+    FreqKHz maxFreq() const { return table.back().freq; }
+
+    /** Full OPP table, ascending. */
+    const std::vector<Opp> &opps() const { return table; }
+
+    /**
+     * Request frequency @p target; the effective OPP becomes the
+     * lowest OPP >= target (the highest OPP if target is above max).
+     * The change lands after the transition latency; a newer request
+     * supersedes a pending one.  A request equal to the current and
+     * pending state is a no-op.
+     */
+    void requestFreq(FreqKHz target);
+
+    /** Apply a frequency immediately (hotplug/test/reset paths). */
+    void setFreqNow(FreqKHz target);
+
+    /**
+     * Clamp the domain to at most @p ceiling (thermal throttling).
+     * Takes effect immediately if the current frequency exceeds it;
+     * later requests are clamped until the ceiling is raised.  Pass
+     * maxFreq() to remove the cap.
+     */
+    void setCeiling(FreqKHz ceiling);
+
+    /** Current thermal/administrative ceiling. */
+    FreqKHz ceiling() const { return table[ceilingIndex].freq; }
+
+    /** Register a pre-change listener. */
+    void addListener(ChangeListener listener);
+
+    /** Number of completed frequency transitions. */
+    std::uint64_t transitions() const { return transitionCount; }
+
+    const std::string &name() const { return domainName; }
+
+  private:
+    Simulation &sim;
+    std::string domainName;
+    std::vector<Opp> table;
+    Tick latency;
+    std::size_t curIndex = 0;
+    std::size_t ceilingIndex;
+
+    /** Index of a pending request, or size() when none. */
+    std::size_t pendingIndex;
+    CallbackEvent applyEvent;
+
+    std::vector<ChangeListener> listeners;
+    std::uint64_t transitionCount = 0;
+
+    std::size_t indexFor(FreqKHz target) const;
+    void applyIndex(std::size_t index);
+    void applyPending();
+};
+
+} // namespace biglittle
+
+#endif // BIGLITTLE_PLATFORM_FREQ_DOMAIN_HH

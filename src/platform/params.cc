@@ -1,0 +1,83 @@
+#include "platform/params.hh"
+
+namespace biglittle
+{
+
+const char *
+coreTypeName(CoreType type)
+{
+    return type == CoreType::big ? "big" : "little";
+}
+
+PlatformParams
+exynos5422Params()
+{
+    PlatformParams p;
+    p.name = "exynos5422";
+    p.basePowerMw = 250.0;
+    p.dvfsTransitionLatency = usToTicks(100);
+
+    // ---- little cluster: 4x Cortex-A7-class, in-order 2-issue ----
+    ClusterParams little;
+    little.name = littleClusterName;
+    little.type = CoreType::little;
+    little.coreCount = 4;
+    little.perf = CorePerfParams{
+        /*issueWidth=*/2.0,
+        /*ilpExtraction=*/0.55,
+        /*pipelinePenaltyCpi=*/0.35,
+        /*l2HitCycles=*/14.0,
+        /*memLatencyNs=*/130.0,
+    };
+    little.l2 = CacheParams{512, 8, 64};
+    little.opps = {
+        {500000, 900}, {600000, 925}, {700000, 950}, {800000, 975},
+        {900000, 1000}, {1000000, 1025}, {1100000, 1050},
+        {1200000, 1075}, {1300000, 1100},
+    };
+    // Calibration anchor: one little core fully busy at 1.3 GHz /
+    // 1.1 V contributes ~650 mW of core+cluster power, putting the
+    // full-system SPEC power near 0.9-1.0 W as in Fig. 3.
+    little.power = CorePowerParams{
+        /*dynCoeffMw=*/330.0, // 330 * 1.1^2 * 1.3 ~= 519 mW dynamic
+        /*staticCoeffMw=*/45.0, // ~50 mW leakage per core at 1.1 V
+        /*clusterStaticCoeffMw=*/70.0, // ~77 mW for the 512 KB L2
+    };
+    p.clusters.push_back(little);
+
+    // ---- big cluster: 4x Cortex-A15-class, out-of-order 3-issue ----
+    ClusterParams big;
+    big.name = bigClusterName;
+    big.type = CoreType::big;
+    big.coreCount = 4;
+    big.perf = CorePerfParams{
+        /*issueWidth=*/3.0,
+        /*ilpExtraction=*/0.95,
+        /*pipelinePenaltyCpi=*/0.15,
+        /*l2HitCycles=*/21.0,
+        /*memLatencyNs=*/110.0,
+    };
+    big.l2 = CacheParams{2048, 16, 64};
+    big.opps = {
+        {800000, 900}, {900000, 925}, {1000000, 950},
+        {1100000, 975}, {1200000, 1000}, {1300000, 1025},
+        {1400000, 1062}, {1500000, 1100}, {1600000, 1137},
+        {1700000, 1175}, {1800000, 1212}, {1900000, 1250},
+    };
+    // Calibration anchors (Section III-A): at the shared 1.3 GHz
+    // point a fully busy big core draws ~2.3x the little-core system
+    // power, and a big core at 0.8 GHz still draws ~1.5x the little
+    // core at 1.3 GHz, because of the wider datapath and the 2 MB L2.
+    big.power = CorePowerParams{
+        /*dynCoeffMw=*/1210.0, // 1210 * 1.025^2 * 1.3 ~= 1653 mW
+        /*staticCoeffMw=*/180.0,
+        /*clusterStaticCoeffMw=*/260.0,
+    };
+    p.clusters.push_back(big);
+
+    p.bootCluster = 0;
+    p.bootCore = 0;
+    return p;
+}
+
+} // namespace biglittle

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Parameter structures describing an asymmetric multi-core platform,
+ * plus the factory for the Exynos 5422 configuration studied in the
+ * paper (Table I): 4x Cortex-A15-class "big" cores with a 2 MB L2 and
+ * 4x Cortex-A7-class "little" cores with a 512 KB L2, per-cluster
+ * DVFS (little 0.5-1.3 GHz, big 0.8-1.9 GHz).
+ */
+
+#ifndef BIGLITTLE_PLATFORM_PARAMS_HH
+#define BIGLITTLE_PLATFORM_PARAMS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/types.hh"
+
+namespace biglittle
+{
+
+/** The two core classes of a big.LITTLE system. */
+enum class CoreType
+{
+    little,
+    big,
+};
+
+/** Human-readable core-type name ("little"/"big"). */
+const char *coreTypeName(CoreType type);
+
+/** One operating performance point of a frequency domain. */
+struct Opp
+{
+    FreqKHz freq; ///< core clock in kHz
+    MilliVolt voltage; ///< supply voltage in mV
+};
+
+/**
+ * Microarchitectural parameters that feed the analytic performance
+ * model.  They abstract Table I of the paper: issue width and
+ * in-order/out-of-order execution set the achievable CPI, the cache
+ * parameters set the memory-side stall costs.
+ */
+struct CorePerfParams
+{
+    /** Maximum instructions sustained per cycle on ideal code. */
+    double issueWidth;
+
+    /**
+     * How much of the nominal issue width survives real instruction
+     * streams: ~1.0 for a wide out-of-order core, ~0.6 for a dual
+     * issue in-order core that stalls on hazards.
+     */
+    double ilpExtraction;
+
+    /** Pipeline-depth penalty per instruction (branches, refills). */
+    double pipelinePenaltyCpi;
+
+    /** L1-miss service latency from the L2, in core cycles. */
+    double l2HitCycles;
+
+    /** DRAM access latency in nanoseconds (frequency independent). */
+    double memLatencyNs;
+};
+
+/** Capacity parameters of a shared cluster L2. */
+struct CacheParams
+{
+    std::uint32_t sizeKB;
+    std::uint32_t assoc;
+    std::uint32_t lineBytes;
+};
+
+/** Power-model coefficients for one core type. */
+struct CorePowerParams
+{
+    /**
+     * Dynamic-power coefficient: P_dyn = dynCoeff * V^2 * f with V in
+     * volts and f in GHz yielding milliwatts at 100% utilization.
+     */
+    double dynCoeffMw;
+
+    /** Static/leakage coefficient: P_static = staticCoeffMw * V. */
+    double staticCoeffMw;
+
+    /** Cluster-shared (L2 + interconnect) static power coeff (mW/V). */
+    double clusterStaticCoeffMw;
+
+    /**
+     * Fraction of static power that survives when a core (or a whole
+     * cluster) sits in its idle state; models WFI/cpuidle retention.
+     * Used for the shared-L2 retention state and, when the cpuidle
+     * model is disabled, for idle cores as well.
+     */
+    double idleLeakFraction = 0.12;
+
+    /**
+     * cpuidle model (enabled via PlatformParams::cpuidleEnabled):
+     * an idle core sits in clock-gated WFI first and is promoted to
+     * a power-gated state after gateAfter of continuous idleness,
+     * the way the menu governor promotes through C-states.
+     */
+    double wfiLeakFraction = 0.30; ///< leak while clock gated
+    double gatedLeakFraction = 0.05; ///< leak while power gated
+    Tick gateAfter = msToTicks(2); ///< WFI -> gated promotion delay
+};
+
+/** Full description of one cluster. */
+struct ClusterParams
+{
+    std::string name;
+    CoreType type;
+    std::uint32_t coreCount;
+    CorePerfParams perf;
+    CacheParams l2;
+    std::vector<Opp> opps; ///< ascending frequency order
+    CorePowerParams power;
+};
+
+/** Full description of a platform. */
+struct PlatformParams
+{
+    std::string name;
+
+    /** Clusters in index order; by convention little first. */
+    std::vector<ClusterParams> clusters;
+
+    /**
+     * System power outside the CPU complex (SoC uncore, DRAM refresh,
+     * regulators; screen and radios off as in the paper's setup).
+     */
+    double basePowerMw;
+
+    /** Frequency-transition latency applied by every domain. */
+    Tick dvfsTransitionLatency;
+
+    /**
+     * Use the two-state cpuidle model (WFI then power-gated) for
+     * idle cores instead of the flat idleLeakFraction.
+     */
+    bool cpuidleEnabled = true;
+
+    /**
+     * Index (cluster, core) of the CPU that can never be hotplugged
+     * off; the Exynos 5422 requires one little core always alive.
+     * Cluster-migration experiments (the previous-generation
+     * Exynos 5410 mode, where only one cluster is powered at a
+     * time) disable the rule via enforceBootCore.
+     */
+    std::uint32_t bootCluster = 0;
+    std::uint32_t bootCore = 0;
+    bool enforceBootCore = true;
+};
+
+/**
+ * The platform studied by the paper: Samsung Exynos 5422
+ * (Galaxy S5), calibrated so that the big:little iso-frequency
+ * performance and power ratios match Section III.
+ */
+PlatformParams exynos5422Params();
+
+/** Name of the little cluster in exynos5422Params(). */
+inline constexpr const char *littleClusterName = "a7";
+
+/** Name of the big cluster in exynos5422Params(). */
+inline constexpr const char *bigClusterName = "a15";
+
+} // namespace biglittle
+
+#endif // BIGLITTLE_PLATFORM_PARAMS_HH

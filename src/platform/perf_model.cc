@@ -1,0 +1,63 @@
+#include "platform/perf_model.hh"
+
+#include "base/logging.hh"
+#include "platform/cluster.hh"
+
+namespace biglittle
+{
+
+namespace perf_model
+{
+
+double
+coreCpi(const CorePerfParams &perf, const WorkClass &work)
+{
+    BL_ASSERT(work.ilp >= 0.0 && work.ilp <= 1.0);
+    const double eff_issue =
+        1.0 + (perf.issueWidth - 1.0) * perf.ilpExtraction * work.ilp;
+    return 1.0 / eff_issue + perf.pipelinePenaltyCpi;
+}
+
+double
+nsPerInst(const CorePerfParams &perf, const CacheModel &l2, FreqKHz freq,
+          const WorkClass &work)
+{
+    BL_ASSERT(freq > 0);
+    const double f_ghz = kHzToGHz(freq);
+    const double cycles =
+        coreCpi(perf, work) + work.l1MissPerInst * perf.l2HitCycles;
+    const double dram_ns = work.l1MissPerInst *
+        l2.missRatio(work.footprintKB) * perf.memLatencyNs;
+    return cycles / f_ghz + dram_ns;
+}
+
+double
+instRate(const Core &core, const WorkClass &work)
+{
+    return instRateAt(core, core.freqDomain().currentFreq(), work);
+}
+
+double
+instRateAt(const Core &core, FreqKHz freq, const WorkClass &work)
+{
+    const double ns =
+        nsPerInst(core.perfParams(), core.cluster().l2(), freq, work);
+    return 1e9 / ns;
+}
+
+double
+speedup(const ClusterParams &big, FreqKHz big_freq,
+        const ClusterParams &little, FreqKHz little_freq,
+        const WorkClass &work)
+{
+    const CacheModel big_l2(big.l2);
+    const CacheModel little_l2(little.l2);
+    const double t_big = nsPerInst(big.perf, big_l2, big_freq, work);
+    const double t_little =
+        nsPerInst(little.perf, little_l2, little_freq, work);
+    return t_little / t_big;
+}
+
+} // namespace perf_model
+
+} // namespace biglittle

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Analytic performance model.
+ *
+ * Converts (core microarchitecture, L2 capacity, frequency) x
+ * WorkClass into nanoseconds per instruction:
+ *
+ *   ns/inst = (coreCpi + l1MissPerInst * l2HitCycles) / f_GHz
+ *           + l1MissPerInst * l2MissRatio(footprint) * memLatencyNs
+ *
+ * with coreCpi = 1 / (1 + (issueWidth-1) * ilpExtraction * ilp)
+ *              + pipelinePenaltyCpi.
+ *
+ * The first term scales with frequency (core-bound work); the DRAM
+ * term does not, which is what makes memory-bound work insensitive
+ * to DVFS and shrinks the big-core advantage exactly as Section
+ * III-A observes.
+ */
+
+#ifndef BIGLITTLE_PLATFORM_PERF_MODEL_HH
+#define BIGLITTLE_PLATFORM_PERF_MODEL_HH
+
+#include "base/types.hh"
+#include "platform/cache.hh"
+#include "platform/core.hh"
+#include "platform/params.hh"
+#include "platform/work_class.hh"
+
+namespace biglittle
+{
+
+/** Stateless analytic timing model. */
+namespace perf_model
+{
+
+/** Core-pipeline cycles per instruction for @p work (no memory). */
+double coreCpi(const CorePerfParams &perf, const WorkClass &work);
+
+/**
+ * Nanoseconds per instruction on a core with @p perf and an L2
+ * described by @p l2, clocked at @p freq.
+ */
+double nsPerInst(const CorePerfParams &perf, const CacheModel &l2,
+                 FreqKHz freq, const WorkClass &work);
+
+/**
+ * Instructions per second for @p core at its domain's current
+ * frequency.
+ */
+double instRate(const Core &core, const WorkClass &work);
+
+/**
+ * Instructions per second for @p core at an explicit frequency
+ * (used when sizing work against a hypothetical OPP).
+ */
+double instRateAt(const Core &core, FreqKHz freq, const WorkClass &work);
+
+/**
+ * Speedup of (big microarch, big L2, @p big_freq) over (little
+ * microarch, little L2, @p little_freq) for @p work; a convenience
+ * for calibration tests and the Fig. 2 bench.
+ */
+double speedup(const ClusterParams &big, FreqKHz big_freq,
+               const ClusterParams &little, FreqKHz little_freq,
+               const WorkClass &work);
+
+} // namespace perf_model
+
+} // namespace biglittle
+
+#endif // BIGLITTLE_PLATFORM_PERF_MODEL_HH

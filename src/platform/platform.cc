@@ -1,0 +1,128 @@
+#include "platform/platform.hh"
+
+#include "base/logging.hh"
+#include "base/strutil.hh"
+
+namespace biglittle
+{
+
+std::vector<CoreConfig>
+standardCoreConfigs()
+{
+    // The seven restricted configurations of Figs. 7/8 plus the
+    // all-cores baseline the paper normalizes against.
+    return {
+        {2, 0, "L2"},
+        {4, 0, "L4"},
+        {2, 1, "L2+B1"},
+        {4, 1, "L4+B1"},
+        {2, 2, "L2+B2"},
+        {4, 2, "L4+B2"},
+        {4, 4, "L4+B4"},
+    };
+}
+
+AsymmetricPlatform::AsymmetricPlatform(Simulation &sim_in,
+                                       const PlatformParams &params)
+    : sim(sim_in), platformParams(params)
+{
+    if (params.clusters.empty())
+        fatal("platform '%s' has no clusters", params.name.c_str());
+    CoreId next_id = 0;
+    for (const auto &cp : params.clusters) {
+        clusterList.push_back(std::make_unique<Cluster>(
+            sim, cp, next_id, params.dvfsTransitionLatency,
+            params.cpuidleEnabled));
+        next_id += cp.coreCount;
+    }
+    for (auto &cl : clusterList) {
+        for (std::size_t i = 0; i < cl->coreCount(); ++i)
+            coreIndex.push_back(&cl->core(i));
+    }
+    if (params.bootCluster >= clusterList.size() ||
+        params.bootCore >= clusterList[params.bootCluster]->coreCount()) {
+        fatal("platform '%s': boot core (%u,%u) does not exist",
+              params.name.c_str(), params.bootCluster, params.bootCore);
+    }
+    bootCoreId =
+        clusterList[params.bootCluster]->core(params.bootCore).id();
+}
+
+Cluster &
+AsymmetricPlatform::clusterOf(CoreType type)
+{
+    for (auto &cl : clusterList) {
+        if (cl->type() == type)
+            return *cl;
+    }
+    panic("platform '%s' has no %s cluster", platformParams.name.c_str(),
+          coreTypeName(type));
+}
+
+const Cluster &
+AsymmetricPlatform::clusterOf(CoreType type) const
+{
+    return const_cast<AsymmetricPlatform *>(this)->clusterOf(type);
+}
+
+Core &
+AsymmetricPlatform::core(CoreId id)
+{
+    BL_ASSERT(id < coreIndex.size());
+    return *coreIndex[id];
+}
+
+const Core &
+AsymmetricPlatform::core(CoreId id) const
+{
+    BL_ASSERT(id < coreIndex.size());
+    return *coreIndex[id];
+}
+
+void
+AsymmetricPlatform::setCoreOnline(CoreId id, bool online)
+{
+    if (!online && id == bootCoreId &&
+        platformParams.enforceBootCore)
+        fatal("core %u is the boot core and cannot be hotplugged off",
+              id);
+    core(id).setOnline(online);
+}
+
+void
+AsymmetricPlatform::applyCoreConfig(const CoreConfig &config)
+{
+    if (config.littleCores == 0 && platformParams.enforceBootCore)
+        fatal("core config '%s' has no little cores; the boot core "
+              "must stay online", config.label.c_str());
+    for (auto &cl : clusterList) {
+        const std::uint32_t want = cl->type() == CoreType::little
+            ? config.littleCores : config.bigCores;
+        if (want > cl->coreCount())
+            fatal("core config '%s' wants %u %s cores, cluster has %zu",
+                  config.label.c_str(), want, coreTypeName(cl->type()),
+                  cl->coreCount());
+        for (std::size_t i = 0; i < cl->coreCount(); ++i)
+            cl->core(i).setOnline(i < want);
+    }
+}
+
+std::size_t
+AsymmetricPlatform::onlineCount(CoreType type) const
+{
+    std::size_t n = 0;
+    for (const auto &cl : clusterList) {
+        if (cl->type() == type)
+            n += cl->onlineCount();
+    }
+    return n;
+}
+
+void
+AsymmetricPlatform::sync()
+{
+    for (auto &cl : clusterList)
+        cl->sync();
+}
+
+} // namespace biglittle

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * AsymmetricPlatform: the whole chip.  Builds clusters from a
+ * PlatformParams description, provides flat core lookup, and applies
+ * the hotplug rules (any core combination may be online, but the boot
+ * core — a little core on the target platform — can never be taken
+ * offline, matching the restriction described in Section II).
+ */
+
+#ifndef BIGLITTLE_PLATFORM_PLATFORM_HH
+#define BIGLITTLE_PLATFORM_PLATFORM_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/types.hh"
+#include "platform/cluster.hh"
+#include "platform/params.hh"
+#include "sim/simulation.hh"
+
+namespace biglittle
+{
+
+/**
+ * Which cores of a platform are online; used to express the core
+ * combinations of Figs. 7/8 (e.g. "L2+B1": two little cores and one
+ * big core).
+ */
+struct CoreConfig
+{
+    std::uint32_t littleCores;
+    std::uint32_t bigCores;
+    std::string label; ///< e.g. "L4+B2"
+};
+
+/** Build the seven Fig. 7/8 configurations plus the L4+B4 baseline. */
+std::vector<CoreConfig> standardCoreConfigs();
+
+/** The asymmetric multi-core chip. */
+class AsymmetricPlatform
+{
+  public:
+    AsymmetricPlatform(Simulation &sim, const PlatformParams &params);
+
+    AsymmetricPlatform(const AsymmetricPlatform &) = delete;
+    AsymmetricPlatform &operator=(const AsymmetricPlatform &) = delete;
+
+    const PlatformParams &params() const { return platformParams; }
+    const std::string &name() const { return platformParams.name; }
+    Simulation &simulation() { return sim; }
+
+    std::size_t clusterCount() const { return clusterList.size(); }
+    Cluster &cluster(std::size_t i) { return *clusterList.at(i); }
+    const Cluster &cluster(std::size_t i) const
+    {
+        return *clusterList.at(i);
+    }
+
+    /** The (single) cluster of the given type; panics if absent. */
+    Cluster &clusterOf(CoreType type);
+    const Cluster &clusterOf(CoreType type) const;
+
+    Cluster &littleCluster() { return clusterOf(CoreType::little); }
+    Cluster &bigCluster() { return clusterOf(CoreType::big); }
+
+    /** Total number of cores across clusters. */
+    std::size_t coreCount() const { return coreIndex.size(); }
+
+    /** Core by platform-wide id. */
+    Core &core(CoreId id);
+    const Core &core(CoreId id) const;
+
+    /** Flat list of all cores in id order. */
+    const std::vector<Core *> &cores() const { return coreIndex; }
+
+    /**
+     * Hotplug a core.  Refuses to take the boot core offline
+     * (fatal()), mirroring the platform's "one little core must
+     * always be active" rule.
+     */
+    void setCoreOnline(CoreId id, bool online);
+
+    /**
+     * Apply a CoreConfig: first @p littleCores little cores and
+     * first @p bigCores big cores online, everything else offline.
+     * Requires at least one little core (the boot core).
+     */
+    void applyCoreConfig(const CoreConfig &config);
+
+    /** Number of online cores of @p type. */
+    std::size_t onlineCount(CoreType type) const;
+
+    /** Close all accounting intervals at the current time. */
+    void sync();
+
+  private:
+    Simulation &sim;
+    PlatformParams platformParams;
+    std::vector<std::unique_ptr<Cluster>> clusterList;
+    std::vector<Core *> coreIndex;
+    CoreId bootCoreId = 0;
+};
+
+} // namespace biglittle
+
+#endif // BIGLITTLE_PLATFORM_PLATFORM_HH

@@ -1,0 +1,126 @@
+#include "platform/power.hh"
+
+#include "base/logging.hh"
+
+namespace biglittle
+{
+
+PowerModel::PowerModel(AsymmetricPlatform &platform_in)
+    : platform(platform_in)
+{
+}
+
+PowerSnapshot
+PowerModel::snapshot()
+{
+    platform.sync();
+    PowerSnapshot snap;
+    snap.when = platform.simulation().now();
+    for (std::size_t ci = 0; ci < platform.clusterCount(); ++ci) {
+        const Cluster &cl = platform.cluster(ci);
+        PowerSnapshot::ClusterWeights w;
+        for (std::size_t i = 0; i < cl.coreCount(); ++i) {
+            const Core &c = cl.core(i);
+            w.dyn += c.dynWeight();
+            w.staticBusy += c.staticBusyWeight();
+            w.staticIdleWfi += c.idleWfiWeight();
+            w.staticIdleGated += c.idleGatedWeight();
+        }
+        w.clusterActive = cl.activeWeight();
+        w.clusterIdle = cl.idleWeight();
+        snap.clusters.push_back(w);
+    }
+    return snap;
+}
+
+EnergyBreakdown
+PowerModel::energyBetween(const PowerSnapshot &a,
+                          const PowerSnapshot &b) const
+{
+    BL_ASSERT(b.when >= a.when);
+    BL_ASSERT(a.clusters.size() == b.clusters.size());
+    BL_ASSERT(a.clusters.size() == platform.clusterCount());
+
+    EnergyBreakdown e;
+    e.elapsed = b.when - a.when;
+    for (std::size_t ci = 0; ci < platform.clusterCount(); ++ci) {
+        const Cluster &cl = platform.cluster(ci);
+        const CorePowerParams &pw = cl.params().power;
+        const auto &wa = a.clusters[ci];
+        const auto &wb = b.clusters[ci];
+        e.coreDynamicMj += pw.dynCoeffMw * (wb.dyn - wa.dyn);
+        const double idle_wfi = wb.staticIdleWfi - wa.staticIdleWfi;
+        const double idle_gated =
+            wb.staticIdleGated - wa.staticIdleGated;
+        double idle_mj;
+        if (cl.cpuidleEnabled()) {
+            idle_mj = pw.staticCoeffMw *
+                (pw.wfiLeakFraction * idle_wfi +
+                 pw.gatedLeakFraction * idle_gated);
+        } else {
+            idle_mj = pw.staticCoeffMw * pw.idleLeakFraction *
+                (idle_wfi + idle_gated);
+        }
+        e.coreStaticMj +=
+            pw.staticCoeffMw * (wb.staticBusy - wa.staticBusy) +
+            idle_mj;
+        e.clusterStaticMj +=
+            pw.clusterStaticCoeffMw *
+                (wb.clusterActive - wa.clusterActive) +
+            pw.clusterStaticCoeffMw * pw.idleLeakFraction *
+                (wb.clusterIdle - wa.clusterIdle);
+    }
+    e.baseMj += platform.params().basePowerMw * ticksToSeconds(e.elapsed);
+    return e;
+}
+
+EnergyBreakdown
+PowerModel::energySinceStart()
+{
+    PowerSnapshot zero;
+    zero.when = 0;
+    zero.clusters.resize(platform.clusterCount());
+    return energyBetween(zero, snapshot());
+}
+
+double
+clusterInstantPowerMw(const Cluster &cl)
+{
+    if (cl.onlineCount() == 0)
+        return 0.0;
+    const CorePowerParams &pw = cl.params().power;
+    const double volts = cl.freqDomain().currentVolts();
+    const double f_ghz = kHzToGHz(cl.freqDomain().currentFreq());
+    double mw = 0.0;
+    for (std::size_t i = 0; i < cl.coreCount(); ++i) {
+        const Core &c = cl.core(i);
+        if (!c.online())
+            continue;
+        if (c.busy()) {
+            mw += pw.dynCoeffMw * volts * volts * f_ghz;
+            mw += pw.staticCoeffMw * volts;
+        } else if (cl.cpuidleEnabled()) {
+            const bool gated = c.currentIdleSpan() >= pw.gateAfter;
+            mw += pw.staticCoeffMw * volts *
+                  (gated ? pw.gatedLeakFraction
+                         : pw.wfiLeakFraction);
+        } else {
+            mw += pw.staticCoeffMw * volts * pw.idleLeakFraction;
+        }
+    }
+    const bool any_busy = cl.busyCount() > 0;
+    mw += pw.clusterStaticCoeffMw * volts *
+          (any_busy ? 1.0 : pw.idleLeakFraction);
+    return mw;
+}
+
+double
+PowerModel::instantPowerMw() const
+{
+    double mw = platform.params().basePowerMw;
+    for (std::size_t ci = 0; ci < platform.clusterCount(); ++ci)
+        mw += clusterInstantPowerMw(platform.cluster(ci));
+    return mw;
+}
+
+} // namespace biglittle

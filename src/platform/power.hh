@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Power model and energy meter.
+ *
+ * Plays the role of the Monsoon power meter in the paper's setup:
+ * whole-system power including a CPU-external base.  Energy is
+ * derived from the exact per-core/per-cluster accounting weights
+ * (integrals of V^2*f over busy time and of V over powered time), so
+ * no sampling error is introduced.  Snapshots allow measuring a
+ * window of execution (e.g. excluding warm-up).
+ */
+
+#ifndef BIGLITTLE_PLATFORM_POWER_HH
+#define BIGLITTLE_PLATFORM_POWER_HH
+
+#include <vector>
+
+#include "base/types.hh"
+#include "platform/platform.hh"
+
+namespace biglittle
+{
+
+/** Energy split by source, in millijoules. */
+struct EnergyBreakdown
+{
+    double coreDynamicMj = 0.0;
+    double coreStaticMj = 0.0;
+    double clusterStaticMj = 0.0;
+    double baseMj = 0.0;
+    Tick elapsed = 0;
+
+    double
+    totalMj() const
+    {
+        return coreDynamicMj + coreStaticMj + clusterStaticMj + baseMj;
+    }
+
+    /** Average power over the window in milliwatts. */
+    double
+    averagePowerMw() const
+    {
+        return elapsed == 0 ? 0.0 : totalMj() / ticksToSeconds(elapsed);
+    }
+};
+
+/** Opaque capture of the accounting weights at one instant. */
+struct PowerSnapshot
+{
+    Tick when = 0;
+
+    struct ClusterWeights
+    {
+        double dyn = 0.0;
+        double staticBusy = 0.0;
+        double staticIdleWfi = 0.0;
+        double staticIdleGated = 0.0;
+        double clusterActive = 0.0;
+        double clusterIdle = 0.0;
+    };
+
+    std::vector<ClusterWeights> clusters;
+};
+
+/**
+ * Instantaneous power of one cluster (cores + shared L2) implied by
+ * its current busy/online states and OPP, in milliwatts.  Excludes
+ * the platform base power.  Used by the thermal throttle.
+ */
+double clusterInstantPowerMw(const Cluster &cluster);
+
+/** Converts accounting weights into energy using the power params. */
+class PowerModel
+{
+  public:
+    explicit PowerModel(AsymmetricPlatform &platform);
+
+    /** Capture the current accounting state (syncs the platform). */
+    PowerSnapshot snapshot();
+
+    /** Energy spent between two snapshots (@p a earlier). */
+    EnergyBreakdown energyBetween(const PowerSnapshot &a,
+                                  const PowerSnapshot &b) const;
+
+    /** Energy spent from platform start to now. */
+    EnergyBreakdown energySinceStart();
+
+    /**
+     * Instantaneous whole-system power implied by the current core
+     * states (busy/idle/online) and OPPs, in milliwatts.
+     */
+    double instantPowerMw() const;
+
+  private:
+    AsymmetricPlatform &platform;
+};
+
+} // namespace biglittle
+
+#endif // BIGLITTLE_PLATFORM_POWER_HH

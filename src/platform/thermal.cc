@@ -1,0 +1,73 @@
+#include "platform/thermal.hh"
+
+#include "base/logging.hh"
+#include "platform/power.hh"
+
+namespace biglittle
+{
+
+ThermalThrottle::ThermalThrottle(Simulation &sim_in, Cluster &cluster,
+                                 const ThermalParams &params)
+    : sim(sim_in), clusterRef(cluster), tp(params), temp(params.ambientC),
+      lastEval(sim_in.now()),
+      ceilingIndex(cluster.freqDomain().opps().size() - 1)
+{
+    BL_ASSERT(tp.heatCapacityJPerC > 0.0);
+    BL_ASSERT(tp.conductanceWPerC > 0.0);
+    BL_ASSERT(tp.hotTripC > tp.coolTripC);
+    BL_ASSERT(tp.evalPeriod > 0);
+}
+
+FreqKHz
+ThermalThrottle::ceiling() const
+{
+    return clusterRef.freqDomain().opps()[ceilingIndex].freq;
+}
+
+void
+ThermalThrottle::start()
+{
+    lastEval = sim.now();
+    if (evalTask == nullptr) {
+        evalTask = &sim.addPeriodic(
+            tp.evalPeriod, [this](Tick now) { evaluate(now); },
+            EventPriority::governor,
+            clusterRef.name() + ".thermal");
+    }
+    evalTask->start();
+}
+
+void
+ThermalThrottle::stop()
+{
+    if (evalTask != nullptr)
+        evalTask->cancel();
+}
+
+void
+ThermalThrottle::evaluate(Tick now)
+{
+    const double dt = ticksToSeconds(now - lastEval);
+    lastEval = now;
+    const double power_w =
+        clusterInstantPowerMw(clusterRef) / 1000.0;
+    // Explicit Euler on C*dT/dt = P - G*(T - Tamb); the evaluation
+    // period is far below the thermal time constant, so this is
+    // stable and accurate enough.
+    temp += dt *
+            (power_w - tp.conductanceWPerC * (temp - tp.ambientC)) /
+            tp.heatCapacityJPerC;
+
+    FreqDomain &domain = clusterRef.freqDomain();
+    if (temp > tp.hotTripC && ceilingIndex > 0) {
+        --ceilingIndex;
+        ++throttles;
+        domain.setCeiling(domain.opps()[ceilingIndex].freq);
+    } else if (temp < tp.coolTripC &&
+               ceilingIndex + 1 < domain.opps().size()) {
+        ++ceilingIndex;
+        domain.setCeiling(domain.opps()[ceilingIndex].freq);
+    }
+}
+
+} // namespace biglittle

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * WorkClass: the architecture-visible description of a unit of work.
+ *
+ * Workloads describe their compute in terms of instruction count plus
+ * a WorkClass; the platform's performance model turns that into time
+ * for a given core type and frequency.  Three axes are enough to span
+ * the behaviors the paper relies on: instruction-level parallelism
+ * (how much a wide out-of-order core helps), L1-miss rate (how much
+ * traffic reaches the L2), and footprint (whether the working set
+ * fits the 2 MB big-cluster L2 but not the 512 KB little-cluster L2,
+ * which is what stretches SPEC speedups toward 4.5x in Fig. 2).
+ */
+
+#ifndef BIGLITTLE_PLATFORM_WORK_CLASS_HH
+#define BIGLITTLE_PLATFORM_WORK_CLASS_HH
+
+namespace biglittle
+{
+
+/** Architecture-visible character of a stream of instructions. */
+struct WorkClass
+{
+    /**
+     * Exploitable instruction-level parallelism in [0, 1]; 1 keeps a
+     * wide machine full, 0 is a serial dependence chain.
+     */
+    double ilp = 0.7;
+
+    /** Fraction of instructions that miss the L1 and query the L2. */
+    double l1MissPerInst = 0.01;
+
+    /** Working-set size competing for L2 capacity, in KB. */
+    double footprintKB = 128.0;
+};
+
+/** A WorkClass for bursty UI/framework code (modest ILP, small WS). */
+inline WorkClass
+uiWorkClass()
+{
+    return WorkClass{0.6, 0.012, 192.0};
+}
+
+/** A WorkClass for media/codec kernels (high ILP, streaming-ish). */
+inline WorkClass
+mediaWorkClass()
+{
+    return WorkClass{0.85, 0.02, 768.0};
+}
+
+/** A WorkClass for game/physics engines (mixed ILP, mid footprint). */
+inline WorkClass
+gameWorkClass()
+{
+    return WorkClass{0.7, 0.018, 512.0};
+}
+
+} // namespace biglittle
+
+#endif // BIGLITTLE_PLATFORM_WORK_CLASS_HH

@@ -1,0 +1,89 @@
+#include "sched/cluster_switcher.hh"
+#include <algorithm>
+
+
+#include "base/logging.hh"
+
+namespace biglittle
+{
+
+ClusterSwitcher::ClusterSwitcher(Simulation &sim_in,
+                                 AsymmetricPlatform &platform,
+                                 HmpScheduler &sched_in,
+                                 const ClusterSwitchParams &params)
+    : sim(sim_in), plat(platform), sched(sched_in), sp(params)
+{
+    BL_ASSERT(sp.period > 0);
+    BL_ASSERT(sp.upLoad > sp.downLoad);
+    if (platform.params().enforceBootCore)
+        fatal("ClusterSwitcher needs a platform with "
+              "enforceBootCore = false (5410-style operation)");
+}
+
+void
+ClusterSwitcher::start()
+{
+    applyMode(false);
+    if (evalTask == nullptr) {
+        evalTask = &sim.addPeriodic(
+            sp.period, [this](Tick now) { evaluate(now); },
+            EventPriority::schedTick, "cluster-switcher");
+    }
+    evalTask->start();
+}
+
+void
+ClusterSwitcher::stop()
+{
+    if (evalTask != nullptr)
+        evalTask->cancel();
+}
+
+double
+ClusterSwitcher::maxTaskLoad() const
+{
+    double max_load = 0.0;
+    for (const auto &task : sched.tasks()) {
+        if (task->state() == TaskState::queued ||
+            task->state() == TaskState::running)
+            max_load = std::max(max_load,
+                                task->loadTracker().value());
+    }
+    return max_load;
+}
+
+void
+ClusterSwitcher::evaluate(Tick)
+{
+    const double load = maxTaskLoad();
+    if (!bigMode && load > sp.upLoad) {
+        applyMode(true);
+        ++switchCount;
+    } else if (bigMode && load < sp.downLoad) {
+        applyMode(false);
+        ++switchCount;
+    }
+}
+
+void
+ClusterSwitcher::applyMode(bool big)
+{
+    Cluster &to = big ? plat.bigCluster() : plat.littleCluster();
+    Cluster &from = big ? plat.littleCluster() : plat.bigCluster();
+
+    // Power the target cluster first, then drain and gate the other
+    // - the order real cluster migration uses so tasks always have
+    // somewhere to run.
+    for (std::size_t i = 0; i < to.coreCount(); ++i)
+        to.core(i).setOnline(true);
+    for (std::size_t i = 0; i < from.coreCount(); ++i) {
+        Core &core = from.core(i);
+        if (!core.online())
+            continue;
+        sched.evacuateCore(core.id());
+        core.setOnline(false);
+    }
+    bigMode = big;
+}
+
+} // namespace biglittle

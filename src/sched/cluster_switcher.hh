@@ -1,0 +1,91 @@
+/**
+ * @file
+ * ClusterSwitcher: the previous-generation big.LITTLE operating mode
+ * the paper contrasts against in Section II - "the previous
+ * big-little implementation ... allowed only either big or little
+ * cores, but not both types of cores, [to] be active at a time"
+ * (Exynos 5410 cluster migration / IKS).
+ *
+ * The switcher watches the maximum task load and flips the whole
+ * system between the little and the big cluster: when any load
+ * exceeds the up threshold it powers the big cluster, evacuates the
+ * little cores and gates them off; when every load has fallen below
+ * the down threshold it switches back.  Pairing it with the same
+ * governor lets the workbench quantify what the 5422's
+ * both-clusters-concurrently capability is worth.
+ */
+
+#ifndef BIGLITTLE_SCHED_CLUSTER_SWITCHER_HH
+#define BIGLITTLE_SCHED_CLUSTER_SWITCHER_HH
+
+#include <cstdint>
+
+#include "base/types.hh"
+#include "platform/platform.hh"
+#include "sched/hmp.hh"
+#include "sim/simulation.hh"
+
+namespace biglittle
+{
+
+/** Tunables of the cluster-migration policy. */
+struct ClusterSwitchParams
+{
+    /** Evaluation period. */
+    Tick period = msToTicks(20);
+
+    /** Max task load (of 1024) that triggers the switch to big. */
+    std::uint32_t upLoad = 700;
+
+    /** Max task load below which the system returns to little. */
+    std::uint32_t downLoad = 300;
+};
+
+/** Whole-system cluster-migration controller (5410-style). */
+class ClusterSwitcher
+{
+  public:
+    /**
+     * The platform must be built with enforceBootCore = false so the
+     * little cluster can be fully gated in big mode.
+     */
+    ClusterSwitcher(Simulation &sim, AsymmetricPlatform &platform,
+                    HmpScheduler &sched,
+                    const ClusterSwitchParams &params =
+                        ClusterSwitchParams{});
+
+    ClusterSwitcher(const ClusterSwitcher &) = delete;
+    ClusterSwitcher &operator=(const ClusterSwitcher &) = delete;
+
+    /** Apply little mode and begin evaluating. */
+    void start();
+
+    /** Stop evaluating (the current mode stays). */
+    void stop();
+
+    /** True while the big cluster is the active one. */
+    bool bigActive() const { return bigMode; }
+
+    /** Completed cluster switches (either direction). */
+    std::uint64_t switches() const { return switchCount; }
+
+    const ClusterSwitchParams &params() const { return sp; }
+
+  private:
+    Simulation &sim;
+    AsymmetricPlatform &plat;
+    HmpScheduler &sched;
+    ClusterSwitchParams sp;
+
+    PeriodicTask *evalTask = nullptr;
+    bool bigMode = false;
+    std::uint64_t switchCount = 0;
+
+    void evaluate(Tick now);
+    void applyMode(bool big);
+    double maxTaskLoad() const;
+};
+
+} // namespace biglittle
+
+#endif // BIGLITTLE_SCHED_CLUSTER_SWITCHER_HH

@@ -1,0 +1,321 @@
+#include "sched/hmp.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+
+namespace biglittle
+{
+
+HmpScheduler::HmpScheduler(Simulation &sim_in,
+                           AsymmetricPlatform &platform,
+                           const SchedParams &params)
+    : sim(sim_in), plat(platform), schedParams(params)
+{
+    for (Core *core : plat.cores()) {
+        runners.push_back(std::make_unique<CoreRunner>(
+            sim, *core, *this, schedParams));
+    }
+}
+
+Task &
+HmpScheduler::createTask(const std::string &name,
+                         const WorkClass &work_class,
+                         std::optional<CoreId> pinned)
+{
+    if (pinned && *pinned >= plat.coreCount())
+        fatal("task '%s' pinned to nonexistent core %u", name.c_str(),
+              *pinned);
+    taskList.push_back(std::make_unique<Task>(
+        *this, nextTaskId++, name, work_class,
+        schedParams.loadHalfLifeMs, pinned));
+    return *taskList.back();
+}
+
+void
+HmpScheduler::start()
+{
+    if (tickTask == nullptr) {
+        tickTask = &sim.addPeriodic(
+            schedParams.tickPeriod, [this](Tick now) { tick(now); },
+            EventPriority::schedTick, "hmp.tick");
+    }
+    tickTask->start();
+}
+
+void
+HmpScheduler::stop()
+{
+    if (tickTask != nullptr)
+        tickTask->cancel();
+}
+
+CoreRunner &
+HmpScheduler::runner(CoreId id)
+{
+    BL_ASSERT(id < runners.size());
+    return *runners[id];
+}
+
+const CoreRunner &
+HmpScheduler::runner(CoreId id) const
+{
+    BL_ASSERT(id < runners.size());
+    return *runners[id];
+}
+
+double
+HmpScheduler::freqScale(const Core &core) const
+{
+    const FreqDomain &domain = core.freqDomain();
+    return static_cast<double>(domain.currentFreq()) /
+           static_cast<double>(domain.maxFreq());
+}
+
+void
+HmpScheduler::wakeup(Task &task)
+{
+    ++schedStats.wakeups;
+    // Catch-up decay: the load history is frozen while the task
+    // sleeps and the elapsed sleep is accounted here, as PELT does.
+    if (task.sleepSince() != maxTick) {
+        const Tick slept = sim.now() - task.sleepSince();
+        task.loadTracker().decay(static_cast<double>(slept) /
+                                 static_cast<double>(oneMs));
+    }
+    Core *target = nullptr;
+    if (task.pinnedCore()) {
+        target = &plat.core(*task.pinnedCore());
+        if (!target->online())
+            fatal("task '%s' pinned to offline core %u",
+                  task.name().c_str(), target->id());
+    } else {
+        const bool wants_big =
+            task.loadTracker().value() >= schedParams.upThreshold;
+        const CoreType type =
+            wants_big ? CoreType::big : CoreType::little;
+        // Wakeup affinity: go back to the previous core when it is
+        // the right type and idle (cache-warm placement, and the
+        // reason independent light threads spread across cores).
+        if (task.lastCoreId() != invalidCoreId) {
+            Core &last = plat.core(task.lastCoreId());
+            if (last.type() == type && last.online() &&
+                runner(last.id()).depth() == 0) {
+                target = &last;
+            }
+        }
+        if (target == nullptr)
+            target = pickTargetCore(type, task);
+        if (target == nullptr) {
+            target = pickTargetCore(
+                wants_big ? CoreType::little : CoreType::big, task);
+        }
+    }
+    if (target == nullptr)
+        panic("no online core available for task '%s'",
+              task.name().c_str());
+    if (target->type() == CoreType::big && !task.pinnedCore())
+        boostBigCluster(*target);
+    runner(target->id()).enqueue(task);
+    if (schedObserver != nullptr)
+        schedObserver->onWakeup(task, *target);
+}
+
+void
+HmpScheduler::taskDrained(Task &task)
+{
+    if (schedObserver != nullptr)
+        schedObserver->onSleep(task);
+    TaskClient *client = task.client();
+    if (client != nullptr)
+        client->onWorkDrained(task);
+}
+
+Core *
+HmpScheduler::pickTargetCore(CoreType type, const Task &task)
+{
+    (void)task;
+    // Rotate the starting point so same-depth ties do not funnel
+    // every placement onto the lowest-numbered core; independent
+    // light threads then spread across the cluster the way wakeup
+    // balancing spreads them on the real kernel.
+    const std::size_t n = plat.coreCount();
+    const std::size_t start = rrCursor++ % n;
+    Core *best = nullptr;
+    std::size_t best_depth = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        Core *core = plat.cores()[(start + i) % n];
+        if (core->type() != type || !core->online())
+            continue;
+        const std::size_t depth = runner(core->id()).depth();
+        if (best == nullptr || depth < best_depth) {
+            best = core;
+            best_depth = depth;
+        }
+    }
+    return best;
+}
+
+std::size_t
+HmpScheduler::evacuateCore(CoreId id)
+{
+    CoreRunner &rq = runner(id);
+    std::size_t moved = 0;
+    while (rq.depth() > 0) {
+        Task *task =
+            rq.running() != nullptr ? rq.running() : rq.waiting().front();
+        if (task->pinnedCore())
+            fatal("cannot evacuate pinned task '%s' from core %u",
+                  task->name().c_str(), id);
+        Core *best = nullptr;
+        std::size_t best_depth = 0;
+        for (Core *core : plat.cores()) {
+            if (core->id() == id || !core->online())
+                continue;
+            const std::size_t depth = runner(core->id()).depth();
+            if (best == nullptr || depth < best_depth) {
+                best = core;
+                best_depth = depth;
+            }
+        }
+        if (best == nullptr)
+            fatal("no online core to evacuate core %u onto", id);
+        migrate(*task, *best,
+                best->type() != plat.core(id).type());
+        ++moved;
+    }
+    return moved;
+}
+
+void
+HmpScheduler::tick(Tick now)
+{
+    ++schedStats.ticks;
+    updateLoads(now);
+    migrationPass();
+    for (std::size_t i = 0; i < plat.clusterCount(); ++i)
+        balanceCluster(plat.cluster(i));
+}
+
+void
+HmpScheduler::updateLoads(Tick now)
+{
+    for (auto &runner_ptr : runners) {
+        CoreRunner &rq = *runner_ptr;
+        // Charge partial progress so pending-work observers and the
+        // load update see a consistent picture.
+        rq.chargeRunning();
+        const double scale = freqScale(rq.core());
+        if (rq.running() != nullptr)
+            rq.running()->accrueLoad(now, scale);
+        for (Task *t : rq.waiting())
+            t->accrueLoad(now, scale);
+    }
+}
+
+void
+HmpScheduler::migrationPass()
+{
+    // Snapshot the task/core pairs first: migrating mutates queues.
+    std::vector<Task *> candidates;
+    for (auto &runner_ptr : runners) {
+        if (runner_ptr->running() != nullptr)
+            candidates.push_back(runner_ptr->running());
+        for (Task *t : runner_ptr->waiting())
+            candidates.push_back(t);
+    }
+    for (Task *task : candidates) {
+        if (task->pinnedCore())
+            continue;
+        Core *core = task->core();
+        if (core == nullptr)
+            continue; // drained in the meantime
+        const double load = task->loadTracker().value();
+        if (core->type() == CoreType::little &&
+            load > schedParams.upThreshold) {
+            Core *target = pickTargetCore(CoreType::big, *task);
+            if (target != nullptr) {
+                if (schedObserver != nullptr)
+                    schedObserver->onMigrate(*task, *core, *target,
+                                             true);
+                migrate(*task, *target, true);
+                ++schedStats.migrationsUp;
+                boostBigCluster(*target);
+            }
+        } else if (core->type() == CoreType::big &&
+                   load < schedParams.downThreshold) {
+            Core *target = pickTargetCore(CoreType::little, *task);
+            if (target != nullptr) {
+                if (schedObserver != nullptr)
+                    schedObserver->onMigrate(*task, *core, *target,
+                                             false);
+                migrate(*task, *target, true);
+                ++schedStats.migrationsDown;
+            }
+        }
+    }
+}
+
+void
+HmpScheduler::boostBigCluster(Core &target)
+{
+    if (schedParams.upMigrationBoostFreq == 0)
+        return;
+    FreqDomain &domain = target.freqDomain();
+    if (domain.currentFreq() < schedParams.upMigrationBoostFreq)
+        domain.requestFreq(schedParams.upMigrationBoostFreq);
+}
+
+void
+HmpScheduler::migrate(Task &task, Core &target, bool type_change)
+{
+    Core *source = task.core();
+    BL_ASSERT(source != nullptr);
+    if (source == &target)
+        return;
+    runner(source->id()).remove(task);
+    runner(target.id()).enqueue(task);
+    if (type_change)
+        task.noteTypeMigration();
+}
+
+void
+HmpScheduler::balanceCluster(Cluster &cluster)
+{
+    while (true) {
+        CoreRunner *busiest = nullptr;
+        CoreRunner *idlest = nullptr;
+        for (std::size_t i = 0; i < cluster.coreCount(); ++i) {
+            Core &core = cluster.core(i);
+            if (!core.online())
+                continue;
+            CoreRunner &rq = runner(core.id());
+            if (busiest == nullptr || rq.depth() > busiest->depth())
+                busiest = &rq;
+            if (idlest == nullptr || rq.depth() < idlest->depth())
+                idlest = &rq;
+        }
+        if (busiest == nullptr || idlest == nullptr)
+            return;
+        if (busiest->depth() < idlest->depth() + 2)
+            return;
+        // Move one waiting (not running) unpinned task.
+        Task *victim = nullptr;
+        for (Task *t : busiest->waiting()) {
+            if (!t->pinnedCore()) {
+                victim = t;
+                break;
+            }
+        }
+        if (victim == nullptr)
+            return;
+        if (schedObserver != nullptr) {
+            schedObserver->onBalance(*victim, busiest->core(),
+                                     idlest->core());
+        }
+        migrate(*victim, idlest->core(), false);
+        ++schedStats.balanceMoves;
+    }
+}
+
+} // namespace biglittle

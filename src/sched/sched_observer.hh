@@ -1,0 +1,41 @@
+/**
+ * @file
+ * SchedObserver: hook interface through which the HMP scheduler
+ * reports placement decisions (wakeups, sleeps, migrations, balance
+ * moves).  The trace recorder is the canonical implementation; tests
+ * install their own to assert on scheduling decisions directly.
+ */
+
+#ifndef BIGLITTLE_SCHED_SCHED_OBSERVER_HH
+#define BIGLITTLE_SCHED_SCHED_OBSERVER_HH
+
+namespace biglittle
+{
+
+class Core;
+class Task;
+
+/** Observer of scheduler placement decisions. */
+class SchedObserver
+{
+  public:
+    virtual ~SchedObserver() = default;
+
+    /** @p task was placed on @p target after sleeping. */
+    virtual void onWakeup(const Task &task, const Core &target) = 0;
+
+    /** @p task drained its backlog and went to sleep. */
+    virtual void onSleep(const Task &task) = 0;
+
+    /** @p task moved between core types (@p up: little -> big). */
+    virtual void onMigrate(const Task &task, const Core &from,
+                           const Core &to, bool up) = 0;
+
+    /** @p task was spread within a cluster by load balancing. */
+    virtual void onBalance(const Task &task, const Core &from,
+                           const Core &to) = 0;
+};
+
+} // namespace biglittle
+
+#endif // BIGLITTLE_SCHED_SCHED_OBSERVER_HH

@@ -1,0 +1,50 @@
+#include "sched/sched_params.hh"
+
+namespace biglittle
+{
+
+SchedParams
+baselineSchedParams()
+{
+    return SchedParams{};
+}
+
+SchedParams
+conservativeSchedParams()
+{
+    SchedParams p;
+    p.upThreshold = 850;
+    p.downThreshold = 400;
+    p.name = "hmp-conservative";
+    return p;
+}
+
+SchedParams
+aggressiveSchedParams()
+{
+    SchedParams p;
+    p.upThreshold = 550;
+    p.downThreshold = 100;
+    p.name = "hmp-aggressive";
+    return p;
+}
+
+SchedParams
+doubleHistorySchedParams()
+{
+    SchedParams p;
+    p.loadHalfLifeMs = 64.0;
+    p.name = "hmp-2x-history";
+    return p;
+}
+
+SchedParams
+halfHistorySchedParams()
+{
+    SchedParams p;
+    p.loadHalfLifeMs = 16.0;
+    p.name = "hmp-half-history";
+    return p;
+}
+
+} // namespace biglittle

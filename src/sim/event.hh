@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Discrete-event primitives.
+ *
+ * Events are intrusive: an Event object knows whether it is currently
+ * scheduled and at what tick, so it can be rescheduled or descheduled
+ * in O(log n).  Ordering is (when, priority, sequence) which makes
+ * simulations fully deterministic even when many events share a tick.
+ */
+
+#ifndef BIGLITTLE_SIM_EVENT_HH
+#define BIGLITTLE_SIM_EVENT_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "base/types.hh"
+
+namespace biglittle
+{
+
+class EventQueue;
+
+/**
+ * Priorities for events that fire on the same tick.  Lower values run
+ * first.  The ordering mirrors what a real kernel does in one tick:
+ * task state changes settle before the scheduler looks at loads, the
+ * governor samples after scheduling, and statistics observe last.
+ */
+enum class EventPriority : std::int32_t
+{
+    taskState = 0, ///< wakeups, completions, sleep transitions
+    schedTick = 10, ///< scheduler load update + migration
+    governor = 20, ///< DVFS governor sampling
+    stats = 30, ///< state samplers, meters
+    deferred = 40, ///< everything else
+};
+
+/**
+ * Base class for schedulable events.  Subclasses implement process().
+ */
+class Event
+{
+  public:
+    /** @param prio same-tick ordering class for this event. */
+    explicit Event(EventPriority prio = EventPriority::deferred);
+
+    virtual ~Event();
+
+    Event(const Event &) = delete;
+    Event &operator=(const Event &) = delete;
+
+    /** Called by the queue when the event fires. */
+    virtual void process() = 0;
+
+    /** Diagnostic name used in trace output. */
+    virtual std::string name() const { return "event"; }
+
+    /** True while the event sits in a queue. */
+    bool scheduled() const { return queue != nullptr; }
+
+    /** Tick this event is scheduled for (valid when scheduled()). */
+    Tick when() const { return whenTick; }
+
+    /** Same-tick ordering class. */
+    EventPriority priority() const { return prio; }
+
+  private:
+    friend class EventQueue;
+
+    EventPriority prio;
+    Tick whenTick = 0;
+    std::uint64_t sequence = 0;
+    EventQueue *queue = nullptr;
+};
+
+/**
+ * An event that runs an arbitrary callback.  Convenient for small
+ * one-shot actions without declaring a subclass.
+ */
+class CallbackEvent : public Event
+{
+  public:
+    CallbackEvent(std::function<void()> fn,
+                  EventPriority prio = EventPriority::deferred,
+                  std::string label = "callback");
+
+    void process() override;
+    std::string name() const override { return label; }
+
+  private:
+    std::function<void()> fn;
+    std::string label;
+};
+
+} // namespace biglittle
+
+#endif // BIGLITTLE_SIM_EVENT_HH

@@ -1,0 +1,79 @@
+#include "sim/eventq.hh"
+
+#include "base/logging.hh"
+
+namespace biglittle
+{
+
+EventQueue::~EventQueue()
+{
+    // Detach any events still pending so their destructors do not
+    // dereference a dead queue.
+    for (Event *e : queue)
+        e->queue = nullptr;
+}
+
+void
+EventQueue::schedule(Event &event, Tick when)
+{
+    BL_ASSERT(event.queue == nullptr);
+    if (when < curTick)
+        panic("scheduling event '%s' at %llu, before current tick %llu",
+              event.name().c_str(),
+              static_cast<unsigned long long>(when),
+              static_cast<unsigned long long>(curTick));
+    event.whenTick = when;
+    event.sequence = nextSequence++;
+    event.queue = this;
+    const bool inserted = queue.insert(&event).second;
+    BL_ASSERT(inserted);
+}
+
+void
+EventQueue::deschedule(Event &event)
+{
+    BL_ASSERT(event.queue == this);
+    const std::size_t erased = queue.erase(&event);
+    BL_ASSERT(erased == 1);
+    event.queue = nullptr;
+}
+
+void
+EventQueue::reschedule(Event &event, Tick when)
+{
+    if (event.queue != nullptr)
+        deschedule(event);
+    schedule(event, when);
+}
+
+Tick
+EventQueue::nextTick() const
+{
+    return queue.empty() ? maxTick : (*queue.begin())->when();
+}
+
+bool
+EventQueue::serviceOne()
+{
+    if (queue.empty())
+        return false;
+    Event *event = *queue.begin();
+    queue.erase(queue.begin());
+    event->queue = nullptr;
+    BL_ASSERT(event->whenTick >= curTick);
+    curTick = event->whenTick;
+    ++serviced;
+    event->process();
+    return true;
+}
+
+void
+EventQueue::runUntil(Tick until)
+{
+    while (!queue.empty() && (*queue.begin())->when() <= until)
+        serviceOne();
+    if (curTick < until)
+        curTick = until;
+}
+
+} // namespace biglittle

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * The event queue: a total order over pending events keyed by
+ * (when, priority, sequence).  Supports schedule / reschedule /
+ * deschedule, which the platform uses heavily (a task-completion
+ * event moves whenever its core's frequency changes).
+ */
+
+#ifndef BIGLITTLE_SIM_EVENTQ_HH
+#define BIGLITTLE_SIM_EVENTQ_HH
+
+#include <cstdint>
+#include <set>
+
+#include "base/types.hh"
+#include "sim/event.hh"
+
+namespace biglittle
+{
+
+/** Deterministic priority queue of events. */
+class EventQueue
+{
+  public:
+    EventQueue() = default;
+
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    ~EventQueue();
+
+    /** Current simulated time. */
+    Tick now() const { return curTick; }
+
+    /**
+     * Insert @p event to fire at absolute tick @p when.
+     * @p when must not be in the past; the event must be idle.
+     */
+    void schedule(Event &event, Tick when);
+
+    /** Remove a scheduled event (must currently be scheduled). */
+    void deschedule(Event &event);
+
+    /** Move a scheduled event to a new tick (deschedule+schedule). */
+    void reschedule(Event &event, Tick when);
+
+    /** True when no events are pending. */
+    bool empty() const { return queue.empty(); }
+
+    /** Number of pending events. */
+    std::size_t size() const { return queue.size(); }
+
+    /** Tick of the next pending event (maxTick when empty). */
+    Tick nextTick() const;
+
+    /**
+     * Service exactly one event (advances time to it first).
+     * @return false if the queue was empty.
+     */
+    bool serviceOne();
+
+    /**
+     * Run events until the queue drains or the next event would fire
+     * after @p until.  The clock is then parked exactly at @p until
+     * so a subsequent runUntil continues from there.
+     */
+    void runUntil(Tick until);
+
+    /** Total events serviced since construction. */
+    std::uint64_t eventsServiced() const { return serviced; }
+
+  private:
+    struct Cmp
+    {
+        bool
+        operator()(const Event *a, const Event *b) const
+        {
+            if (a->when() != b->when())
+                return a->when() < b->when();
+            if (a->priority() != b->priority())
+                return a->priority() < b->priority();
+            return a->sequence < b->sequence;
+        }
+    };
+
+    std::set<Event *, Cmp> queue;
+    Tick curTick = 0;
+    std::uint64_t nextSequence = 0;
+    std::uint64_t serviced = 0;
+};
+
+} // namespace biglittle
+
+#endif // BIGLITTLE_SIM_EVENTQ_HH

@@ -1,0 +1,196 @@
+#include "trace/trace.hh"
+
+#include "base/csv.hh"
+#include "base/logging.hh"
+#include "base/strutil.hh"
+
+namespace biglittle
+{
+
+const char *
+traceKindName(TraceKind kind)
+{
+    switch (kind) {
+      case TraceKind::wakeup:
+        return "wakeup";
+      case TraceKind::sleep:
+        return "sleep";
+      case TraceKind::migrateUp:
+        return "migrate-up";
+      case TraceKind::migrateDown:
+        return "migrate-down";
+      case TraceKind::balance:
+        return "balance";
+      case TraceKind::freqChange:
+        return "freq-change";
+    }
+    return "unknown";
+}
+
+TraceRecorder::TraceRecorder(Simulation &sim_in,
+                             std::size_t max_events)
+    : sim(sim_in), maxEvents(max_events)
+{
+    BL_ASSERT(maxEvents > 0);
+}
+
+void
+TraceRecorder::attachScheduler(HmpScheduler &sched)
+{
+    sched.setObserver(this);
+}
+
+void
+TraceRecorder::attachCluster(Cluster &cluster)
+{
+    const std::string name = cluster.name();
+    FreqDomain *domain = &cluster.freqDomain();
+    domain->addListener([this, domain](const Opp &, const Opp &next) {
+        TraceEvent event;
+        event.when = sim.now();
+        event.kind = TraceKind::freqChange;
+        event.taskName = domain->name();
+        event.freq = next.freq;
+        push(std::move(event));
+    });
+}
+
+void
+TraceRecorder::push(TraceEvent event)
+{
+    ++total;
+    buffer.push_back(std::move(event));
+    if (buffer.size() > maxEvents)
+        buffer.pop_front();
+}
+
+TraceEvent
+TraceRecorder::taskEvent(TraceKind kind, const Task &task)
+{
+    TraceEvent event;
+    event.kind = kind;
+    event.task = task.id();
+    event.taskName = task.name();
+    event.load = task.loadTracker().value();
+    return event;
+}
+
+void
+TraceRecorder::onWakeup(const Task &task, const Core &target)
+{
+    TraceEvent event = taskEvent(TraceKind::wakeup, task);
+    event.when = sim.now();
+    event.core = target.id();
+    push(std::move(event));
+}
+
+void
+TraceRecorder::onSleep(const Task &task)
+{
+    TraceEvent event = taskEvent(TraceKind::sleep, task);
+    event.when = sim.now();
+    push(std::move(event));
+}
+
+void
+TraceRecorder::onMigrate(const Task &task, const Core &from,
+                         const Core &to, bool up)
+{
+    TraceEvent event = taskEvent(
+        up ? TraceKind::migrateUp : TraceKind::migrateDown, task);
+    event.when = sim.now();
+    event.fromCore = from.id();
+    event.core = to.id();
+    push(std::move(event));
+}
+
+void
+TraceRecorder::onBalance(const Task &task, const Core &from,
+                         const Core &to)
+{
+    TraceEvent event = taskEvent(TraceKind::balance, task);
+    event.when = sim.now();
+    event.fromCore = from.id();
+    event.core = to.id();
+    push(std::move(event));
+}
+
+std::size_t
+TraceRecorder::countOf(TraceKind kind) const
+{
+    std::size_t n = 0;
+    for (const TraceEvent &e : buffer)
+        n += e.kind == kind ? 1 : 0;
+    return n;
+}
+
+void
+TraceRecorder::writeCsv(const std::string &path) const
+{
+    CsvWriter csv(path);
+    csv.header({"time_ms", "kind", "task_id", "name", "core",
+                "from_core", "freq_khz", "load"});
+    for (const TraceEvent &e : buffer) {
+        csv.beginRow();
+        csv.cell(static_cast<double>(e.when) /
+                 static_cast<double>(oneMs));
+        csv.cell(std::string(traceKindName(e.kind)));
+        csv.cell(static_cast<std::uint64_t>(e.task));
+        csv.cell(e.taskName);
+        csv.cell(e.core == invalidCoreId
+                     ? std::string("-")
+                     : std::to_string(e.core));
+        csv.cell(e.fromCore == invalidCoreId
+                     ? std::string("-")
+                     : std::to_string(e.fromCore));
+        csv.cell(static_cast<std::uint64_t>(e.freq));
+        csv.cell(e.load);
+        csv.endRow();
+    }
+}
+
+std::string
+TraceRecorder::timeline(std::size_t max_lines) const
+{
+    std::string out;
+    const std::size_t start =
+        buffer.size() > max_lines ? buffer.size() - max_lines : 0;
+    for (std::size_t i = start; i < buffer.size(); ++i) {
+        const TraceEvent &e = buffer[i];
+        out += format("[%10.3fms] %-12s",
+                      static_cast<double>(e.when) /
+                          static_cast<double>(oneMs),
+                      traceKindName(e.kind));
+        switch (e.kind) {
+          case TraceKind::wakeup:
+            out += format(" %-24s -> cpu%u (load %.0f)",
+                          e.taskName.c_str(), e.core, e.load);
+            break;
+          case TraceKind::sleep:
+            out += format(" %-24s (load %.0f)", e.taskName.c_str(),
+                          e.load);
+            break;
+          case TraceKind::migrateUp:
+          case TraceKind::migrateDown:
+          case TraceKind::balance:
+            out += format(" %-24s cpu%u -> cpu%u (load %.0f)",
+                          e.taskName.c_str(), e.fromCore, e.core,
+                          e.load);
+            break;
+          case TraceKind::freqChange:
+            out += format(" %-24s -> %s", e.taskName.c_str(),
+                          freqToString(e.freq).c_str());
+            break;
+        }
+        out += '\n';
+    }
+    return out;
+}
+
+void
+TraceRecorder::clear()
+{
+    buffer.clear();
+}
+
+} // namespace biglittle

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Scheduling/DVFS tracing: the workbench's equivalent of systrace /
+ * ftrace.  A TraceRecorder subscribes to scheduler events (wakeups,
+ * sleeps, type migrations, balance moves) and frequency-domain
+ * transitions, keeps them in a bounded in-memory buffer, and can
+ * export them as CSV or render a compact text timeline.  Traces are
+ * how one debugs *why* a figure looks the way it does - e.g. seeing
+ * the exact tick a burst crossed the up-threshold and hopped
+ * clusters.
+ */
+
+#ifndef BIGLITTLE_TRACE_TRACE_HH
+#define BIGLITTLE_TRACE_TRACE_HH
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "base/types.hh"
+#include "sched/hmp.hh"
+
+namespace biglittle
+{
+
+/** Kinds of trace records. */
+enum class TraceKind
+{
+    wakeup, ///< task placed on a core after sleeping
+    sleep, ///< task drained its backlog
+    migrateUp, ///< little -> big migration
+    migrateDown, ///< big -> little migration
+    balance, ///< intra-cluster balance move
+    freqChange, ///< a domain changed OPP
+};
+
+/** Human-readable kind name. */
+const char *traceKindName(TraceKind kind);
+
+/** One trace record. */
+struct TraceEvent
+{
+    Tick when = 0;
+    TraceKind kind = TraceKind::wakeup;
+    TaskId task = 0; ///< 0 for domain events
+    std::string taskName; ///< empty for domain events
+    CoreId core = invalidCoreId; ///< destination / affected core
+    CoreId fromCore = invalidCoreId; ///< migration source
+    FreqKHz freq = 0; ///< new frequency (freqChange)
+    double load = 0.0; ///< task load at the event (task events)
+};
+
+/** Bounded in-memory trace buffer with CSV/timeline export. */
+class TraceRecorder : public SchedObserver
+{
+  public:
+    /**
+     * @param sim time source
+     * @param max_events oldest records are dropped beyond this
+     */
+    explicit TraceRecorder(Simulation &sim,
+                           std::size_t max_events = 1 << 18);
+
+    TraceRecorder(const TraceRecorder &) = delete;
+    TraceRecorder &operator=(const TraceRecorder &) = delete;
+
+    /** Install as the scheduler's observer. */
+    void attachScheduler(HmpScheduler &sched);
+
+    /** Record OPP changes of @p cluster's domain. */
+    void attachCluster(Cluster &cluster);
+
+    // SchedObserver
+    void onWakeup(const Task &task, const Core &target) override;
+    void onSleep(const Task &task) override;
+    void onMigrate(const Task &task, const Core &from, const Core &to,
+                   bool up) override;
+    void onBalance(const Task &task, const Core &from,
+                   const Core &to) override;
+
+    /** Recorded events, oldest first. */
+    const std::deque<TraceEvent> &events() const { return buffer; }
+
+    /** Total events observed (including dropped ones). */
+    std::uint64_t observed() const { return total; }
+
+    /** Events dropped due to the buffer bound. */
+    std::uint64_t dropped() const { return total - buffer.size(); }
+
+    /** Count of buffered events of @p kind. */
+    std::size_t countOf(TraceKind kind) const;
+
+    /** Write all buffered events to a CSV file. */
+    void writeCsv(const std::string &path) const;
+
+    /**
+     * Render the last @p max_lines events as a human-readable
+     * timeline ("[12.345ms] migrate-up encoder.encode a7.cpu1 ->
+     * a15.cpu4 (load 812)").
+     */
+    std::string timeline(std::size_t max_lines = 50) const;
+
+    /** Drop all buffered events. */
+    void clear();
+
+  private:
+    Simulation &sim;
+    std::size_t maxEvents;
+    std::deque<TraceEvent> buffer;
+    std::uint64_t total = 0;
+
+    void push(TraceEvent event);
+    static TraceEvent taskEvent(TraceKind kind, const Task &task);
+};
+
+} // namespace biglittle
+
+#endif // BIGLITTLE_TRACE_TRACE_HH

@@ -1,0 +1,102 @@
+#include "workload/input_events.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/logging.hh"
+
+namespace biglittle
+{
+
+ScriptedInputSource::ScriptedInputSource(Simulation &sim_in,
+                                         BurstBehavior &target_in,
+                                         std::vector<InputEvent> events_in)
+    : sim(sim_in), target(target_in), events(std::move(events_in)),
+      fireEvent([this] { fireDue(); }, EventPriority::taskState,
+                "input-event")
+{
+    for (std::size_t i = 1; i < events.size(); ++i)
+        BL_ASSERT(events[i].when >= events[i - 1].when);
+    for (const InputEvent &e : events)
+        BL_ASSERT(e.instructions > 0.0);
+}
+
+void
+ScriptedInputSource::start()
+{
+    if (events.empty())
+        return;
+    if (events.front().when < sim.now())
+        fatal("input event at %llu is already in the past",
+              static_cast<unsigned long long>(events.front().when));
+    sim.eventQueue().reschedule(fireEvent, events.front().when);
+}
+
+void
+ScriptedInputSource::fireDue()
+{
+    BL_ASSERT(firedCount < events.size());
+    target.injectBurst(events[firedCount].instructions);
+    ++firedCount;
+    if (firedCount < events.size()) {
+        if (events[firedCount].when < sim.now())
+            fatal("input event at %llu is already in the past",
+                  static_cast<unsigned long long>(
+                      events[firedCount].when));
+        sim.eventQueue().reschedule(fireEvent,
+                                    events[firedCount].when);
+    }
+}
+
+PoissonInputSource::PoissonInputSource(Simulation &sim_in,
+                                       BurstBehavior &target_in,
+                                       const PoissonInputParams &params,
+                                       Rng rng_in)
+    : sim(sim_in), target(target_in), inputParams(params), rng(rng_in),
+      fireEvent([this] { fire(); }, EventPriority::taskState,
+                "poisson-input")
+{
+    BL_ASSERT(inputParams.meanInterArrival > 0);
+    BL_ASSERT(inputParams.medianBurst > 0.0);
+}
+
+void
+PoissonInputSource::start()
+{
+    if (running)
+        return;
+    running = true;
+    scheduleNext();
+}
+
+void
+PoissonInputSource::stop()
+{
+    running = false;
+    if (fireEvent.scheduled())
+        sim.eventQueue().deschedule(fireEvent);
+}
+
+void
+PoissonInputSource::fire()
+{
+    if (!running)
+        return;
+    ++firedCount;
+    target.injectBurst(
+        std::max(1.0, rng.logNormal(inputParams.medianBurst,
+                                    inputParams.burstSigma)));
+    scheduleNext();
+}
+
+void
+PoissonInputSource::scheduleNext()
+{
+    const double gap_sec = rng.exponential(
+        ticksToSeconds(inputParams.meanInterArrival));
+    const Tick gap = std::max<Tick>(
+        1, static_cast<Tick>(std::llround(gap_sec * 1e9)));
+    sim.eventQueue().reschedule(fireEvent, sim.now() + gap);
+}
+
+} // namespace biglittle

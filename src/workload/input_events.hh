@@ -1,0 +1,113 @@
+/**
+ * @file
+ * User-input event sources.
+ *
+ * The paper's latency apps are driven by "a strong burst of CPU load
+ * by user inputs".  WorkflowDriver replays a fixed action script;
+ * the sources here model open-ended interaction instead: a scripted
+ * source fires bursts at fixed timestamps, a Poisson source draws
+ * exponential inter-arrival gaps and log-normal burst costs - the
+ * standard model for human-initiated events.  Both inject their
+ * bursts into a BurstBehavior, so they compose with everything the
+ * workflow machinery composes with.
+ */
+
+#ifndef BIGLITTLE_WORKLOAD_INPUT_EVENTS_HH
+#define BIGLITTLE_WORKLOAD_INPUT_EVENTS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "base/random.hh"
+#include "base/types.hh"
+#include "sim/simulation.hh"
+#include "workload/behavior.hh"
+
+namespace biglittle
+{
+
+/** One scripted user-input event. */
+struct InputEvent
+{
+    Tick when; ///< absolute firing time
+    double instructions; ///< burst injected into the target
+};
+
+/** Replays a fixed list of input events. */
+class ScriptedInputSource
+{
+  public:
+    /**
+     * @param target behavior receiving the bursts
+     * @param events ascending-time event list
+     */
+    ScriptedInputSource(Simulation &sim, BurstBehavior &target,
+                        std::vector<InputEvent> events);
+
+    ScriptedInputSource(const ScriptedInputSource &) = delete;
+    ScriptedInputSource &operator=(const ScriptedInputSource &) = delete;
+
+    /** Schedule all events (those already in the past are fatal). */
+    void start();
+
+    /** Events fired so far. */
+    std::size_t fired() const { return firedCount; }
+
+    /** Total events in the script. */
+    std::size_t total() const { return events.size(); }
+
+  private:
+    Simulation &sim;
+    BurstBehavior &target;
+    std::vector<InputEvent> events;
+    std::size_t firedCount = 0;
+    CallbackEvent fireEvent; ///< owned: cancelled on destruction
+
+    void fireDue();
+};
+
+/** Parameters of a stochastic input stream. */
+struct PoissonInputParams
+{
+    Tick meanInterArrival = msToTicks(800); ///< avg gap (exponential)
+    double medianBurst = 20e6; ///< log-normal burst median
+    double burstSigma = 0.4; ///< log-normal spread
+};
+
+/** Fires input bursts with Poisson timing until stopped. */
+class PoissonInputSource
+{
+  public:
+    PoissonInputSource(Simulation &sim, BurstBehavior &target,
+                       const PoissonInputParams &params, Rng rng);
+
+    PoissonInputSource(const PoissonInputSource &) = delete;
+    PoissonInputSource &operator=(const PoissonInputSource &) = delete;
+
+    /** Begin firing; the first event is one random gap from now. */
+    void start();
+
+    /** Stop firing (idempotent). */
+    void stop();
+
+    /** Events fired so far. */
+    std::uint64_t fired() const { return firedCount; }
+
+    const PoissonInputParams &params() const { return inputParams; }
+
+  private:
+    Simulation &sim;
+    BurstBehavior &target;
+    PoissonInputParams inputParams;
+    Rng rng;
+    bool running = false;
+    std::uint64_t firedCount = 0;
+    CallbackEvent fireEvent; ///< owned: cancelled on destruction
+
+    void fire();
+    void scheduleNext();
+};
+
+} // namespace biglittle
+
+#endif // BIGLITTLE_WORKLOAD_INPUT_EVENTS_HH

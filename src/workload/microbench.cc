@@ -1,0 +1,35 @@
+#include "workload/microbench.hh"
+
+namespace biglittle
+{
+
+namespace
+{
+/** Tight integer loop: compute bound, cache resident. */
+const WorkClass microbenchWc{0.8, 0.002, 32.0};
+} // namespace
+
+UtilizationMicrobench::UtilizationMicrobench(Simulation &sim,
+                                             HmpScheduler &sched,
+                                             CoreId core,
+                                             double target_utilization,
+                                             std::uint64_t seed)
+{
+    loadTask = &sched.createTask("microbench", microbenchWc, core);
+    behavior = std::make_unique<DutyCycleBehavior>(
+        sim, *loadTask, Rng(seed), target_utilization);
+}
+
+void
+UtilizationMicrobench::start()
+{
+    behavior->start();
+}
+
+double
+UtilizationMicrobench::targetUtilization() const
+{
+    return behavior->targetUtilization();
+}
+
+} // namespace biglittle

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * The utilization-controlled microbenchmark of Section III-B: a
+ * single pinned task that holds an exact CPU utilization by pausing
+ * between work chunks, used to map the power/utilization/frequency
+ * surface of Fig. 6.
+ */
+
+#ifndef BIGLITTLE_WORKLOAD_MICROBENCH_HH
+#define BIGLITTLE_WORKLOAD_MICROBENCH_HH
+
+#include <memory>
+
+#include "base/types.hh"
+#include "sched/hmp.hh"
+#include "workload/behavior.hh"
+
+namespace biglittle
+{
+
+/** A pinned constant-utilization load generator. */
+class UtilizationMicrobench
+{
+  public:
+    /**
+     * @param target_utilization busy fraction to hold, in (0, 1]
+     * @param core core to pin the task to
+     */
+    UtilizationMicrobench(Simulation &sim, HmpScheduler &sched,
+                          CoreId core, double target_utilization,
+                          std::uint64_t seed = 42);
+
+    UtilizationMicrobench(const UtilizationMicrobench &) = delete;
+    UtilizationMicrobench &
+    operator=(const UtilizationMicrobench &) = delete;
+
+    /** Begin generating load. */
+    void start();
+
+    Task &task() { return *loadTask; }
+
+    double targetUtilization() const;
+
+  private:
+    Task *loadTask;
+    std::unique_ptr<DutyCycleBehavior> behavior;
+};
+
+} // namespace biglittle
+
+#endif // BIGLITTLE_WORKLOAD_MICROBENCH_HH

@@ -1,0 +1,40 @@
+#include "workload/spec.hh"
+
+#include "base/logging.hh"
+
+namespace biglittle
+{
+
+const std::vector<SpecKernel> &
+specSuite()
+{
+    // {ilp, l1MissPerInst, footprintKB}; budgets sized so each run
+    // takes a few simulated seconds on a little core at 1.3 GHz.
+    static const std::vector<SpecKernel> suite = {
+        {"perlbench", {0.32, 0.006, 250.0}, 2.0e9},
+        {"bzip2", {0.55, 0.014, 850.0}, 2.0e9},
+        {"gcc", {0.50, 0.020, 1400.0}, 1.5e9},
+        {"mcf", {0.25, 0.050, 1800.0}, 0.8e9},
+        {"gobmk", {0.30, 0.008, 400.0}, 2.0e9},
+        {"hmmer", {0.92, 0.004, 180.0}, 3.0e9},
+        {"sjeng", {0.28, 0.007, 300.0}, 2.0e9},
+        {"libquantum", {0.60, 0.040, 32768.0}, 0.8e9},
+        {"h264ref", {0.85, 0.012, 600.0}, 3.0e9},
+        {"omnetpp", {0.40, 0.035, 1600.0}, 1.0e9},
+        {"astar", {0.45, 0.022, 1100.0}, 1.5e9},
+        {"xalancbmk", {0.50, 0.030, 1700.0}, 1.2e9},
+    };
+    return suite;
+}
+
+const SpecKernel &
+specKernelByName(const std::string &name)
+{
+    for (const SpecKernel &k : specSuite()) {
+        if (k.name == name)
+            return k;
+    }
+    fatal("unknown SPEC kernel '%s'", name.c_str());
+}
+
+} // namespace biglittle

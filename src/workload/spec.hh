@@ -1,0 +1,47 @@
+/**
+ * @file
+ * SPEC-like single-threaded kernels standing in for the SPECCPU2006
+ * integer suite the paper uses in Figs. 2/3.  Each kernel is a
+ * (WorkClass, instruction budget) pair positioned in the
+ * (ILP, L1-miss-rate, footprint) space so the suite spans:
+ *
+ *  - compute-bound code a big core accelerates ~2x (hmmer, h264ref),
+ *  - cache-sensitive code whose working set fits the big 2 MB L2 but
+ *    not the little 512 KB L2 (mcf, omnetpp, xalancbmk) - speedups
+ *    toward 4.5x at iso-frequency,
+ *  - low-ILP branchy code where a big core at 0.8 GHz loses to a
+ *    little core at 1.3 GHz (perlbench, gobmk, sjeng),
+ *  - DRAM-streaming code with small, frequency-insensitive speedups
+ *    (libquantum).
+ */
+
+#ifndef BIGLITTLE_WORKLOAD_SPEC_HH
+#define BIGLITTLE_WORKLOAD_SPEC_HH
+
+#include <string>
+#include <vector>
+
+#include "platform/work_class.hh"
+
+namespace biglittle
+{
+
+/** One single-threaded CPU kernel. */
+struct SpecKernel
+{
+    std::string name;
+    WorkClass workClass;
+
+    /** Instructions the kernel retires in one run. */
+    double instructions;
+};
+
+/** The twelve-kernel suite in reporting order. */
+const std::vector<SpecKernel> &specSuite();
+
+/** Kernel by name; fatal() if unknown. */
+const SpecKernel &specKernelByName(const std::string &name);
+
+} // namespace biglittle
+
+#endif // BIGLITTLE_WORKLOAD_SPEC_HH

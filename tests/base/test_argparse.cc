@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Tests for the declarative CLI parser.
+ */
+
+#include <gtest/gtest.h>
+
+#include "base/argparse.hh"
+
+using namespace biglittle;
+
+namespace
+{
+
+ArgParser
+makeParser()
+{
+    ArgParser p("prog", "test program");
+    p.addString("name", "default-name", "a string");
+    p.addInt("count", 10, "an int");
+    p.addDouble("ratio", 0.5, "a double");
+    p.addFlag("verbose", "a flag");
+    return p;
+}
+
+std::vector<std::string>
+parse(ArgParser &p, std::vector<const char *> argv)
+{
+    argv.insert(argv.begin(), "prog");
+    return p.parse(static_cast<int>(argv.size()), argv.data());
+}
+
+} // namespace
+
+TEST(ArgParser, DefaultsApplyWhenUnset)
+{
+    ArgParser p = makeParser();
+    parse(p, {});
+    EXPECT_EQ(p.getString("name"), "default-name");
+    EXPECT_EQ(p.getInt("count"), 10);
+    EXPECT_DOUBLE_EQ(p.getDouble("ratio"), 0.5);
+    EXPECT_FALSE(p.getFlag("verbose"));
+    EXPECT_FALSE(p.wasSet("name"));
+}
+
+TEST(ArgParser, SpaceSeparatedValues)
+{
+    ArgParser p = makeParser();
+    parse(p, {"--name", "abc", "--count", "42", "--ratio", "2.25"});
+    EXPECT_EQ(p.getString("name"), "abc");
+    EXPECT_EQ(p.getInt("count"), 42);
+    EXPECT_DOUBLE_EQ(p.getDouble("ratio"), 2.25);
+    EXPECT_TRUE(p.wasSet("count"));
+}
+
+TEST(ArgParser, EqualsSeparatedValues)
+{
+    ArgParser p = makeParser();
+    parse(p, {"--name=xyz", "--count=-3"});
+    EXPECT_EQ(p.getString("name"), "xyz");
+    EXPECT_EQ(p.getInt("count"), -3);
+}
+
+TEST(ArgParser, FlagPresenceSetsTrue)
+{
+    ArgParser p = makeParser();
+    parse(p, {"--verbose"});
+    EXPECT_TRUE(p.getFlag("verbose"));
+}
+
+TEST(ArgParser, PositionalArgumentsReturned)
+{
+    ArgParser p = makeParser();
+    const auto rest = parse(p, {"one", "--count", "5", "two"});
+    EXPECT_EQ(rest, (std::vector<std::string>{"one", "two"}));
+}
+
+TEST(ArgParser, HelpTextMentionsEveryOption)
+{
+    ArgParser p = makeParser();
+    const std::string help = p.helpText();
+    for (const char *needle :
+         {"--name", "--count", "--ratio", "--verbose", "--help",
+          "default-name"}) {
+        EXPECT_NE(help.find(needle), std::string::npos) << needle;
+    }
+}
+
+TEST(ArgParserDeathTest, UnknownOptionIsFatal)
+{
+    ArgParser p = makeParser();
+    std::vector<const char *> argv = {"prog", "--bogus", "1"};
+    EXPECT_EXIT(p.parse(3, argv.data()),
+                ::testing::ExitedWithCode(1), "unknown option");
+}
+
+TEST(ArgParserDeathTest, MissingValueIsFatal)
+{
+    ArgParser p = makeParser();
+    std::vector<const char *> argv = {"prog", "--count"};
+    EXPECT_EXIT(p.parse(2, argv.data()),
+                ::testing::ExitedWithCode(1), "requires a value");
+}
+
+TEST(ArgParserDeathTest, NonNumericIntIsFatal)
+{
+    ArgParser p = makeParser();
+    std::vector<const char *> argv = {"prog", "--count", "abc"};
+    p.parse(3, argv.data());
+    EXPECT_EXIT(p.getInt("count"), ::testing::ExitedWithCode(1),
+                "not an integer");
+}
+
+TEST(ArgParserDeathTest, FlagWithValueIsFatal)
+{
+    ArgParser p = makeParser();
+    std::vector<const char *> argv = {"prog", "--verbose=yes"};
+    EXPECT_EXIT(p.parse(2, argv.data()),
+                ::testing::ExitedWithCode(1), "does not take a value");
+}
+
+TEST(ArgParserDeathTest, UndeclaredAccessPanics)
+{
+    ArgParser p = makeParser();
+    EXPECT_DEATH((void)p.getString("nope"), "never declared");
+}
+
+TEST(ArgParserDeathTest, WrongTypeAccessPanics)
+{
+    ArgParser p = makeParser();
+    EXPECT_DEATH((void)p.getInt("name"), "wrong type");
+}

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Tests for the CSV writer: quoting, row assembly, file contents.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "base/csv.hh"
+
+using namespace biglittle;
+
+namespace
+{
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+class CsvTest : public ::testing::Test
+{
+  protected:
+    std::string path;
+
+    void
+    SetUp() override
+    {
+        path = ::testing::TempDir() + "biglittle_csv_test.csv";
+    }
+
+    void
+    TearDown() override
+    {
+        std::remove(path.c_str());
+    }
+};
+
+} // namespace
+
+TEST_F(CsvTest, HeaderAndRows)
+{
+    {
+        CsvWriter w(path);
+        w.header({"a", "b", "c"});
+        w.beginRow();
+        w.cell(std::string("x"));
+        w.cell(1.5);
+        w.cell(static_cast<std::uint64_t>(7));
+        w.endRow();
+        EXPECT_EQ(w.rowsWritten(), 1u);
+    }
+    EXPECT_EQ(slurp(path), "a,b,c\nx,1.5,7\n");
+}
+
+TEST_F(CsvTest, QuotesCommasAndQuotes)
+{
+    {
+        CsvWriter w(path);
+        w.row({"plain", "with,comma", "with\"quote", "multi\nline"});
+    }
+    EXPECT_EQ(slurp(path),
+              "plain,\"with,comma\",\"with\"\"quote\",\"multi\nline\"\n");
+}
+
+TEST_F(CsvTest, NumericFormatting)
+{
+    {
+        CsvWriter w(path);
+        w.beginRow();
+        w.cell(0.1);
+        w.cell(1234567.0);
+        w.cell(1e-9);
+        w.endRow();
+    }
+    EXPECT_EQ(slurp(path), "0.1,1.23457e+06,1e-09\n");
+}
+
+TEST_F(CsvTest, MultipleRowsCounted)
+{
+    {
+        CsvWriter w(path);
+        for (int i = 0; i < 5; ++i)
+            w.row({"r" + std::to_string(i)});
+        EXPECT_EQ(w.rowsWritten(), 5u);
+    }
+    std::string content = slurp(path);
+    EXPECT_EQ(std::count(content.begin(), content.end(), '\n'), 5);
+}
+
+TEST(CsvDeathTest, UnopenableFileIsFatal)
+{
+    EXPECT_EXIT(CsvWriter("/nonexistent_dir_xyz/file.csv"),
+                ::testing::ExitedWithCode(1), "cannot open CSV");
+}

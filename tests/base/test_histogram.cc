@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Tests for the weighted binned and discrete histograms.
+ */
+
+#include <gtest/gtest.h>
+
+#include "base/histogram.hh"
+
+using namespace biglittle;
+
+TEST(BinnedHistogram, BasicBinning)
+{
+    BinnedHistogram h({0.0, 10.0, 20.0, 30.0});
+    EXPECT_EQ(h.bins(), 3u);
+    h.add(5.0);
+    h.add(15.0, 2.0);
+    h.add(29.999);
+    EXPECT_DOUBLE_EQ(h.binWeight(0), 1.0);
+    EXPECT_DOUBLE_EQ(h.binWeight(1), 2.0);
+    EXPECT_DOUBLE_EQ(h.binWeight(2), 1.0);
+    EXPECT_DOUBLE_EQ(h.totalWeight(), 4.0);
+}
+
+TEST(BinnedHistogram, HalfOpenBoundaries)
+{
+    BinnedHistogram h({0.0, 10.0, 20.0});
+    h.add(10.0); // belongs to [10, 20)
+    EXPECT_DOUBLE_EQ(h.binWeight(0), 0.0);
+    EXPECT_DOUBLE_EQ(h.binWeight(1), 1.0);
+    h.add(20.0); // at the top edge: overflow
+    EXPECT_DOUBLE_EQ(h.overflow(), 1.0);
+}
+
+TEST(BinnedHistogram, UnderAndOverflow)
+{
+    BinnedHistogram h({0.0, 1.0});
+    h.add(-0.5, 3.0);
+    h.add(2.0, 4.0);
+    EXPECT_DOUBLE_EQ(h.underflow(), 3.0);
+    EXPECT_DOUBLE_EQ(h.overflow(), 4.0);
+    EXPECT_DOUBLE_EQ(h.totalWeight(), 7.0);
+    EXPECT_DOUBLE_EQ(h.binWeight(0), 0.0);
+}
+
+TEST(BinnedHistogram, FractionsSumToOne)
+{
+    BinnedHistogram h({0.0, 1.0, 2.0, 3.0});
+    for (double x = 0.25; x < 3.0; x += 0.5)
+        h.add(x, x);
+    double total = 0;
+    for (std::size_t i = 0; i < h.bins(); ++i)
+        total += h.binFraction(i);
+    EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(BinnedHistogram, BinEdgesAccessors)
+{
+    BinnedHistogram h({1.0, 2.5, 7.0});
+    EXPECT_DOUBLE_EQ(h.binLow(0), 1.0);
+    EXPECT_DOUBLE_EQ(h.binHigh(0), 2.5);
+    EXPECT_DOUBLE_EQ(h.binLow(1), 2.5);
+    EXPECT_DOUBLE_EQ(h.binHigh(1), 7.0);
+}
+
+TEST(BinnedHistogram, ResetClearsEverything)
+{
+    BinnedHistogram h({0.0, 1.0});
+    h.add(0.5);
+    h.add(-1.0);
+    h.add(5.0);
+    h.reset();
+    EXPECT_DOUBLE_EQ(h.totalWeight(), 0.0);
+    EXPECT_DOUBLE_EQ(h.underflow(), 0.0);
+    EXPECT_DOUBLE_EQ(h.overflow(), 0.0);
+    EXPECT_DOUBLE_EQ(h.binWeight(0), 0.0);
+}
+
+TEST(BinnedHistogramDeathTest, RejectsUnsortedEdges)
+{
+    EXPECT_DEATH(BinnedHistogram({2.0, 1.0}), "assertion");
+}
+
+TEST(BinnedHistogramDeathTest, RejectsDuplicateEdges)
+{
+    EXPECT_DEATH(BinnedHistogram({1.0, 1.0}), "assertion");
+}
+
+TEST(DiscreteHistogram, AccumulatesByKey)
+{
+    DiscreteHistogram h;
+    h.add(500000, 2.0);
+    h.add(1300000, 1.0);
+    h.add(500000, 3.0);
+    EXPECT_DOUBLE_EQ(h.weightAt(500000), 5.0);
+    EXPECT_DOUBLE_EQ(h.weightAt(1300000), 1.0);
+    EXPECT_DOUBLE_EQ(h.weightAt(999), 0.0);
+    EXPECT_DOUBLE_EQ(h.totalWeight(), 6.0);
+}
+
+TEST(DiscreteHistogram, Fractions)
+{
+    DiscreteHistogram h;
+    h.add(1, 1.0);
+    h.add(2, 3.0);
+    EXPECT_DOUBLE_EQ(h.fractionAt(1), 0.25);
+    EXPECT_DOUBLE_EQ(h.fractionAt(2), 0.75);
+    EXPECT_DOUBLE_EQ(h.fractionAt(3), 0.0);
+}
+
+TEST(DiscreteHistogram, EmptyFractionIsZero)
+{
+    DiscreteHistogram h;
+    EXPECT_DOUBLE_EQ(h.fractionAt(1), 0.0);
+    EXPECT_DOUBLE_EQ(h.totalWeight(), 0.0);
+}
+
+TEST(DiscreteHistogram, CellsAreSortedByKey)
+{
+    DiscreteHistogram h;
+    h.add(30);
+    h.add(10);
+    h.add(20);
+    std::vector<std::uint64_t> keys;
+    for (const auto &[k, w] : h.cells())
+        keys.push_back(k);
+    EXPECT_EQ(keys, (std::vector<std::uint64_t>{10, 20, 30}));
+}
+
+TEST(DiscreteHistogram, ResetClears)
+{
+    DiscreteHistogram h;
+    h.add(1, 5.0);
+    h.reset();
+    EXPECT_DOUBLE_EQ(h.totalWeight(), 0.0);
+    EXPECT_TRUE(h.cells().empty());
+}

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Tests for the logging/error facilities: panic aborts, fatal exits
+ * with status 1, log-level filtering is honored.
+ */
+
+#include <gtest/gtest.h>
+
+#include "base/logging.hh"
+
+using namespace biglittle;
+
+TEST(LoggingDeathTest, PanicAborts)
+{
+    EXPECT_DEATH(panic("boom %d", 42), "panic: boom 42");
+}
+
+TEST(LoggingDeathTest, FatalExitsWithOne)
+{
+    EXPECT_EXIT(fatal("bad config '%s'", "x"),
+                ::testing::ExitedWithCode(1), "fatal: bad config 'x'");
+}
+
+TEST(LoggingDeathTest, AssertMacroFiresOnFalse)
+{
+    EXPECT_DEATH(BL_ASSERT(1 == 2), "assertion '1 == 2' failed");
+}
+
+TEST(Logging, AssertMacroPassesOnTrue)
+{
+    BL_ASSERT(2 + 2 == 4);
+    SUCCEED();
+}
+
+TEST(Logging, LevelRoundTrip)
+{
+    const LogLevel old = logLevel();
+    setLogLevel(LogLevel::quiet);
+    EXPECT_EQ(logLevel(), LogLevel::quiet);
+    setLogLevel(LogLevel::verbose);
+    EXPECT_EQ(logLevel(), LogLevel::verbose);
+    setLogLevel(old);
+}
+
+TEST(Logging, WarnAndInformDoNotCrashAtAnyLevel)
+{
+    const LogLevel old = logLevel();
+    for (LogLevel level :
+         {LogLevel::quiet, LogLevel::normal, LogLevel::verbose}) {
+        setLogLevel(level);
+        warn("test warning %d", 1);
+        inform("test info %s", "two");
+        debugLog("test debug %f", 3.0);
+    }
+    setLogLevel(old);
+    SUCCEED();
+}

@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Tests for the deterministic RNG: reproducibility, independence of
+ * forked streams, and sanity of the distributions (property-style
+ * sweeps over seeds).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "base/random.hh"
+
+using namespace biglittle;
+
+TEST(Rng, SameSeedSameSequence)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next() == b.next() ? 1 : 0;
+    EXPECT_LT(same, 4);
+}
+
+TEST(Rng, ZeroSeedIsValid)
+{
+    Rng r(0);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 32; ++i)
+        seen.insert(r.next());
+    EXPECT_GT(seen.size(), 30u); // not stuck
+}
+
+TEST(Rng, ReseedRestartsSequence)
+{
+    Rng r(7);
+    const auto first = r.next();
+    r.next();
+    r.seed(7);
+    EXPECT_EQ(r.next(), first);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng r(42);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = r.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformMeanNearHalf)
+{
+    Rng r(42);
+    double sum = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        sum += r.uniform();
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformRangeRespectsBounds)
+{
+    Rng r(5);
+    for (int i = 0; i < 1000; ++i) {
+        const double v = r.uniform(-3.0, 7.0);
+        ASSERT_GE(v, -3.0);
+        ASSERT_LT(v, 7.0);
+    }
+}
+
+TEST(Rng, UniformIntInclusiveBounds)
+{
+    Rng r(9);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 1000; ++i) {
+        const auto v = r.uniformInt(3, 6);
+        ASSERT_GE(v, 3u);
+        ASSERT_LE(v, 6u);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 4u); // all values hit
+}
+
+TEST(Rng, ExponentialMeanConverges)
+{
+    Rng r(11);
+    double sum = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        sum += r.exponential(5.0);
+    EXPECT_NEAR(sum / n, 5.0, 0.15);
+}
+
+TEST(Rng, ExponentialIsPositive)
+{
+    Rng r(12);
+    for (int i = 0; i < 1000; ++i)
+        ASSERT_GT(r.exponential(1.0), 0.0);
+}
+
+TEST(Rng, NormalMomentsConverge)
+{
+    Rng r(13);
+    double sum = 0, sq = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) {
+        const double v = r.normal(10.0, 2.0);
+        sum += v;
+        sq += v * v;
+    }
+    const double mean = sum / n;
+    const double var = sq / n - mean * mean;
+    EXPECT_NEAR(mean, 10.0, 0.05);
+    EXPECT_NEAR(var, 4.0, 0.15);
+}
+
+TEST(Rng, LogNormalMedianConverges)
+{
+    Rng r(14);
+    std::vector<double> v;
+    const int n = 20001;
+    v.reserve(n);
+    for (int i = 0; i < n; ++i)
+        v.push_back(r.logNormal(8.0, 0.5));
+    std::sort(v.begin(), v.end());
+    EXPECT_NEAR(v[n / 2], 8.0, 0.25);
+    for (double x : v)
+        ASSERT_GT(x, 0.0);
+}
+
+TEST(Rng, ChanceExtremes)
+{
+    Rng r(15);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(r.chance(0.0));
+        EXPECT_TRUE(r.chance(1.0));
+    }
+}
+
+TEST(Rng, ChanceProbabilityConverges)
+{
+    Rng r(16);
+    int hits = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        hits += r.chance(0.3) ? 1 : 0;
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, ForkedStreamsAreIndependentOfParentUse)
+{
+    // The child stream must not change when the parent draws more.
+    Rng parent1(99);
+    Rng child1 = parent1.fork();
+    const auto c1 = child1.next();
+
+    Rng parent2(99);
+    Rng child2 = parent2.fork();
+    parent2.next();
+    parent2.next();
+    EXPECT_EQ(child2.next(), c1);
+}
+
+/** Property sweep: every seed produces in-range uniforms. */
+class RngSeedSweep : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(RngSeedSweep, UniformStaysInRange)
+{
+    Rng r(GetParam());
+    double min = 1.0, max = 0.0;
+    for (int i = 0; i < 5000; ++i) {
+        const double u = r.uniform();
+        min = std::min(min, u);
+        max = std::max(max, u);
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+    }
+    // The stream should cover most of the interval.
+    EXPECT_LT(min, 0.01);
+    EXPECT_GT(max, 0.99);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RngSeedSweep,
+                         ::testing::Values(0ull, 1ull, 42ull,
+                                           0xDEADBEEFull,
+                                           0xFFFFFFFFFFFFFFFFull));

@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Tests for RunningStats (Welford) and SampleSeries (percentiles).
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "base/random.hh"
+#include "base/stats.hh"
+
+using namespace biglittle;
+
+TEST(RunningStats, EmptyIsZero)
+{
+    RunningStats s;
+    EXPECT_TRUE(s.empty());
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(s.min(), 0.0);
+    EXPECT_DOUBLE_EQ(s.max(), 0.0);
+}
+
+TEST(RunningStats, SingleValue)
+{
+    RunningStats s;
+    s.add(3.5);
+    EXPECT_EQ(s.count(), 1u);
+    EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+    EXPECT_DOUBLE_EQ(s.min(), 3.5);
+    EXPECT_DOUBLE_EQ(s.max(), 3.5);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, KnownMoments)
+{
+    RunningStats s;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(x);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 4.0); // classic textbook data set
+    EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, NegativeValues)
+{
+    RunningStats s;
+    s.add(-5.0);
+    s.add(5.0);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.min(), -5.0);
+    EXPECT_DOUBLE_EQ(s.max(), 5.0);
+}
+
+TEST(RunningStats, MergeMatchesCombinedStream)
+{
+    Rng rng(3);
+    RunningStats all, a, b;
+    for (int i = 0; i < 1000; ++i) {
+        const double x = rng.normal(10, 3);
+        all.add(x);
+        (i % 3 == 0 ? a : b).add(x);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+    EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+    EXPECT_DOUBLE_EQ(a.min(), all.min());
+    EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmptySides)
+{
+    RunningStats a, b;
+    a.add(1.0);
+    a.add(2.0);
+    RunningStats a_copy = a;
+    a.merge(b); // empty rhs: no change
+    EXPECT_EQ(a.count(), 2u);
+    EXPECT_DOUBLE_EQ(a.mean(), a_copy.mean());
+
+    b.merge(a); // empty lhs: adopt rhs
+    EXPECT_EQ(b.count(), 2u);
+    EXPECT_DOUBLE_EQ(b.mean(), 1.5);
+}
+
+TEST(RunningStats, ResetClears)
+{
+    RunningStats s;
+    s.add(1.0);
+    s.reset();
+    EXPECT_TRUE(s.empty());
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+}
+
+TEST(SampleSeries, PercentileOfKnownData)
+{
+    SampleSeries s;
+    for (int i = 1; i <= 100; ++i)
+        s.add(static_cast<double>(i));
+    EXPECT_DOUBLE_EQ(s.percentile(0), 1.0);
+    EXPECT_DOUBLE_EQ(s.percentile(100), 100.0);
+    EXPECT_NEAR(s.percentile(50), 50.5, 1e-9);
+    EXPECT_NEAR(s.percentile(90), 90.1, 1e-9);
+    EXPECT_DOUBLE_EQ(s.median(), s.percentile(50));
+}
+
+TEST(SampleSeries, PercentileSingleSample)
+{
+    SampleSeries s;
+    s.add(7.0);
+    EXPECT_DOUBLE_EQ(s.percentile(0), 7.0);
+    EXPECT_DOUBLE_EQ(s.percentile(50), 7.0);
+    EXPECT_DOUBLE_EQ(s.percentile(100), 7.0);
+}
+
+TEST(SampleSeries, PercentileEmptyIsZero)
+{
+    SampleSeries s;
+    EXPECT_DOUBLE_EQ(s.percentile(50), 0.0);
+}
+
+TEST(SampleSeries, InterleavedAddAndQuery)
+{
+    // The sorted cache must invalidate on each add.
+    SampleSeries s;
+    s.add(10.0);
+    EXPECT_DOUBLE_EQ(s.percentile(100), 10.0);
+    s.add(20.0);
+    EXPECT_DOUBLE_EQ(s.percentile(100), 20.0);
+    s.add(5.0);
+    EXPECT_DOUBLE_EQ(s.percentile(0), 5.0);
+}
+
+TEST(SampleSeries, SummaryMatchesRunningStats)
+{
+    Rng rng(8);
+    SampleSeries s;
+    RunningStats r;
+    for (int i = 0; i < 500; ++i) {
+        const double x = rng.uniform(0, 100);
+        s.add(x);
+        r.add(x);
+    }
+    EXPECT_DOUBLE_EQ(s.mean(), r.mean());
+    EXPECT_DOUBLE_EQ(s.min(), r.min());
+    EXPECT_DOUBLE_EQ(s.max(), r.max());
+    EXPECT_DOUBLE_EQ(s.stddev(), r.stddev());
+}
+
+TEST(SampleSeries, ValuesPreserveInsertionOrder)
+{
+    SampleSeries s;
+    s.add(3.0);
+    s.add(1.0);
+    s.add(2.0);
+    const std::vector<double> expect = {3.0, 1.0, 2.0};
+    EXPECT_EQ(s.values(), expect);
+}
+
+/** Property: percentiles are monotone in p for arbitrary data. */
+class PercentileMonotone : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(PercentileMonotone, MonotoneInP)
+{
+    Rng rng(static_cast<std::uint64_t>(GetParam()));
+    SampleSeries s;
+    for (int i = 0; i < 257; ++i)
+        s.add(rng.normal(0, 50));
+    double prev = s.percentile(0);
+    for (int p = 1; p <= 100; ++p) {
+        const double cur = s.percentile(p);
+        ASSERT_GE(cur, prev) << "p=" << p;
+        prev = cur;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PercentileMonotone,
+                         ::testing::Range(1, 6));

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Tests for the string-formatting helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "base/strutil.hh"
+
+using namespace biglittle;
+
+TEST(StrUtil, FormatBasics)
+{
+    EXPECT_EQ(format("x=%d", 42), "x=42");
+    EXPECT_EQ(format("%s-%s", "a", "b"), "a-b");
+    EXPECT_EQ(format("%.2f", 3.14159), "3.14");
+    EXPECT_EQ(format("empty"), "empty");
+}
+
+TEST(StrUtil, FormatLongStrings)
+{
+    const std::string big(500, 'x');
+    EXPECT_EQ(format("%s", big.c_str()), big);
+}
+
+TEST(StrUtil, Padding)
+{
+    EXPECT_EQ(padRight("ab", 5), "ab   ");
+    EXPECT_EQ(padLeft("ab", 5), "   ab");
+    EXPECT_EQ(padRight("abcdef", 3), "abcdef"); // no truncation
+    EXPECT_EQ(padLeft("abcdef", 3), "abcdef");
+    EXPECT_EQ(padRight("", 3), "   ");
+}
+
+TEST(StrUtil, FreqToString)
+{
+    EXPECT_EQ(freqToString(1300000), "1.3GHz");
+    EXPECT_EQ(freqToString(1900000), "1.9GHz");
+    EXPECT_EQ(freqToString(500000), "500MHz");
+    EXPECT_EQ(freqToString(800000), "800MHz");
+}
+
+TEST(StrUtil, TicksToString)
+{
+    EXPECT_EQ(ticksToString(2 * oneSec), "2.00s");
+    EXPECT_EQ(ticksToString(msToTicks(12) + 340 * oneUs), "12.34ms");
+    EXPECT_EQ(ticksToString(usToTicks(5)), "5.00us");
+    EXPECT_EQ(ticksToString(123), "123ns");
+}
+
+TEST(StrUtil, PercentToString)
+{
+    EXPECT_EQ(percentToString(0.4783), "47.83");
+    EXPECT_EQ(percentToString(0.5, 0), "50");
+    EXPECT_EQ(percentToString(1.0, 1), "100.0");
+}
+
+TEST(StrUtil, Split)
+{
+    EXPECT_EQ(split("a,b,c", ','),
+              (std::vector<std::string>{"a", "b", "c"}));
+    EXPECT_EQ(split("", ','), (std::vector<std::string>{""}));
+    EXPECT_EQ(split("a,,b", ','),
+              (std::vector<std::string>{"a", "", "b"}));
+    EXPECT_EQ(split("abc", ','), (std::vector<std::string>{"abc"}));
+}
+
+TEST(StrUtil, StartsWith)
+{
+    EXPECT_TRUE(startsWith("--flag", "--"));
+    EXPECT_FALSE(startsWith("-f", "--"));
+    EXPECT_TRUE(startsWith("abc", ""));
+    EXPECT_FALSE(startsWith("", "a"));
+}
+
+TEST(StrUtil, ToLower)
+{
+    EXPECT_EQ(toLower("BigLITTLE"), "biglittle");
+    EXPECT_EQ(toLower("already"), "already");
+    EXPECT_EQ(toLower("MiXeD 123!"), "mixed 123!");
+}

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Unit tests for the fundamental time/frequency scalar types.
+ */
+
+#include <gtest/gtest.h>
+
+#include "base/types.hh"
+
+using namespace biglittle;
+
+TEST(Types, TickConstantsAreConsistent)
+{
+    EXPECT_EQ(oneUs, 1000u);
+    EXPECT_EQ(oneMs, 1000u * oneUs);
+    EXPECT_EQ(oneSec, 1000u * oneMs);
+}
+
+TEST(Types, MsToTicksRoundTrip)
+{
+    EXPECT_EQ(msToTicks(0), 0u);
+    EXPECT_EQ(msToTicks(1), oneMs);
+    EXPECT_EQ(msToTicks(250), 250u * oneMs);
+    EXPECT_EQ(ticksToMs(msToTicks(123)), 123u);
+}
+
+TEST(Types, UsToTicks)
+{
+    EXPECT_EQ(usToTicks(16667), 16667u * 1000u);
+}
+
+TEST(Types, TicksToMsTruncates)
+{
+    EXPECT_EQ(ticksToMs(oneMs - 1), 0u);
+    EXPECT_EQ(ticksToMs(oneMs), 1u);
+    EXPECT_EQ(ticksToMs(oneMs + 1), 1u);
+}
+
+TEST(Types, TicksToSeconds)
+{
+    EXPECT_DOUBLE_EQ(ticksToSeconds(oneSec), 1.0);
+    EXPECT_DOUBLE_EQ(ticksToSeconds(oneMs), 1e-3);
+    EXPECT_DOUBLE_EQ(ticksToSeconds(0), 0.0);
+}
+
+TEST(Types, FrequencyConversions)
+{
+    EXPECT_DOUBLE_EQ(kHzToHz(1300000), 1.3e9);
+    EXPECT_DOUBLE_EQ(kHzToGHz(1300000), 1.3);
+    EXPECT_DOUBLE_EQ(kHzToGHz(500000), 0.5);
+}
+
+TEST(Types, CyclesIn)
+{
+    // 1 second at 1 GHz is 1e9 cycles.
+    EXPECT_DOUBLE_EQ(cyclesIn(oneSec, 1000000), 1e9);
+    // 1 ms at 500 MHz is 5e5 cycles.
+    EXPECT_DOUBLE_EQ(cyclesIn(oneMs, 500000), 5e5);
+}
+
+TEST(Types, SentinelsAreExtreme)
+{
+    EXPECT_GT(invalidCoreId, 1000000u);
+    EXPECT_EQ(maxTick, std::numeric_limits<Tick>::max());
+}

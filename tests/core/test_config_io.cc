@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Tests for the ExperimentConfig text format: parsing, defaults,
+ * comments, error handling, and save/parse round-trips.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "core/config_io.hh"
+
+using namespace biglittle;
+
+TEST(ConfigIo, EmptyTextYieldsDefaults)
+{
+    const ExperimentConfig cfg = parseExperimentConfig("");
+    EXPECT_EQ(cfg.governor, GovernorKind::interactive);
+    EXPECT_EQ(cfg.sched.upThreshold, 700u);
+    EXPECT_EQ(cfg.coreConfig.littleCores, 4u);
+    EXPECT_EQ(cfg.coreConfig.bigCores, 4u);
+    EXPECT_TRUE(cfg.thermalEnabled);
+}
+
+TEST(ConfigIo, ParsesAllKeyKinds)
+{
+    const ExperimentConfig cfg = parseExperimentConfig(R"(
+# a Section VI-C style point
+governor = ondemand
+label = my-point
+interactive.sampling_ms = 60
+interactive.target_load = 80
+sched.up_threshold = 850
+sched.down_threshold = 400
+sched.half_life_ms = 64
+sched.boost_khz = 0
+cores.little = 2
+cores.big = 1
+thermal.enabled = false
+sample_window_ms = 20
+)");
+    EXPECT_EQ(cfg.governor, GovernorKind::ondemand);
+    EXPECT_EQ(cfg.label, "my-point");
+    EXPECT_EQ(cfg.interactive.samplingRate, msToTicks(60));
+    EXPECT_DOUBLE_EQ(cfg.interactive.targetLoad, 80.0);
+    EXPECT_EQ(cfg.sched.upThreshold, 850u);
+    EXPECT_EQ(cfg.sched.downThreshold, 400u);
+    EXPECT_DOUBLE_EQ(cfg.sched.loadHalfLifeMs, 64.0);
+    EXPECT_EQ(cfg.sched.upMigrationBoostFreq, 0u);
+    EXPECT_EQ(cfg.coreConfig.littleCores, 2u);
+    EXPECT_EQ(cfg.coreConfig.bigCores, 1u);
+    EXPECT_EQ(cfg.coreConfig.label, "L2+B1");
+    EXPECT_FALSE(cfg.thermalEnabled);
+    EXPECT_EQ(cfg.sampleWindow, msToTicks(20));
+}
+
+TEST(ConfigIo, CommentsAndWhitespaceIgnored)
+{
+    const ExperimentConfig cfg = parseExperimentConfig(
+        "  # full-line comment\n"
+        "\n"
+        "   governor =   powersave   # trailing comment\n");
+    EXPECT_EQ(cfg.governor, GovernorKind::powersave);
+}
+
+TEST(ConfigIo, BooleanSpellings)
+{
+    for (const char *yes : {"true", "1", "yes", "on"}) {
+        const ExperimentConfig cfg = parseExperimentConfig(
+            std::string("thermal.enabled = ") + yes);
+        EXPECT_TRUE(cfg.thermalEnabled) << yes;
+    }
+    for (const char *no : {"false", "0", "no", "off"}) {
+        const ExperimentConfig cfg = parseExperimentConfig(
+            std::string("thermal.enabled = ") + no);
+        EXPECT_FALSE(cfg.thermalEnabled) << no;
+    }
+}
+
+TEST(ConfigIoDeathTest, UnknownKeyIsFatal)
+{
+    EXPECT_EXIT(parseExperimentConfig("bogus.key = 1"),
+                ::testing::ExitedWithCode(1), "unknown config key");
+}
+
+TEST(ConfigIoDeathTest, MalformedLineIsFatal)
+{
+    EXPECT_EXIT(parseExperimentConfig("governor interactive"),
+                ::testing::ExitedWithCode(1), "expected 'key = value'");
+}
+
+TEST(ConfigIoDeathTest, NonNumericValueIsFatal)
+{
+    EXPECT_EXIT(parseExperimentConfig("sched.up_threshold = high"),
+                ::testing::ExitedWithCode(1), "not a number");
+}
+
+TEST(ConfigIoDeathTest, UnknownGovernorIsFatal)
+{
+    EXPECT_EXIT(parseExperimentConfig("governor = warpdrive"),
+                ::testing::ExitedWithCode(1), "unknown governor");
+}
+
+TEST(ConfigIoDeathTest, MissingFileIsFatal)
+{
+    EXPECT_EXIT(loadExperimentConfig("/nonexistent/x.conf"),
+                ::testing::ExitedWithCode(1), "cannot open config");
+}
+
+TEST(ConfigIo, SaveParseRoundTrip)
+{
+    ExperimentConfig cfg;
+    cfg.governor = GovernorKind::schedutil;
+    cfg.label = "round-trip";
+    cfg.interactive.samplingRate = msToTicks(100);
+    cfg.interactive.targetLoad = 60.0;
+    cfg.sched.upThreshold = 550;
+    cfg.sched.downThreshold = 100;
+    cfg.sched.loadHalfLifeMs = 16.0;
+    cfg.sched.upMigrationBoostFreq = 1700000;
+    cfg.coreConfig = {3, 2, "L3+B2"};
+    cfg.thermalEnabled = false;
+    cfg.userspaceBigFreq = 1100000;
+
+    const ExperimentConfig back =
+        parseExperimentConfig(saveExperimentConfig(cfg));
+    EXPECT_EQ(back.governor, cfg.governor);
+    EXPECT_EQ(back.label, cfg.label);
+    EXPECT_EQ(back.interactive.samplingRate,
+              cfg.interactive.samplingRate);
+    EXPECT_DOUBLE_EQ(back.interactive.targetLoad,
+                     cfg.interactive.targetLoad);
+    EXPECT_EQ(back.sched.upThreshold, cfg.sched.upThreshold);
+    EXPECT_EQ(back.sched.downThreshold, cfg.sched.downThreshold);
+    EXPECT_DOUBLE_EQ(back.sched.loadHalfLifeMs,
+                     cfg.sched.loadHalfLifeMs);
+    EXPECT_EQ(back.sched.upMigrationBoostFreq,
+              cfg.sched.upMigrationBoostFreq);
+    EXPECT_EQ(back.coreConfig.littleCores, cfg.coreConfig.littleCores);
+    EXPECT_EQ(back.coreConfig.bigCores, cfg.coreConfig.bigCores);
+    EXPECT_EQ(back.thermalEnabled, cfg.thermalEnabled);
+    EXPECT_EQ(back.userspaceBigFreq, cfg.userspaceBigFreq);
+}
+
+TEST(ConfigIo, FileRoundTrip)
+{
+    const std::string path =
+        ::testing::TempDir() + "biglittle_config_test.conf";
+    ExperimentConfig cfg;
+    cfg.governor = GovernorKind::conservative;
+    cfg.coreConfig = {2, 2, "L2+B2"};
+    writeExperimentConfig(cfg, path);
+    const ExperimentConfig back = loadExperimentConfig(path);
+    EXPECT_EQ(back.governor, GovernorKind::conservative);
+    EXPECT_EQ(back.coreConfig.bigCores, 2u);
+    std::remove(path.c_str());
+}
+
+TEST(ConfigIo, GovernorNamesRoundTrip)
+{
+    for (const GovernorKind kind :
+         {GovernorKind::interactive, GovernorKind::performance,
+          GovernorKind::powersave, GovernorKind::ondemand,
+          GovernorKind::conservative, GovernorKind::schedutil,
+          GovernorKind::userspace}) {
+        EXPECT_EQ(governorKindFromName(governorKindName(kind)), kind);
+    }
+}

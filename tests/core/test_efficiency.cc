@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Tests for the Table V efficiency decomposition: category
+ * boundaries, the "min" little-at-minimum rule, and the "full"
+ * big-at-max rule.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/efficiency.hh"
+#include "sim/simulation.hh"
+
+using namespace biglittle;
+
+namespace
+{
+
+class EfficiencyTest : public ::testing::Test
+{
+  protected:
+    Simulation sim;
+    AsymmetricPlatform plat{sim, exynos5422Params()};
+    EfficiencyAnalyzer analyzer{sim, plat, msToTicks(10)};
+
+    /** Run @p windows windows with core busy @p util of each. */
+    void
+    runWindows(Core &core, double util, int windows)
+    {
+        const Tick busy = static_cast<Tick>(util * msToTicks(10));
+        for (int i = 0; i < windows; ++i) {
+            if (busy > 0) {
+                core.setBusy(true);
+                sim.runFor(busy);
+                core.setBusy(false);
+            }
+            sim.runFor(msToTicks(10) - busy);
+        }
+    }
+};
+
+} // namespace
+
+TEST_F(EfficiencyTest, NoExecutionMeansEmptyReport)
+{
+    analyzer.start();
+    sim.runFor(msToTicks(200));
+    const EfficiencyReport r = analyzer.report();
+    EXPECT_EQ(r.executionWindows, 0u);
+    EXPECT_DOUBLE_EQ(r.minPct, 0.0);
+}
+
+TEST_F(EfficiencyTest, LittleAtMinLowUtilIsMin)
+{
+    plat.littleCluster().freqDomain().setFreqNow(500000);
+    analyzer.start();
+    runWindows(plat.littleCluster().core(0), 0.3, 10);
+    const EfficiencyReport r = analyzer.report();
+    EXPECT_EQ(r.executionWindows, 10u);
+    EXPECT_DOUBLE_EQ(r.minPct, 100.0);
+}
+
+TEST_F(EfficiencyTest, LittleAboveMinLowUtilIsBelow50)
+{
+    plat.littleCluster().freqDomain().setFreqNow(800000);
+    analyzer.start();
+    runWindows(plat.littleCluster().core(0), 0.3, 10);
+    const EfficiencyReport r = analyzer.report();
+    EXPECT_DOUBLE_EQ(r.below50Pct, 100.0);
+    EXPECT_DOUBLE_EQ(r.minPct, 0.0);
+}
+
+TEST_F(EfficiencyTest, BigLowUtilIsBelow50NotMin)
+{
+    plat.bigCluster().freqDomain().setFreqNow(800000);
+    analyzer.start();
+    runWindows(plat.bigCluster().core(0), 0.3, 10);
+    const EfficiencyReport r = analyzer.report();
+    EXPECT_DOUBLE_EQ(r.below50Pct, 100.0);
+    EXPECT_DOUBLE_EQ(r.minPct, 0.0);
+}
+
+TEST_F(EfficiencyTest, MidUtilizationBuckets)
+{
+    plat.littleCluster().freqDomain().setFreqNow(800000);
+    analyzer.start();
+    runWindows(plat.littleCluster().core(0), 0.6, 5);
+    runWindows(plat.littleCluster().core(0), 0.8, 5);
+    const EfficiencyReport r = analyzer.report();
+    EXPECT_DOUBLE_EQ(r.from50to70Pct, 50.0);
+    EXPECT_DOUBLE_EQ(r.from70to95Pct, 50.0);
+}
+
+TEST_F(EfficiencyTest, FullRequiresBigAtMaxSaturated)
+{
+    plat.bigCluster().freqDomain().setFreqNow(1900000);
+    analyzer.start();
+    plat.bigCluster().core(0).setBusy(true);
+    sim.runFor(msToTicks(100));
+    plat.bigCluster().core(0).setBusy(false);
+    const EfficiencyReport r = analyzer.report();
+    EXPECT_DOUBLE_EQ(r.fullPct, 100.0);
+}
+
+TEST_F(EfficiencyTest, SaturatedBigBelowMaxIsAbove95)
+{
+    plat.bigCluster().freqDomain().setFreqNow(1300000);
+    analyzer.start();
+    plat.bigCluster().core(0).setBusy(true);
+    sim.runFor(msToTicks(100));
+    plat.bigCluster().core(0).setBusy(false);
+    const EfficiencyReport r = analyzer.report();
+    EXPECT_DOUBLE_EQ(r.above95Pct, 100.0);
+    EXPECT_DOUBLE_EQ(r.fullPct, 0.0);
+}
+
+TEST_F(EfficiencyTest, SaturatedLittleAtMaxIsAbove95NotFull)
+{
+    plat.littleCluster().freqDomain().setFreqNow(1300000);
+    analyzer.start();
+    plat.littleCluster().core(0).setBusy(true);
+    sim.runFor(msToTicks(100));
+    plat.littleCluster().core(0).setBusy(false);
+    const EfficiencyReport r = analyzer.report();
+    EXPECT_DOUBLE_EQ(r.above95Pct, 100.0);
+    EXPECT_DOUBLE_EQ(r.fullPct, 0.0);
+}
+
+TEST_F(EfficiencyTest, CategoriesSumToHundred)
+{
+    plat.littleCluster().freqDomain().setFreqNow(500000);
+    analyzer.start();
+    runWindows(plat.littleCluster().core(0), 0.2, 3);
+    runWindows(plat.littleCluster().core(1), 0.6, 3);
+    plat.bigCluster().freqDomain().setFreqNow(1900000);
+    runWindows(plat.bigCluster().core(0), 1.0, 3);
+    const EfficiencyReport r = analyzer.report();
+    EXPECT_NEAR(r.minPct + r.below50Pct + r.from50to70Pct +
+                    r.from70to95Pct + r.above95Pct + r.fullPct,
+                100.0, 1e-9);
+    EXPECT_EQ(r.executionWindows, 9u);
+}
+
+TEST_F(EfficiencyTest, PerCoreWindowsCountIndependently)
+{
+    plat.littleCluster().freqDomain().setFreqNow(500000);
+    plat.littleCluster().core(0).setBusy(true);
+    plat.littleCluster().core(1).setBusy(true);
+    analyzer.start();
+    sim.runFor(msToTicks(50));
+    const EfficiencyReport r = analyzer.report();
+    EXPECT_EQ(r.executionWindows, 10u); // 2 cores x 5 windows
+}

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Tests for the Experiment harness: app runs, kernel runs and
+ * microbench runs return coherent, populated results.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.hh"
+#include "core/freq_residency.hh"
+#include "workload/apps.hh"
+
+using namespace biglittle;
+
+TEST(Experiment, FpsAppRunPopulatesEverything)
+{
+    Experiment experiment;
+    AppSpec app = angryBirdApp();
+    app.duration = msToTicks(4000);
+    const AppRunResult r = experiment.runApp(app);
+
+    EXPECT_EQ(r.app, "angry_bird");
+    EXPECT_EQ(r.metric, AppMetric::fps);
+    EXPECT_TRUE(r.completed);
+    EXPECT_EQ(r.simulatedTime, msToTicks(4000));
+    EXPECT_GT(r.avgFps, 30.0);
+    EXPECT_LE(r.avgFps, 61.0);
+    EXPECT_GT(r.minFps, 0.0);
+    EXPECT_LE(r.minFps, r.avgFps + 1e-9);
+    EXPECT_GT(r.frames, 100u);
+    EXPECT_GT(r.avgPowerMw, 250.0);
+    EXPECT_LT(r.avgPowerMw, 3000.0);
+    EXPECT_GT(r.tlp.tlp, 1.0);
+    EXPECT_GT(r.efficiency.executionWindows, 0u);
+    EXPECT_GT(r.sched.ticks, 0u);
+    EXPECT_DOUBLE_EQ(r.performanceValue(), r.avgFps);
+}
+
+TEST(Experiment, LatencyAppRunMeasuresScript)
+{
+    Experiment experiment;
+    const AppRunResult r = experiment.runApp(photoEditorApp());
+    EXPECT_EQ(r.metric, AppMetric::latency);
+    EXPECT_TRUE(r.completed);
+    EXPECT_GT(r.latency, msToTicks(100));
+    EXPECT_LT(r.latency, msToTicks(20000));
+    EXPECT_DOUBLE_EQ(r.performanceValue(),
+                     static_cast<double>(r.latency) /
+                         static_cast<double>(oneMs));
+}
+
+TEST(Experiment, ResidencyFractionsSumToOne)
+{
+    Experiment experiment;
+    AppSpec app = videoPlayerApp();
+    app.duration = msToTicks(3000);
+    const AppRunResult r = experiment.runApp(app);
+    double little_sum = 0.0;
+    for (const auto &e : r.littleResidency.entries)
+        little_sum += e.fraction;
+    EXPECT_NEAR(little_sum, 1.0, 1e-9);
+    // Video player never wakes the big cluster.
+    EXPECT_DOUBLE_EQ(r.bigResidency.totalActiveSeconds, 0.0);
+}
+
+TEST(Experiment, CoreConfigRestrictsUsage)
+{
+    ExperimentConfig cfg;
+    cfg.coreConfig = {2, 0, "L2"};
+    Experiment experiment(cfg);
+    AppSpec app = angryBirdApp();
+    app.duration = msToTicks(3000);
+    const AppRunResult r = experiment.runApp(app);
+    EXPECT_DOUBLE_EQ(r.tlp.bigSharePct, 0.0);
+    EXPECT_LE(r.tlp.tlp, 2.0 + 1e-9);
+}
+
+TEST(Experiment, PowersaveUsesLessPowerThanPerformance)
+{
+    AppSpec app = fifa15App();
+    app.duration = msToTicks(3000);
+
+    ExperimentConfig save_cfg;
+    save_cfg.governor = GovernorKind::powersave;
+    ExperimentConfig perf_cfg;
+    perf_cfg.governor = GovernorKind::performance;
+
+    const AppRunResult save = Experiment(save_cfg).runApp(app);
+    const AppRunResult perf = Experiment(perf_cfg).runApp(app);
+    EXPECT_LT(save.avgPowerMw, perf.avgPowerMw);
+    EXPECT_LE(save.avgFps, perf.avgFps + 1.0);
+}
+
+TEST(Experiment, KernelRunScalesWithFrequency)
+{
+    Experiment experiment;
+    const SpecKernel &hmmer = specKernelByName("hmmer");
+    const KernelRunResult slow =
+        experiment.runKernel(hmmer, CoreType::little, 500000);
+    const KernelRunResult fast =
+        experiment.runKernel(hmmer, CoreType::little, 1000000);
+    EXPECT_NEAR(static_cast<double>(slow.runtime) /
+                    static_cast<double>(fast.runtime),
+                2.0, 0.05);
+    EXPECT_GT(fast.avgPowerMw, slow.avgPowerMw);
+}
+
+TEST(Experiment, KernelRunBigBeatsLittle)
+{
+    Experiment experiment;
+    const SpecKernel &mcf = specKernelByName("mcf");
+    const KernelRunResult little =
+        experiment.runKernel(mcf, CoreType::little, 1300000);
+    const KernelRunResult big =
+        experiment.runKernel(mcf, CoreType::big, 1300000);
+    EXPECT_GT(static_cast<double>(little.runtime) /
+                  static_cast<double>(big.runtime),
+              3.0);
+}
+
+TEST(Experiment, MicrobenchHitsTargetUtilization)
+{
+    Experiment experiment;
+    const MicrobenchResult r = experiment.runMicrobench(
+        CoreType::little, 1000000, 0.6, msToTicks(2000));
+    EXPECT_NEAR(r.achievedUtilization, 0.6, 0.05);
+    EXPECT_EQ(r.freq, 1000000u);
+    EXPECT_GT(r.avgPowerMw, 250.0);
+}
+
+TEST(Experiment, MicrobenchPowerMonotoneInUtilization)
+{
+    Experiment experiment;
+    double prev = 0.0;
+    for (const double util : {0.2, 0.5, 0.8, 1.0}) {
+        const MicrobenchResult r = experiment.runMicrobench(
+            CoreType::big, 1900000, util, msToTicks(1000));
+        EXPECT_GT(r.avgPowerMw, prev) << util;
+        prev = r.avgPowerMw;
+    }
+}
+
+TEST(Experiment, GovernorKindNames)
+{
+    EXPECT_STREQ(governorKindName(GovernorKind::interactive),
+                 "interactive");
+    EXPECT_STREQ(governorKindName(GovernorKind::performance),
+                 "performance");
+    EXPECT_STREQ(governorKindName(GovernorKind::powersave),
+                 "powersave");
+    EXPECT_STREQ(governorKindName(GovernorKind::ondemand),
+                 "ondemand");
+    EXPECT_STREQ(governorKindName(GovernorKind::userspace),
+                 "userspace");
+}

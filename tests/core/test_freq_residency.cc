@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Tests for the frequency-residency analyzer (Figs. 9/10 data).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/freq_residency.hh"
+#include "platform/platform.hh"
+#include "sim/simulation.hh"
+
+using namespace biglittle;
+
+namespace
+{
+
+class ResidencyTest : public ::testing::Test
+{
+  protected:
+    Simulation sim;
+    AsymmetricPlatform plat{sim, exynos5422Params()};
+
+    Cluster &little() { return plat.littleCluster(); }
+};
+
+} // namespace
+
+TEST_F(ResidencyTest, IdleClusterHasNoActiveTime)
+{
+    sim.runFor(oneSec);
+    const FreqResidency res = makeFreqResidency(little());
+    EXPECT_DOUBLE_EQ(res.totalActiveSeconds, 0.0);
+    EXPECT_EQ(res.entries.size(),
+              little().freqDomain().opps().size());
+    for (const auto &e : res.entries)
+        EXPECT_DOUBLE_EQ(e.fraction, 0.0);
+}
+
+TEST_F(ResidencyTest, SingleFreqGetsAllTheTime)
+{
+    little().freqDomain().setFreqNow(900000);
+    little().core(0).setBusy(true);
+    sim.runFor(msToTicks(250));
+    little().core(0).setBusy(false);
+    const FreqResidency res = makeFreqResidency(little());
+    EXPECT_NEAR(res.totalActiveSeconds, 0.25, 1e-9);
+    for (const auto &e : res.entries) {
+        if (e.freq == 900000)
+            EXPECT_DOUBLE_EQ(e.fraction, 1.0);
+        else
+            EXPECT_DOUBLE_EQ(e.fraction, 0.0);
+    }
+}
+
+TEST_F(ResidencyTest, SplitsAcrossFrequencies)
+{
+    little().core(0).setBusy(true);
+    little().freqDomain().setFreqNow(500000);
+    sim.runFor(msToTicks(300));
+    little().freqDomain().setFreqNow(1300000);
+    sim.runFor(msToTicks(100));
+    little().core(0).setBusy(false);
+    const FreqResidency res = makeFreqResidency(little());
+    EXPECT_NEAR(res.totalActiveSeconds, 0.4, 1e-9);
+    for (const auto &e : res.entries) {
+        if (e.freq == 500000) {
+            EXPECT_NEAR(e.fraction, 0.75, 1e-9);
+        } else if (e.freq == 1300000) {
+            EXPECT_NEAR(e.fraction, 0.25, 1e-9);
+        }
+    }
+}
+
+TEST_F(ResidencyTest, AggregatesAcrossCores)
+{
+    little().freqDomain().setFreqNow(700000);
+    little().core(0).setBusy(true);
+    little().core(1).setBusy(true);
+    sim.runFor(msToTicks(100));
+    little().core(0).setBusy(false);
+    little().core(1).setBusy(false);
+    const FreqResidency res = makeFreqResidency(little());
+    // Two cores x 100 ms = 0.2 core-seconds.
+    EXPECT_NEAR(res.totalActiveSeconds, 0.2, 1e-9);
+}
+
+TEST_F(ResidencyTest, IdleTimeIsExcluded)
+{
+    little().freqDomain().setFreqNow(500000);
+    sim.runFor(msToTicks(500)); // idle at 500 MHz
+    little().core(2).setBusy(true);
+    sim.runFor(msToTicks(100));
+    little().core(2).setBusy(false);
+    const FreqResidency res = makeFreqResidency(little());
+    EXPECT_NEAR(res.totalActiveSeconds, 0.1, 1e-9);
+    EXPECT_DOUBLE_EQ(res.entries.front().fraction, 1.0);
+}
+
+TEST_F(ResidencyTest, FractionsSumToOneWhenActive)
+{
+    little().core(0).setBusy(true);
+    for (const Opp &opp : little().freqDomain().opps()) {
+        little().freqDomain().setFreqNow(opp.freq);
+        sim.runFor(msToTicks(37));
+    }
+    little().core(0).setBusy(false);
+    const FreqResidency res = makeFreqResidency(little());
+    double sum = 0.0;
+    for (const auto &e : res.entries)
+        sum += e.fraction;
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+    // Uniform time per OPP -> uniform fractions.
+    for (const auto &e : res.entries)
+        EXPECT_NEAR(e.fraction,
+                    1.0 / static_cast<double>(res.entries.size()),
+                    1e-9);
+}

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Tests for the report printers: table rendering does not crash,
+ * respects shapes, and the CSV mirrors carry exactly the printed
+ * rows.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "base/csv.hh"
+#include "core/experiment.hh"
+#include "core/report.hh"
+#include "workload/apps.hh"
+
+using namespace biglittle;
+
+namespace
+{
+
+/** One short app run shared by all report tests. */
+const AppRunResult &
+sharedRun()
+{
+    static const AppRunResult result = [] {
+        Experiment experiment;
+        AppSpec app = angryBirdApp();
+        app.duration = msToTicks(2000);
+        return experiment.runApp(app);
+    }();
+    return result;
+}
+
+std::vector<std::string>
+csvLines(const std::string &path)
+{
+    std::ifstream in(path);
+    std::vector<std::string> lines;
+    std::string line;
+    while (std::getline(in, line))
+        lines.push_back(line);
+    return lines;
+}
+
+class ReportTest : public ::testing::Test
+{
+  protected:
+    std::string path;
+
+    void
+    SetUp() override
+    {
+        path = ::testing::TempDir() + "biglittle_report_test.csv";
+    }
+
+    void
+    TearDown() override
+    {
+        std::remove(path.c_str());
+    }
+};
+
+} // namespace
+
+TEST_F(ReportTest, TlpTableCsvHasOneRowPerApp)
+{
+    const std::vector<AppRunResult> results = {sharedRun(),
+                                               sharedRun()};
+    {
+        CsvWriter csv(path);
+        printTlpTable(results, &csv);
+    }
+    const auto lines = csvLines(path);
+    ASSERT_EQ(lines.size(), 3u); // header + 2 rows
+    EXPECT_EQ(lines[0], "app,idle_pct,little_pct,big_pct,tlp");
+    EXPECT_EQ(lines[1].rfind("angry_bird,", 0), 0u);
+}
+
+TEST_F(ReportTest, TlpMatrixCsvHasFiveRows)
+{
+    {
+        CsvWriter csv(path);
+        printTlpMatrix(sharedRun(), &csv);
+    }
+    const auto lines = csvLines(path);
+    // 5 big-count rows, no header written by the matrix printer.
+    ASSERT_EQ(lines.size(), 5u);
+    for (const auto &line : lines)
+        EXPECT_EQ(line.rfind("angry_bird,", 0), 0u);
+}
+
+TEST_F(ReportTest, EfficiencyCsvRowSumsToHundred)
+{
+    {
+        CsvWriter csv(path);
+        printEfficiencyTable({sharedRun()}, &csv);
+    }
+    const auto lines = csvLines(path);
+    ASSERT_EQ(lines.size(), 2u);
+    std::stringstream ss(lines[1]);
+    std::string cell;
+    std::getline(ss, cell, ','); // app name
+    double sum = 0.0;
+    while (std::getline(ss, cell, ','))
+        sum += std::stod(cell);
+    EXPECT_NEAR(sum, 100.0, 0.01);
+}
+
+TEST_F(ReportTest, ResidencyCsvHasColumnPerOpp)
+{
+    {
+        CsvWriter csv(path);
+        printFreqResidencyTable({sharedRun()}, /*big=*/false, &csv);
+    }
+    const auto lines = csvLines(path);
+    ASSERT_EQ(lines.size(), 2u);
+    // app + 9 little OPPs
+    EXPECT_EQ(std::count(lines[0].begin(), lines[0].end(), ','), 9);
+    EXPECT_EQ(std::count(lines[1].begin(), lines[1].end(), ','), 9);
+}
+
+TEST_F(ReportTest, TaskTableCsvHasOneRowPerThread)
+{
+    {
+        CsvWriter csv(path);
+        printTaskTable(sharedRun(), &csv);
+    }
+    const auto lines = csvLines(path);
+    // header + one row per angry_bird thread (render/physics/audio)
+    ASSERT_EQ(lines.size(), 1u + sharedRun().tasks.size());
+    EXPECT_EQ(lines[0],
+              "task,minst,little_ms,big_ms,big_share_pct,migrations");
+    EXPECT_NE(lines[1].find("angry_bird."), std::string::npos);
+}
+
+TEST_F(ReportTest, PrintersWithoutCsvDoNotCrash)
+{
+    printTlpTable({sharedRun()});
+    printTlpMatrix(sharedRun());
+    printEfficiencyTable({sharedRun()});
+    printFreqResidencyTable({sharedRun()}, true);
+    printFreqResidencyTable({sharedRun()}, false);
+    printRunSummary(sharedRun());
+    printTaskTable(sharedRun());
+    SUCCEED();
+}
+
+TEST_F(ReportTest, TaskSummariesMatchSchedulerTotals)
+{
+    const AppRunResult &r = sharedRun();
+    ASSERT_FALSE(r.tasks.empty());
+    double total_minst = 0.0;
+    for (const TaskSummary &t : r.tasks) {
+        total_minst += t.instructionsRetired;
+        EXPECT_GE(t.bigSharePct(), 0.0);
+        EXPECT_LE(t.bigSharePct(), 100.0);
+    }
+    EXPECT_GT(total_minst, 0.0);
+}

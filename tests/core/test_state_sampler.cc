@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Tests for the 10 ms windowed state sampler that feeds Tables
+ * III/IV: a core counts as active in a window iff it accumulated
+ * busy time during that window.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/state_sampler.hh"
+#include "sim/simulation.hh"
+
+using namespace biglittle;
+
+namespace
+{
+
+class SamplerTest : public ::testing::Test
+{
+  protected:
+    Simulation sim;
+    AsymmetricPlatform plat{sim, exynos5422Params()};
+    StateSampler sampler{sim, plat, msToTicks(10)};
+};
+
+} // namespace
+
+TEST_F(SamplerTest, DimensionsMatchPlatform)
+{
+    EXPECT_EQ(sampler.bigCores(), 4u);
+    EXPECT_EQ(sampler.littleCores(), 4u);
+    EXPECT_EQ(sampler.window(), msToTicks(10));
+    EXPECT_EQ(sampler.windows(), 0u);
+}
+
+TEST_F(SamplerTest, IdlePlatformCountsIdleWindows)
+{
+    sampler.start();
+    sim.runFor(msToTicks(100));
+    EXPECT_EQ(sampler.windows(), 10u);
+    EXPECT_EQ(sampler.idleWindows(), 10u);
+    EXPECT_DOUBLE_EQ(sampler.fractionAt(0, 0), 1.0);
+}
+
+TEST_F(SamplerTest, ContinuouslyBusyCoreCountsEveryWindow)
+{
+    plat.littleCluster().core(0).setBusy(true);
+    sampler.start();
+    sim.runFor(msToTicks(100));
+    EXPECT_EQ(sampler.windowsAt(0, 1), 10u);
+    EXPECT_EQ(sampler.idleWindows(), 0u);
+}
+
+TEST_F(SamplerTest, BriefActivityWithinWindowCounts)
+{
+    // 1 ms of work inside a 10 ms window marks the window active -
+    // the paper's "non-zero utilization during each sampling
+    // interval" rule, not an instantaneous sample.
+    sampler.start();
+    sim.after(msToTicks(3), [this] {
+        plat.littleCluster().core(0).setBusy(true);
+    });
+    sim.after(msToTicks(4), [this] {
+        plat.littleCluster().core(0).setBusy(false);
+    });
+    sim.runFor(msToTicks(10));
+    EXPECT_EQ(sampler.windowsAt(0, 1), 1u);
+    sim.runFor(msToTicks(10));
+    EXPECT_EQ(sampler.windowsAt(0, 0), 1u); // next window idle
+}
+
+TEST_F(SamplerTest, JointCountsByType)
+{
+    plat.littleCluster().core(0).setBusy(true);
+    plat.littleCluster().core(2).setBusy(true);
+    plat.bigCluster().core(1).setBusy(true);
+    sampler.start();
+    sim.runFor(msToTicks(50));
+    EXPECT_EQ(sampler.windowsAt(1, 2), 5u);
+    EXPECT_DOUBLE_EQ(sampler.fractionAt(1, 2), 1.0);
+}
+
+TEST_F(SamplerTest, TransitionsAcrossWindowsAreAttributed)
+{
+    sampler.start();
+    plat.bigCluster().core(0).setBusy(true);
+    sim.after(msToTicks(25), [this] {
+        plat.bigCluster().core(0).setBusy(false);
+    });
+    sim.runFor(msToTicks(50));
+    // Windows 1-3 see big activity (the 25 ms spans three windows),
+    // windows 4-5 are idle.
+    EXPECT_EQ(sampler.windowsAt(1, 0), 3u);
+    EXPECT_EQ(sampler.windowsAt(0, 0), 2u);
+}
+
+TEST_F(SamplerTest, StopFreezesCounts)
+{
+    plat.littleCluster().core(0).setBusy(true);
+    sampler.start();
+    sim.runFor(msToTicks(30));
+    sampler.stop();
+    sim.runFor(msToTicks(100));
+    EXPECT_EQ(sampler.windows(), 3u);
+}
+
+TEST_F(SamplerTest, StartResetsBaseline)
+{
+    // Busy time accumulated before start() must not leak into the
+    // first window.
+    plat.littleCluster().core(0).setBusy(true);
+    sim.runFor(msToTicks(50));
+    plat.littleCluster().core(0).setBusy(false);
+    sampler.start();
+    sim.runFor(msToTicks(20));
+    EXPECT_EQ(sampler.idleWindows(), 2u);
+}

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Tests for the TLP report derived from the state sampler: the
+ * Table III column semantics and the Blake TLP metric.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/tlp.hh"
+#include "sim/simulation.hh"
+
+using namespace biglittle;
+
+namespace
+{
+
+class TlpTest : public ::testing::Test
+{
+  protected:
+    Simulation sim;
+    AsymmetricPlatform plat{sim, exynos5422Params()};
+    StateSampler sampler{sim, plat, msToTicks(10)};
+};
+
+} // namespace
+
+TEST_F(TlpTest, EmptySamplerYieldsZeroReport)
+{
+    const TlpReport r = makeTlpReport(sampler);
+    EXPECT_DOUBLE_EQ(r.idlePct, 0.0);
+    EXPECT_DOUBLE_EQ(r.tlp, 0.0);
+    ASSERT_EQ(r.matrixPct.size(), 5u);
+    ASSERT_EQ(r.matrixPct[0].size(), 5u);
+}
+
+TEST_F(TlpTest, AllIdleIsHundredPercentIdle)
+{
+    sampler.start();
+    sim.runFor(msToTicks(100));
+    const TlpReport r = makeTlpReport(sampler);
+    EXPECT_DOUBLE_EQ(r.idlePct, 100.0);
+    EXPECT_DOUBLE_EQ(r.matrixPct[0][0], 100.0);
+}
+
+TEST_F(TlpTest, TwoLittleCoresGiveTlpTwo)
+{
+    plat.littleCluster().core(0).setBusy(true);
+    plat.littleCluster().core(1).setBusy(true);
+    sampler.start();
+    sim.runFor(msToTicks(200));
+    const TlpReport r = makeTlpReport(sampler);
+    EXPECT_DOUBLE_EQ(r.idlePct, 0.0);
+    EXPECT_DOUBLE_EQ(r.tlp, 2.0);
+    EXPECT_DOUBLE_EQ(r.littleSharePct, 100.0);
+    EXPECT_DOUBLE_EQ(r.bigSharePct, 0.0);
+    EXPECT_DOUBLE_EQ(r.littleTlp, 2.0);
+    EXPECT_DOUBLE_EQ(r.bigTlp, 0.0);
+}
+
+TEST_F(TlpTest, SharesSplitByCoreCycles)
+{
+    // 1 big + 3 little busy: big share = 1/4 = 25%.
+    plat.bigCluster().core(0).setBusy(true);
+    for (int i = 0; i < 3; ++i)
+        plat.littleCluster().core(i).setBusy(true);
+    sampler.start();
+    sim.runFor(msToTicks(100));
+    const TlpReport r = makeTlpReport(sampler);
+    EXPECT_DOUBLE_EQ(r.bigSharePct, 25.0);
+    EXPECT_DOUBLE_EQ(r.littleSharePct, 75.0);
+    EXPECT_DOUBLE_EQ(r.tlp, 4.0);
+    EXPECT_DOUBLE_EQ(r.anyBigWindowPct, 100.0);
+    EXPECT_DOUBLE_EQ(r.littleOnlyWindowPct, 0.0);
+}
+
+TEST_F(TlpTest, SharesAlwaysSumToHundredWhenActive)
+{
+    // Alternating activity pattern.
+    sampler.start();
+    for (int i = 0; i < 20; ++i) {
+        plat.littleCluster().core(i % 4).setBusy(true);
+        if (i % 3 == 0)
+            plat.bigCluster().core(i % 4).setBusy(true);
+        sim.runFor(msToTicks(10));
+        plat.littleCluster().core(i % 4).setBusy(false);
+        if (i % 3 == 0)
+            plat.bigCluster().core(i % 4).setBusy(false);
+        sim.runFor(msToTicks(5));
+    }
+    const TlpReport r = makeTlpReport(sampler);
+    EXPECT_NEAR(r.littleSharePct + r.bigSharePct, 100.0, 1e-9);
+    EXPECT_NEAR(r.littleTlp + r.bigTlp, r.tlp, 1e-9);
+}
+
+TEST_F(TlpTest, MatrixSumsToHundred)
+{
+    plat.littleCluster().core(0).setBusy(true);
+    sampler.start();
+    sim.runFor(msToTicks(70));
+    plat.bigCluster().core(2).setBusy(true);
+    sim.runFor(msToTicks(30));
+    const TlpReport r = makeTlpReport(sampler);
+    double sum = 0.0;
+    for (const auto &row : r.matrixPct)
+        for (const double cell : row)
+            sum += cell;
+    EXPECT_NEAR(sum, 100.0, 1e-9);
+    EXPECT_NEAR(r.matrixPct[0][1], 70.0, 1e-9);
+    EXPECT_NEAR(r.matrixPct[1][1], 30.0, 1e-9);
+}
+
+TEST_F(TlpTest, IdleExcludedFromTlp)
+{
+    // Active half the time with 2 cores: TLP must be 2, not 1.
+    sampler.start();
+    for (int i = 0; i < 10; ++i) {
+        plat.littleCluster().core(0).setBusy(true);
+        plat.littleCluster().core(1).setBusy(true);
+        sim.runFor(msToTicks(10));
+        plat.littleCluster().core(0).setBusy(false);
+        plat.littleCluster().core(1).setBusy(false);
+        sim.runFor(msToTicks(10));
+    }
+    const TlpReport r = makeTlpReport(sampler);
+    EXPECT_NEAR(r.idlePct, 50.0, 1e-9);
+    EXPECT_NEAR(r.tlp, 2.0, 1e-9);
+}

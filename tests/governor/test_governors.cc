@@ -1,0 +1,319 @@
+/**
+ * @file
+ * Tests for the DVFS governors: the interactive policy of Algorithm
+ * 2 (target-load sizing, hispeed jump, sampling cadence), plus the
+ * performance/powersave/userspace/ondemand references.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "governor/interactive.hh"
+#include "governor/simple_governors.hh"
+#include "platform/platform.hh"
+#include "sim/simulation.hh"
+
+using namespace biglittle;
+
+namespace
+{
+
+class GovernorTest : public ::testing::Test
+{
+  protected:
+    Simulation sim;
+    AsymmetricPlatform plat{sim, exynos5422Params()};
+
+    Cluster &little() { return plat.littleCluster(); }
+    Cluster &big() { return plat.bigCluster(); }
+
+    /** Hold core 0 of the little cluster at @p duty busy fraction. */
+    void
+    runDuty(double duty, Tick duration)
+    {
+        const Tick period = msToTicks(4);
+        const Tick busy =
+            static_cast<Tick>(duty * static_cast<double>(period));
+        const Tick end = sim.now() + duration;
+        while (sim.now() < end) {
+            if (busy > 0) {
+                little().core(0).setBusy(true);
+                sim.runFor(busy);
+                little().core(0).setBusy(false);
+            }
+            sim.runFor(period - busy);
+        }
+    }
+};
+
+} // namespace
+
+TEST_F(GovernorTest, InteractiveStartsAtMinFreq)
+{
+    little().freqDomain().setFreqNow(1300000);
+    InteractiveGovernor gov(sim, little(), defaultInteractiveParams());
+    gov.start();
+    EXPECT_EQ(little().freqDomain().currentFreq(), 500000u);
+}
+
+TEST_F(GovernorTest, IdleClusterStaysAtMin)
+{
+    InteractiveGovernor gov(sim, little(), defaultInteractiveParams());
+    gov.start();
+    sim.runFor(msToTicks(500));
+    EXPECT_EQ(little().freqDomain().currentFreq(), 500000u);
+    EXPECT_GE(gov.samples(), 24u);
+}
+
+TEST_F(GovernorTest, FullLoadRampsToMax)
+{
+    InteractiveGovernor gov(sim, little(), defaultInteractiveParams());
+    gov.start();
+    little().core(0).setBusy(true);
+    sim.runFor(msToTicks(300));
+    EXPECT_EQ(little().freqDomain().currentFreq(), 1300000u);
+    EXPECT_GE(gov.hispeedJumps(), 1u);
+}
+
+TEST_F(GovernorTest, ModerateLoadSettlesNearTargetLoad)
+{
+    InteractiveGovernor gov(sim, little(), defaultInteractiveParams());
+    gov.start();
+    // 45% duty at any frequency: the governor should hold a low
+    // frequency where utilization sits near targetLoad.
+    runDuty(0.45, msToTicks(2000));
+    const FreqKHz f = little().freqDomain().currentFreq();
+    // 45% of capacity at min freq needs ~0.45/0.7 * 500 = 321 MHz:
+    // min frequency suffices.
+    EXPECT_LE(f, 700000u);
+}
+
+TEST_F(GovernorTest, HispeedJumpGoesToIntermediateFreq)
+{
+    InteractiveParams ip = defaultInteractiveParams();
+    InteractiveGovernor gov(sim, little(), ip);
+    gov.start();
+    // hispeed resolves to ~75% of max rounded up to an OPP.
+    EXPECT_GE(gov.hispeedFreq(), 975000u);
+    EXPECT_LT(gov.hispeedFreq(), 1300000u);
+    little().core(0).setBusy(true);
+    sim.runFor(msToTicks(21)); // one sample: util 100% -> jump
+    EXPECT_GE(little().freqDomain().currentFreq(), gov.hispeedFreq());
+}
+
+TEST_F(GovernorTest, LoadDropScalesFrequencyBackDown)
+{
+    InteractiveGovernor gov(sim, little(), defaultInteractiveParams());
+    gov.start();
+    little().core(0).setBusy(true);
+    sim.runFor(msToTicks(200));
+    ASSERT_EQ(little().freqDomain().currentFreq(), 1300000u);
+    little().core(0).setBusy(false);
+    sim.runFor(msToTicks(100));
+    EXPECT_EQ(little().freqDomain().currentFreq(), 500000u);
+}
+
+TEST_F(GovernorTest, UtilizationIsMaxAcrossCores)
+{
+    // One fully busy core must drive the domain up even if the
+    // other three idle (cpufreq takes the busiest CPU of a policy).
+    InteractiveGovernor gov(sim, little(), defaultInteractiveParams());
+    gov.start();
+    little().core(3).setBusy(true);
+    sim.runFor(msToTicks(300));
+    EXPECT_EQ(little().freqDomain().currentFreq(), 1300000u);
+}
+
+TEST_F(GovernorTest, SamplingRateControlsReactionDelay)
+{
+    InteractiveGovernor slow(sim, little(), interval100Params());
+    slow.start();
+    little().core(0).setBusy(true);
+    sim.runFor(msToTicks(60));
+    // First sample has not happened yet at 60 ms with a 100 ms rate.
+    EXPECT_EQ(little().freqDomain().currentFreq(), 500000u);
+    sim.runFor(msToTicks(60));
+    EXPECT_GT(little().freqDomain().currentFreq(), 500000u);
+}
+
+TEST_F(GovernorTest, InteractiveParamPresetsMatchPaper)
+{
+    EXPECT_EQ(defaultInteractiveParams().samplingRate, msToTicks(20));
+    EXPECT_DOUBLE_EQ(defaultInteractiveParams().targetLoad, 70.0);
+    EXPECT_EQ(interval60Params().samplingRate, msToTicks(60));
+    EXPECT_EQ(interval100Params().samplingRate, msToTicks(100));
+    EXPECT_DOUBLE_EQ(highTargetLoadParams().targetLoad, 80.0);
+    EXPECT_DOUBLE_EQ(lowTargetLoadParams().targetLoad, 60.0);
+}
+
+TEST_F(GovernorTest, LowerTargetLoadPicksHigherFrequency)
+{
+    // Same duty cycle, two target loads: the 60% target must hold a
+    // frequency at least as high as the 80% target.
+    auto settle = [this](const InteractiveParams &ip) {
+        Simulation sim2;
+        AsymmetricPlatform plat2(sim2, exynos5422Params());
+        InteractiveGovernor gov(sim2, plat2.littleCluster(), ip);
+        gov.start();
+        Core &core = plat2.littleCluster().core(0);
+        for (int i = 0; i < 400; ++i) {
+            core.setBusy(true);
+            sim2.runFor(msToTicks(3));
+            core.setBusy(false);
+            sim2.runFor(oneMs);
+        }
+        return plat2.littleCluster().freqDomain().currentFreq();
+    };
+    const FreqKHz f_low = settle(lowTargetLoadParams());
+    const FreqKHz f_high = settle(highTargetLoadParams());
+    EXPECT_GE(f_low, f_high);
+}
+
+TEST_F(GovernorTest, PerformancePinsMax)
+{
+    PerformanceGovernor gov(sim, big());
+    gov.start();
+    EXPECT_EQ(big().freqDomain().currentFreq(), 1900000u);
+    sim.runFor(msToTicks(500));
+    EXPECT_EQ(big().freqDomain().currentFreq(), 1900000u);
+}
+
+TEST_F(GovernorTest, PowersavePinsMin)
+{
+    big().freqDomain().setFreqNow(1900000);
+    PowersaveGovernor gov(sim, big());
+    gov.start();
+    EXPECT_EQ(big().freqDomain().currentFreq(), 800000u);
+    big().core(0).setBusy(true);
+    sim.runFor(msToTicks(500));
+    EXPECT_EQ(big().freqDomain().currentFreq(), 800000u);
+}
+
+TEST_F(GovernorTest, UserspaceHoldsChosenFreq)
+{
+    UserspaceGovernor gov(sim, little(), 900000);
+    gov.start();
+    EXPECT_EQ(little().freqDomain().currentFreq(), 900000u);
+    little().core(0).setBusy(true);
+    sim.runFor(msToTicks(500));
+    EXPECT_EQ(little().freqDomain().currentFreq(), 900000u);
+    gov.setFreq(1200000);
+    EXPECT_EQ(little().freqDomain().currentFreq(), 1200000u);
+    EXPECT_EQ(gov.freq(), 1200000u);
+}
+
+TEST_F(GovernorTest, OndemandJumpsToMaxAboveThreshold)
+{
+    OndemandGovernor gov(sim, little());
+    gov.start();
+    little().core(0).setBusy(true);
+    sim.runFor(msToTicks(50));
+    EXPECT_EQ(little().freqDomain().currentFreq(), 1300000u);
+}
+
+TEST_F(GovernorTest, OndemandScalesDownWhenQuiet)
+{
+    OndemandGovernor gov(sim, little());
+    gov.start();
+    little().core(0).setBusy(true);
+    sim.runFor(msToTicks(50));
+    little().core(0).setBusy(false);
+    sim.runFor(msToTicks(100));
+    EXPECT_EQ(little().freqDomain().currentFreq(), 500000u);
+}
+
+TEST_F(GovernorTest, StopFreezesSampling)
+{
+    InteractiveGovernor gov(sim, little(), defaultInteractiveParams());
+    gov.start();
+    little().core(0).setBusy(true);
+    sim.runFor(msToTicks(50));
+    gov.stop();
+    const auto samples = gov.samples();
+    const FreqKHz f = little().freqDomain().currentFreq();
+    sim.runFor(msToTicks(500));
+    EXPECT_EQ(gov.samples(), samples);
+    EXPECT_EQ(little().freqDomain().currentFreq(), f);
+}
+
+TEST_F(GovernorTest, ConservativeStepsUpGradually)
+{
+    ConservativeGovernor gov(sim, little());
+    gov.start();
+    little().core(0).setBusy(true);
+    // One sample: at most one step (~5% of max) above minimum.
+    sim.runFor(msToTicks(21));
+    const FreqKHz after_one = little().freqDomain().currentFreq();
+    EXPECT_GT(after_one, 500000u);
+    EXPECT_LE(after_one, 600000u);
+    // It does eventually reach max under sustained load.
+    sim.runFor(msToTicks(500));
+    EXPECT_EQ(little().freqDomain().currentFreq(), 1300000u);
+}
+
+TEST_F(GovernorTest, ConservativeStepsBackDownWhenQuiet)
+{
+    ConservativeGovernor gov(sim, little());
+    gov.start();
+    little().core(0).setBusy(true);
+    sim.runFor(msToTicks(500));
+    ASSERT_EQ(little().freqDomain().currentFreq(), 1300000u);
+    little().core(0).setBusy(false);
+    sim.runFor(msToTicks(45));
+    const FreqKHz partway = little().freqDomain().currentFreq();
+    EXPECT_LT(partway, 1300000u);
+    EXPECT_GT(partway, 500000u); // not yet at the bottom
+    sim.runFor(msToTicks(1000));
+    EXPECT_EQ(little().freqDomain().currentFreq(), 500000u);
+}
+
+TEST_F(GovernorTest, SchedutilSizesFreqFromCapacityUtil)
+{
+    SchedutilGovernor gov(sim, little());
+    gov.start();
+    little().core(0).setBusy(true);
+    sim.runFor(msToTicks(300));
+    // Saturated: 1.25 * util pushes straight to max.
+    EXPECT_EQ(little().freqDomain().currentFreq(), 1300000u);
+    little().core(0).setBusy(false);
+    sim.runFor(msToTicks(100));
+    EXPECT_EQ(little().freqDomain().currentFreq(), 500000u);
+}
+
+TEST_F(GovernorTest, SchedutilHoldsMarginAboveSteadyLoad)
+{
+    // A ~38%-of-max-capacity load (0.5 GHz worth of work against a
+    // 1.3 GHz max) should keep schedutil oscillating around
+    // 1.25 * 0.38 * 1300 ~ 620 MHz - never at the top OPP, and with
+    // a time-weighted mean between the 500 MHz floor and 900 MHz.
+    SchedutilGovernor gov(sim, little());
+    gov.start();
+    double mean_acc = 0.0;
+    FreqKHz max_seen = 0;
+    const int steps = 500;
+    for (int i = 0; i < steps; ++i) {
+        const FreqKHz cur = little().freqDomain().currentFreq();
+        mean_acc += static_cast<double>(cur);
+        max_seen = std::max(max_seen, cur);
+        const double duty = std::min(
+            1.0, 0.38 * 1300000.0 / static_cast<double>(cur));
+        runDuty(duty, msToTicks(4));
+    }
+    EXPECT_LE(max_seen, 900000u);
+    const double mean = mean_acc / steps;
+    EXPECT_GT(mean, 520000.0);
+    EXPECT_LT(mean, 850000.0);
+}
+
+TEST_F(GovernorTest, GovernorsOnBothClustersAreIndependent)
+{
+    InteractiveGovernor lg(sim, little(), defaultInteractiveParams());
+    InteractiveGovernor bg(sim, big(), defaultInteractiveParams());
+    lg.start();
+    bg.start();
+    little().core(0).setBusy(true); // only little is loaded
+    sim.runFor(msToTicks(300));
+    EXPECT_EQ(little().freqDomain().currentFreq(), 1300000u);
+    EXPECT_EQ(big().freqDomain().currentFreq(), 800000u);
+}

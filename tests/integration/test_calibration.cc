@@ -1,0 +1,227 @@
+/**
+ * @file
+ * Calibration tests: the paper-shape assertions.  Each test pins one
+ * qualitative claim from the paper's evaluation to a band, so a
+ * regression in any model or policy that would bend a figure's shape
+ * fails loudly here.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/experiment.hh"
+#include "platform/perf_model.hh"
+#include "workload/apps.hh"
+#include "workload/spec.hh"
+
+using namespace biglittle;
+
+namespace
+{
+
+/** Table III results, computed once and shared across tests. */
+const std::map<std::string, AppRunResult> &
+tableThree()
+{
+    static const std::map<std::string, AppRunResult> results = [] {
+        std::map<std::string, AppRunResult> map;
+        Experiment experiment;
+        for (const AppSpec &app : allApps())
+            map.emplace(app.name, experiment.runApp(app));
+        return map;
+    }();
+    return results;
+}
+
+} // namespace
+
+TEST(CalibrationFig2, SpeedupBandsMatchPaper)
+{
+    // Big@1.3 vs little@1.3: always >1, up to ~4.5x; exactly a few
+    // low-ILP kernels lose at big@0.8.
+    Experiment experiment;
+    const SpecKernel &mcf = specKernelByName("mcf");
+    const SpecKernel &hmmer = specKernelByName("hmmer");
+    const auto runtime = [&](const SpecKernel &k, CoreType t,
+                             FreqKHz f) {
+        return static_cast<double>(
+            experiment.runKernel(k, t, f).runtime);
+    };
+    const double mcf_speedup =
+        runtime(mcf, CoreType::little, 1300000) /
+        runtime(mcf, CoreType::big, 1300000);
+    EXPECT_GT(mcf_speedup, 3.5);
+    EXPECT_LT(mcf_speedup, 5.0);
+    const double hmmer_speedup =
+        runtime(hmmer, CoreType::little, 1300000) /
+        runtime(hmmer, CoreType::big, 1300000);
+    EXPECT_GT(hmmer_speedup, 1.3);
+    EXPECT_LT(hmmer_speedup, 2.5);
+}
+
+TEST(CalibrationFig3, PowerRatiosMatchPaper)
+{
+    Experiment experiment;
+    const SpecKernel &hmmer = specKernelByName("hmmer");
+    const double little = experiment
+        .runKernel(hmmer, CoreType::little, 1300000).avgPowerMw;
+    const double big13 = experiment
+        .runKernel(hmmer, CoreType::big, 1300000).avgPowerMw;
+    const double big08 = experiment
+        .runKernel(hmmer, CoreType::big, 800000).avgPowerMw;
+    EXPECT_NEAR(big13 / little, 2.3, 0.3);
+    EXPECT_NEAR(big08 / little, 1.5, 0.25);
+}
+
+TEST(CalibrationFig6, PowerSlopeSteepensWithFrequency)
+{
+    Experiment experiment;
+    const auto slope = [&](FreqKHz f) {
+        const double lo = experiment
+            .runMicrobench(CoreType::big, f, 0.2, msToTicks(1000))
+            .avgPowerMw;
+        const double hi = experiment
+            .runMicrobench(CoreType::big, f, 1.0, msToTicks(1000))
+            .avgPowerMw;
+        return hi - lo;
+    };
+    EXPECT_GT(slope(1900000), 2.0 * slope(800000));
+}
+
+TEST(CalibrationTable3, TlpBelowThreeExceptBBench)
+{
+    for (const auto &[name, r] : tableThree()) {
+        if (name == "bbench") {
+            EXPECT_GT(r.tlp.tlp, 3.0) << name;
+            EXPECT_LT(r.tlp.tlp, 4.6) << name;
+        } else {
+            EXPECT_LT(r.tlp.tlp, 3.0) << name;
+        }
+    }
+}
+
+TEST(CalibrationTable3, BigShareRankingMatchesPaper)
+{
+    const auto &t3 = tableThree();
+    const auto big = [&](const char *name) {
+        return t3.at(name).tlp.bigSharePct;
+    };
+    // Paper ordering: encoder (62) > bbench (48) >> video apps (~0).
+    EXPECT_GT(big("encoder"), big("bbench"));
+    EXPECT_GT(big("bbench"), big("virus_scanner"));
+    EXPECT_GT(big("encoder"), 35.0);
+    EXPECT_GT(big("bbench"), 25.0);
+    // Media playback and the light game never need big cores.
+    EXPECT_LT(big("video_player"), 2.0);
+    EXPECT_LT(big("youtube"), 2.0);
+    EXPECT_LT(big("angry_bird"), 2.0);
+}
+
+TEST(CalibrationTable3, IdleShapesMatchPaper)
+{
+    const auto &t3 = tableThree();
+    // Browser has by far the most idle time (reading pauses).
+    for (const auto &[name, r] : t3) {
+        if (name != "browser") {
+            EXPECT_GT(t3.at("browser").tlp.idlePct, r.tlp.idlePct)
+                << name;
+        }
+    }
+    // bbench and encoder are nearly never idle.
+    EXPECT_LT(t3.at("bbench").tlp.idlePct, 5.0);
+    EXPECT_LT(t3.at("encoder").tlp.idlePct, 5.0);
+}
+
+TEST(CalibrationTable4, OneBigCoreAbsorbsBursts)
+{
+    // Section V-B: when big cores are used at all, one big core
+    // dominates; only bbench spreads to several.
+    const auto &t3 = tableThree();
+    for (const auto &[name, r] : t3) {
+        if (name == "bbench")
+            continue;
+        double one_big = 0.0, many_big = 0.0;
+        for (std::size_t l = 0; l <= 4; ++l) {
+            one_big += r.tlp.matrixPct[1][l];
+            for (std::size_t b = 2; b <= 4; ++b)
+                many_big += r.tlp.matrixPct[b][l];
+        }
+        if (one_big + many_big > 3.0) {
+            EXPECT_GT(one_big, many_big) << name;
+        }
+    }
+}
+
+TEST(CalibrationFig5, FpsShapesMatchPaper)
+{
+    // 4-big vs 4-little: no average-FPS change for angry_bird and
+    // the video apps; a visible gain for the demanding game.
+    AppSpec game = eternityWarrior2App();
+    AppSpec casual = angryBirdApp();
+
+    ExperimentConfig little_cfg;
+    little_cfg.coreConfig = {4, 0, "L4"};
+    ExperimentConfig big_cfg;
+    big_cfg.coreConfig = {1, 4, "B4"};
+    big_cfg.sched.upThreshold = 1;
+    big_cfg.sched.downThreshold = 0;
+
+    const double game_little =
+        Experiment(little_cfg).runApp(game).avgFps;
+    const double game_big = Experiment(big_cfg).runApp(game).avgFps;
+    EXPECT_GT(game_big, game_little * 1.05);
+
+    const double casual_little =
+        Experiment(little_cfg).runApp(casual).avgFps;
+    const double casual_big =
+        Experiment(big_cfg).runApp(casual).avgFps;
+    EXPECT_NEAR(casual_big, casual_little, casual_little * 0.05);
+}
+
+TEST(CalibrationTable5, MinAndBelow50Dominate)
+{
+    // Section VI-B: "the majority of cycles are either in min or
+    // <50% state" for most applications.
+    const auto &t3 = tableThree();
+    int dominated = 0;
+    for (const auto &[name, r] : t3) {
+        if (r.efficiency.minPct + r.efficiency.below50Pct > 50.0)
+            ++dominated;
+    }
+    EXPECT_GE(dominated, 8);
+}
+
+TEST(CalibrationTable5, BurstyAppsShowHighOverload)
+{
+    const auto &t3 = tableThree();
+    // bbench/encoder load in bursts faster than DVFS reacts.
+    EXPECT_GT(t3.at("bbench").efficiency.above95Pct +
+                  t3.at("bbench").efficiency.fullPct,
+              8.0);
+    EXPECT_GT(t3.at("encoder").efficiency.above95Pct +
+                  t3.at("encoder").efficiency.fullPct,
+              8.0);
+}
+
+TEST(CalibrationFig9, VideoLivesAtLowestLittleFreq)
+{
+    const auto &t3 = tableThree();
+    const FreqResidency &res = t3.at("video_player").littleResidency;
+    ASSERT_FALSE(res.entries.empty());
+    // The lowest OPP dominates the little-core distribution.
+    EXPECT_GT(res.entries.front().fraction, 0.5);
+}
+
+TEST(CalibrationFig10, EncoderRunsBigCoresHot)
+{
+    const auto &t3 = tableThree();
+    const FreqResidency &res = t3.at("encoder").bigResidency;
+    double high = 0.0;
+    for (const auto &e : res.entries) {
+        if (e.freq >= 1400000)
+            high += e.fraction;
+    }
+    // Latency workloads absorb bursts at high big frequencies.
+    EXPECT_GT(high, 0.4);
+}

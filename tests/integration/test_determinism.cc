@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Determinism tests: identical configurations produce bit-identical
+ * results, and seeds change outcomes only where randomness is
+ * intended.  Reproducibility is a core requirement for a
+ * characterization workbench.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.hh"
+#include "workload/apps.hh"
+
+using namespace biglittle;
+
+namespace
+{
+
+AppRunResult
+runShort(const AppSpec &app_in, std::uint64_t seed)
+{
+    AppSpec app = app_in;
+    app.seed = seed;
+    if (app.metric == AppMetric::fps)
+        app.duration = msToTicks(2500);
+    Experiment experiment;
+    return experiment.runApp(app);
+}
+
+} // namespace
+
+TEST(Determinism, RepeatedFpsRunsAreBitIdentical)
+{
+    const AppRunResult a = runShort(eternityWarrior2App(), 9);
+    const AppRunResult b = runShort(eternityWarrior2App(), 9);
+    EXPECT_EQ(a.frames, b.frames);
+    EXPECT_DOUBLE_EQ(a.avgFps, b.avgFps);
+    EXPECT_DOUBLE_EQ(a.minFps, b.minFps);
+    EXPECT_DOUBLE_EQ(a.avgPowerMw, b.avgPowerMw);
+    EXPECT_DOUBLE_EQ(a.tlp.tlp, b.tlp.tlp);
+    EXPECT_EQ(a.sched.migrationsUp, b.sched.migrationsUp);
+    EXPECT_EQ(a.sched.wakeups, b.sched.wakeups);
+}
+
+TEST(Determinism, RepeatedLatencyRunsAreBitIdentical)
+{
+    const AppRunResult a = runShort(virusScannerApp(), 3);
+    const AppRunResult b = runShort(virusScannerApp(), 3);
+    EXPECT_EQ(a.latency, b.latency);
+    EXPECT_DOUBLE_EQ(a.avgPowerMw, b.avgPowerMw);
+    EXPECT_DOUBLE_EQ(a.tlp.idlePct, b.tlp.idlePct);
+}
+
+TEST(Determinism, SeedChangesStochasticOutcomes)
+{
+    const AppRunResult a = runShort(eternityWarrior2App(), 1);
+    const AppRunResult b = runShort(eternityWarrior2App(), 2);
+    // Different jitter draws shift per-frame costs.
+    EXPECT_NE(a.avgPowerMw, b.avgPowerMw);
+}
+
+TEST(Determinism, KernelRunsAreBitIdentical)
+{
+    Experiment e1, e2;
+    const SpecKernel &gcc = specKernelByName("gcc");
+    const KernelRunResult a =
+        e1.runKernel(gcc, CoreType::big, 1300000);
+    const KernelRunResult b =
+        e2.runKernel(gcc, CoreType::big, 1300000);
+    EXPECT_EQ(a.runtime, b.runtime);
+    EXPECT_DOUBLE_EQ(a.avgPowerMw, b.avgPowerMw);
+}
+
+TEST(Determinism, MicrobenchRunsAreBitIdentical)
+{
+    Experiment e1, e2;
+    const MicrobenchResult a = e1.runMicrobench(
+        CoreType::little, 900000, 0.4, msToTicks(1000));
+    const MicrobenchResult b = e2.runMicrobench(
+        CoreType::little, 900000, 0.4, msToTicks(1000));
+    EXPECT_DOUBLE_EQ(a.achievedUtilization, b.achievedUtilization);
+    EXPECT_DOUBLE_EQ(a.avgPowerMw, b.avgPowerMw);
+}
+
+TEST(Determinism, ResultsIndependentOfPriorRuns)
+{
+    // A run's outcome must not depend on experiments executed
+    // earlier in the same process (no hidden global state).
+    Experiment e1;
+    const AppRunResult fresh = e1.runApp([&] {
+        AppSpec app = angryBirdApp();
+        app.duration = msToTicks(2000);
+        return app;
+    }());
+
+    Experiment e2;
+    AppSpec warmup = videoPlayerApp();
+    warmup.duration = msToTicks(1000);
+    (void)e2.runApp(warmup);
+    const AppRunResult after = e2.runApp([&] {
+        AppSpec app = angryBirdApp();
+        app.duration = msToTicks(2000);
+        return app;
+    }());
+
+    EXPECT_EQ(fresh.frames, after.frames);
+    EXPECT_DOUBLE_EQ(fresh.avgFps, after.avgFps);
+    EXPECT_DOUBLE_EQ(fresh.avgPowerMw, after.avgPowerMw);
+}

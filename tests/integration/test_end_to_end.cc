@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Integration tests: full app runs across governors, scheduler
+ * presets, core configurations and the thermal throttle, checking
+ * cross-module invariants (energy/time consistency, scheduler
+ * sanity, result coherence).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.hh"
+#include "workload/apps.hh"
+
+using namespace biglittle;
+
+namespace
+{
+
+AppSpec
+shortApp(AppSpec app, Tick duration = msToTicks(3000))
+{
+    app.duration = duration;
+    return app;
+}
+
+} // namespace
+
+TEST(EndToEnd, AllTwelveAppsRunUnderTheDefaultSystem)
+{
+    Experiment experiment;
+    for (const AppSpec &app : allApps()) {
+        AppSpec a = app;
+        if (a.metric == AppMetric::fps)
+            a.duration = msToTicks(2000);
+        const AppRunResult r = experiment.runApp(a);
+        EXPECT_TRUE(r.completed) << a.name;
+        EXPECT_GT(r.avgPowerMw, 200.0) << a.name;
+        EXPECT_GT(r.tlp.tlp, 0.9) << a.name;
+        EXPECT_LE(r.tlp.idlePct, 100.0) << a.name;
+        EXPECT_NEAR(r.tlp.littleSharePct + r.tlp.bigSharePct, 100.0,
+                    1e-6)
+            << a.name;
+    }
+}
+
+TEST(EndToEnd, EnergyBreakdownIsConsistent)
+{
+    Experiment experiment;
+    const AppRunResult r =
+        experiment.runApp(shortApp(eternityWarrior2App()));
+    const EnergyBreakdown &e = r.energy;
+    EXPECT_GT(e.coreDynamicMj, 0.0);
+    EXPECT_GT(e.coreStaticMj, 0.0);
+    EXPECT_GT(e.clusterStaticMj, 0.0);
+    EXPECT_GT(e.baseMj, 0.0);
+    EXPECT_NEAR(e.totalMj(),
+                e.coreDynamicMj + e.coreStaticMj + e.clusterStaticMj +
+                    e.baseMj,
+                1e-9);
+    EXPECT_NEAR(r.avgPowerMw,
+                e.totalMj() / ticksToSeconds(r.simulatedTime), 1e-6);
+}
+
+TEST(EndToEnd, AllGovernorsCompleteAnAppRun)
+{
+    for (const GovernorKind kind :
+         {GovernorKind::interactive, GovernorKind::performance,
+          GovernorKind::powersave, GovernorKind::ondemand,
+          GovernorKind::userspace}) {
+        ExperimentConfig cfg;
+        cfg.governor = kind;
+        const AppRunResult r =
+            Experiment(cfg).runApp(shortApp(videoPlayerApp()));
+        EXPECT_GT(r.frames, 10u) << governorKindName(kind);
+    }
+}
+
+TEST(EndToEnd, AllSchedPresetsCompleteAnAppRun)
+{
+    for (const SchedParams &p :
+         {baselineSchedParams(), conservativeSchedParams(),
+          aggressiveSchedParams(), doubleHistorySchedParams(),
+          halfHistorySchedParams()}) {
+        ExperimentConfig cfg;
+        cfg.sched = p;
+        const AppRunResult r =
+            Experiment(cfg).runApp(photoEditorApp());
+        EXPECT_TRUE(r.completed) << p.name;
+    }
+}
+
+TEST(EndToEnd, AllCoreConfigsCompleteAnAppRun)
+{
+    for (const CoreConfig &cc : standardCoreConfigs()) {
+        ExperimentConfig cfg;
+        cfg.coreConfig = cc;
+        const AppRunResult r =
+            Experiment(cfg).runApp(shortApp(angryBirdApp()));
+        EXPECT_GT(r.frames, 50u) << cc.label;
+    }
+}
+
+TEST(EndToEnd, FewerCoresNeverIncreasePowerMuch)
+{
+    // Fig. 8 sanity: restricted configurations are strict hardware
+    // subsets, so they cannot draw meaningfully more than the full
+    // platform.  A small margin is allowed: concentrating the same
+    // work on fewer cores pushes the governor to higher frequencies,
+    // which can locally offset the hotplug savings.
+    const AppSpec app = shortApp(fifa15App(), msToTicks(4000));
+    ExperimentConfig base_cfg;
+    const double base = Experiment(base_cfg).runApp(app).avgPowerMw;
+    for (const CoreConfig &cc : standardCoreConfigs()) {
+        ExperimentConfig cfg;
+        cfg.coreConfig = cc;
+        cfg.label = cc.label;
+        const double power = Experiment(cfg).runApp(app).avgPowerMw;
+        EXPECT_LE(power, base * 1.05) << cc.label;
+    }
+}
+
+TEST(EndToEnd, LittleOnlyConfigSlowsLatencyApp)
+{
+    // bbench's five-way parallel page loads need more than two
+    // little cores; restricting to L2 must hurt latency clearly.
+    const AppSpec app = bbenchApp();
+    ExperimentConfig l2_cfg;
+    l2_cfg.coreConfig = {2, 0, "L2"};
+    ExperimentConfig base_cfg;
+    const Tick base = Experiment(base_cfg).runApp(app).latency;
+    const Tick slow = Experiment(l2_cfg).runApp(app).latency;
+    EXPECT_GT(slow, base + base / 4);
+}
+
+TEST(EndToEnd, ThermalThrottleLimitsBigClusterPower)
+{
+    // Four endless compute tasks pinned to the big cores saturate
+    // the cluster; the interactive governor pushes for max frequency
+    // and only the thermal throttle holds the cluster (and so the
+    // system power) down.
+    auto avg_power = [](bool thermal) {
+        Simulation sim;
+        AsymmetricPlatform plat(sim, exynos5422Params());
+        HmpScheduler sched(sim, plat, baselineSchedParams());
+        InteractiveGovernor gov(sim, plat.bigCluster(),
+                                defaultInteractiveParams());
+        ThermalThrottle throttle(sim, plat.bigCluster());
+        PowerModel power(plat);
+        gov.start();
+        if (thermal)
+            throttle.start();
+        sched.start();
+        for (CoreId id = 4; id < 8; ++id) {
+            Task &t = sched.createTask("burn" + std::to_string(id),
+                                       WorkClass{0.8, 0.0, 64.0}, id);
+            t.submitWork(1e15);
+        }
+        const PowerSnapshot before = power.snapshot();
+        sim.runFor(msToTicks(10000));
+        const PowerSnapshot after = power.snapshot();
+        return power.energyBetween(before, after).averagePowerMw();
+    };
+    const double hot = avg_power(false);
+    const double cool = avg_power(true);
+    EXPECT_GT(hot, 8000.0); // 4 big cores near max: many watts
+    EXPECT_LT(cool, 0.6 * hot);
+}
+
+TEST(EndToEnd, SchedulerMigratesUnderRealWorkloads)
+{
+    Experiment experiment;
+    const AppRunResult r = experiment.runApp(encoderApp());
+    EXPECT_GT(r.sched.migrationsUp, 0u);
+    EXPECT_GT(r.sched.wakeups, 10u);
+    EXPECT_GT(r.tlp.bigSharePct, 10.0);
+}
+
+TEST(EndToEnd, InteractiveBeatsPerformanceOnEnergy)
+{
+    // The whole point of the DVFS governor: same workload, far less
+    // energy than pinning max frequency, with little FPS cost.
+    AppSpec app = shortApp(fifa15App(), msToTicks(4000));
+    ExperimentConfig perf_cfg;
+    perf_cfg.governor = GovernorKind::performance;
+    ExperimentConfig inter_cfg;
+    const AppRunResult perf = Experiment(perf_cfg).runApp(app);
+    const AppRunResult inter = Experiment(inter_cfg).runApp(app);
+    EXPECT_LT(inter.avgPowerMw, 0.9 * perf.avgPowerMw);
+    EXPECT_GT(inter.avgFps, 0.8 * perf.avgFps);
+}

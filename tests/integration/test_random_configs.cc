@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Property tests over randomized experimental conditions: for any
+ * (governor, scheduler parameters, core combination, thermal
+ * setting) drawn from a seeded generator, a run must uphold the
+ * workbench's global invariants - energy accounting consistency,
+ * TLP/efficiency shares summing correctly, per-task runtimes bounded
+ * by wall time, and respect for the hotplug mask.
+ */
+
+#include <gtest/gtest.h>
+
+#include "base/random.hh"
+#include "core/experiment.hh"
+#include "workload/apps.hh"
+
+using namespace biglittle;
+
+namespace
+{
+
+ExperimentConfig
+randomConfig(Rng &rng)
+{
+    ExperimentConfig cfg;
+    const GovernorKind kinds[] = {
+        GovernorKind::interactive, GovernorKind::performance,
+        GovernorKind::powersave, GovernorKind::ondemand,
+        GovernorKind::conservative, GovernorKind::schedutil,
+        GovernorKind::userspace,
+    };
+    cfg.governor = kinds[rng.uniformInt(0, 6)];
+    cfg.interactive.samplingRate =
+        msToTicks(rng.uniformInt(5, 120));
+    cfg.interactive.targetLoad = rng.uniform(40.0, 95.0);
+    cfg.interactive.goHispeedLoad =
+        std::min(99.0, cfg.interactive.targetLoad + 10.0);
+    cfg.sched.upThreshold =
+        static_cast<std::uint32_t>(rng.uniformInt(300, 1000));
+    cfg.sched.downThreshold = static_cast<std::uint32_t>(
+        rng.uniformInt(10, cfg.sched.upThreshold - 100));
+    cfg.sched.loadHalfLifeMs = rng.uniform(4.0, 128.0);
+    cfg.sched.upMigrationBoostFreq =
+        rng.chance(0.5) ? 1400000 : 0;
+    cfg.coreConfig.littleCores =
+        static_cast<std::uint32_t>(rng.uniformInt(1, 4));
+    cfg.coreConfig.bigCores =
+        static_cast<std::uint32_t>(rng.uniformInt(0, 4));
+    cfg.coreConfig.label = "random";
+    cfg.thermalEnabled = rng.chance(0.7);
+    cfg.userspaceLittleFreq = 0;
+    cfg.userspaceBigFreq = 0;
+    return cfg;
+}
+
+void
+checkInvariants(const ExperimentConfig &cfg, const AppRunResult &r)
+{
+    // Energy accounting.
+    EXPECT_GT(r.energy.totalMj(), 0.0);
+    EXPECT_GE(r.energy.coreDynamicMj, 0.0);
+    EXPECT_GE(r.energy.coreStaticMj, 0.0);
+    EXPECT_NEAR(r.avgPowerMw,
+                r.energy.totalMj() / ticksToSeconds(r.simulatedTime),
+                1e-6);
+    EXPECT_GT(r.avgPowerMw, 150.0);
+    EXPECT_LT(r.avgPowerMw, 20000.0);
+
+    // TLP shares.
+    if (r.tlp.idlePct < 100.0) {
+        EXPECT_NEAR(r.tlp.littleSharePct + r.tlp.bigSharePct, 100.0,
+                    1e-6);
+    }
+    EXPECT_LE(r.tlp.tlp,
+              static_cast<double>(cfg.coreConfig.littleCores +
+                                  cfg.coreConfig.bigCores) +
+                  1e-9);
+    double matrix_sum = 0.0;
+    for (const auto &row : r.tlp.matrixPct)
+        for (const double cell : row)
+            matrix_sum += cell;
+    EXPECT_NEAR(matrix_sum, 100.0, 1e-6);
+
+    // Hotplug mask respected: no activity beyond the online cores.
+    for (std::size_t b = cfg.coreConfig.bigCores + 1; b <= 4; ++b)
+        for (std::size_t l = 0; l <= 4; ++l)
+            EXPECT_DOUBLE_EQ(r.tlp.matrixPct[b][l], 0.0);
+    for (std::size_t l = cfg.coreConfig.littleCores + 1; l <= 4; ++l)
+        for (std::size_t b = 0; b <= 4; ++b)
+            EXPECT_DOUBLE_EQ(r.tlp.matrixPct[b][l], 0.0);
+    if (cfg.coreConfig.bigCores == 0) {
+        EXPECT_DOUBLE_EQ(r.tlp.bigSharePct, 0.0);
+    }
+
+    // Efficiency decomposition sums to 100 when it observed work.
+    const EfficiencyReport &e = r.efficiency;
+    if (e.executionWindows > 0) {
+        EXPECT_NEAR(e.minPct + e.below50Pct + e.from50to70Pct +
+                        e.from70to95Pct + e.above95Pct + e.fullPct,
+                    100.0, 1e-6);
+    }
+
+    // Per-task runtimes bounded by wall time, and consistent.
+    for (const TaskSummary &t : r.tasks) {
+        EXPECT_LE(t.littleRuntime + t.bigRuntime,
+                  r.simulatedTime + oneMs)
+            << t.name;
+        if (cfg.coreConfig.bigCores == 0) {
+            EXPECT_EQ(t.bigRuntime, 0u) << t.name;
+        }
+        EXPECT_GE(t.instructionsRetired, 0.0);
+    }
+
+    // Residency fractions sum to 1 per cluster with activity.
+    for (const FreqResidency *res :
+         {&r.littleResidency, &r.bigResidency}) {
+        if (res->totalActiveSeconds <= 0.0)
+            continue;
+        double sum = 0.0;
+        for (const auto &entry : res->entries)
+            sum += entry.fraction;
+        EXPECT_NEAR(sum, 1.0, 1e-9);
+    }
+}
+
+class RandomConfigSweep : public ::testing::TestWithParam<int>
+{
+};
+
+} // namespace
+
+TEST_P(RandomConfigSweep, InvariantsHoldUnderArbitraryConfigs)
+{
+    Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 13);
+    const ExperimentConfig cfg = randomConfig(rng);
+
+    // Rotate through apps so every archetype is exercised.
+    const auto apps = allApps();
+    AppSpec app = apps[static_cast<std::size_t>(GetParam()) %
+                       apps.size()];
+    if (app.metric == AppMetric::fps)
+        app.duration = msToTicks(1500);
+    else
+        app.duration = msToTicks(30000);
+
+    Experiment experiment(cfg);
+    const AppRunResult result = experiment.runApp(app);
+    checkInvariants(cfg, result);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RandomConfigSweep,
+                         ::testing::Range(0, 24));

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Tests for the L2 capacity model, including the property that
+ * drives Fig. 2: working sets between 512 KB and 2 MB miss heavily
+ * on the little cluster but not on the big cluster.
+ */
+
+#include <gtest/gtest.h>
+
+#include "platform/cache.hh"
+
+using namespace biglittle;
+
+namespace
+{
+CacheModel
+littleL2()
+{
+    return CacheModel(CacheParams{512, 8, 64});
+}
+
+CacheModel
+bigL2()
+{
+    return CacheModel(CacheParams{2048, 16, 64});
+}
+} // namespace
+
+TEST(CacheModel, FittingWorkingSetSeesFloor)
+{
+    const CacheModel l2 = littleL2();
+    EXPECT_DOUBLE_EQ(l2.missRatio(0.0), CacheModel::missFloor);
+    EXPECT_DOUBLE_EQ(l2.missRatio(256.0), CacheModel::missFloor);
+    EXPECT_DOUBLE_EQ(l2.missRatio(512.0), CacheModel::missFloor);
+}
+
+TEST(CacheModel, OversizedWorkingSetMissesMore)
+{
+    const CacheModel l2 = littleL2();
+    EXPECT_GT(l2.missRatio(1024.0), CacheModel::missFloor);
+    EXPECT_GT(l2.missRatio(4096.0), l2.missRatio(1024.0));
+}
+
+TEST(CacheModel, HugeStreamingSetApproachesOne)
+{
+    const CacheModel l2 = littleL2();
+    EXPECT_GT(l2.missRatio(1 << 20), 0.95);
+    EXPECT_LE(l2.missRatio(1 << 20), 1.0);
+}
+
+TEST(CacheModel, AsymmetricGapForMidSizeWorkingSets)
+{
+    // The paper's key cache effect: a ~1 MB working set fits the big
+    // 2 MB L2 but thrashes the little 512 KB L2.
+    const CacheModel little = littleL2();
+    const CacheModel big = bigL2();
+    const double ws = 1024.0;
+    EXPECT_DOUBLE_EQ(big.missRatio(ws), CacheModel::missFloor);
+    EXPECT_GT(little.missRatio(ws), 10.0 * CacheModel::missFloor);
+}
+
+TEST(CacheModel, EqualForTinyAndNearlyEqualForHugeSets)
+{
+    const CacheModel little = littleL2();
+    const CacheModel big = bigL2();
+    EXPECT_DOUBLE_EQ(little.missRatio(64.0), big.missRatio(64.0));
+    EXPECT_NEAR(little.missRatio(1 << 20), big.missRatio(1 << 20),
+                0.05);
+}
+
+/** Property: miss ratio is monotone in footprint and within [f,1]. */
+class CacheMonotonicity
+    : public ::testing::TestWithParam<std::uint32_t>
+{
+};
+
+TEST_P(CacheMonotonicity, MonotoneAndBounded)
+{
+    const CacheModel l2(CacheParams{GetParam(), 8, 64});
+    double prev = 0.0;
+    for (double fp = 0.0; fp <= 65536.0; fp += 97.0) {
+        const double m = l2.missRatio(fp);
+        ASSERT_GE(m, CacheModel::missFloor);
+        ASSERT_LE(m, 1.0);
+        ASSERT_GE(m, prev) << "footprint " << fp;
+        prev = m;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CacheMonotonicity,
+                         ::testing::Values(128u, 512u, 2048u, 8192u));
+
+TEST(CacheModel, BiggerCacheNeverMissesMore)
+{
+    const CacheModel small(CacheParams{512, 8, 64});
+    const CacheModel large(CacheParams{2048, 16, 64});
+    for (double fp = 0.0; fp <= 32768.0; fp += 61.0)
+        ASSERT_LE(large.missRatio(fp), small.missRatio(fp));
+}
+
+TEST(CacheModel, ParamsAccessor)
+{
+    const CacheModel l2 = littleL2();
+    EXPECT_EQ(l2.params().sizeKB, 512u);
+    EXPECT_EQ(l2.params().assoc, 8u);
+}

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Tests for the exact event-driven time/energy accounting of cores
+ * and clusters: busy-time residency by frequency, energy weights,
+ * and hotplug interactions.
+ */
+
+#include <gtest/gtest.h>
+
+#include "platform/platform.hh"
+#include "sim/simulation.hh"
+
+using namespace biglittle;
+
+namespace
+{
+
+class CoreAccountingTest : public ::testing::Test
+{
+  protected:
+    Simulation sim;
+    AsymmetricPlatform plat{sim, exynos5422Params()};
+
+    Core &little0() { return plat.littleCluster().core(0); }
+    Core &big0() { return plat.bigCluster().core(0); }
+};
+
+} // namespace
+
+TEST_F(CoreAccountingTest, InitialState)
+{
+    EXPECT_TRUE(little0().online());
+    EXPECT_FALSE(little0().busy());
+    EXPECT_EQ(little0().busyTicks(), 0u);
+    EXPECT_EQ(little0().onlineTicks(), 0u);
+}
+
+TEST_F(CoreAccountingTest, BusyTimeAccumulatesExactly)
+{
+    sim.runFor(msToTicks(5));
+    little0().setBusy(true);
+    sim.runFor(msToTicks(7));
+    little0().setBusy(false);
+    sim.runFor(msToTicks(3));
+    little0().sync();
+    EXPECT_EQ(little0().busyTicks(), msToTicks(7));
+    EXPECT_EQ(little0().onlineTicks(), msToTicks(15));
+}
+
+TEST_F(CoreAccountingTest, BusyByFreqSplitsAtTransition)
+{
+    FreqDomain &dom = plat.littleCluster().freqDomain();
+    dom.setFreqNow(500000);
+    little0().setBusy(true);
+    sim.runFor(msToTicks(4));
+    dom.setFreqNow(1300000); // accounting closes at the old OPP
+    sim.runFor(msToTicks(6));
+    little0().setBusy(false);
+
+    const auto &hist = little0().busyTicksByFreq();
+    EXPECT_DOUBLE_EQ(hist.weightAt(500000),
+                     static_cast<double>(msToTicks(4)));
+    EXPECT_DOUBLE_EQ(hist.weightAt(1300000),
+                     static_cast<double>(msToTicks(6)));
+    EXPECT_EQ(little0().busyTicks(), msToTicks(10));
+}
+
+TEST_F(CoreAccountingTest, DynWeightMatchesClosedForm)
+{
+    FreqDomain &dom = plat.littleCluster().freqDomain();
+    dom.setFreqNow(1300000); // 1.1 V on the little table
+    little0().setBusy(true);
+    sim.runFor(oneSec);
+    little0().setBusy(false);
+    little0().sync();
+    // dynWeight = t * V^2 * f_GHz = 1 * 1.1^2 * 1.3
+    EXPECT_NEAR(little0().dynWeight(), 1.1 * 1.1 * 1.3, 1e-9);
+    EXPECT_NEAR(little0().staticBusyWeight(), 1.1, 1e-9);
+    EXPECT_DOUBLE_EQ(little0().staticIdleWeight(), 0.0);
+}
+
+TEST_F(CoreAccountingTest, IdleWeightAccumulatesWhileOnline)
+{
+    plat.littleCluster().freqDomain().setFreqNow(500000); // 0.9 V
+    sim.runFor(oneSec);
+    little0().sync();
+    EXPECT_NEAR(little0().staticIdleWeight(), 0.9, 1e-9);
+    EXPECT_DOUBLE_EQ(little0().dynWeight(), 0.0);
+}
+
+TEST_F(CoreAccountingTest, OfflineCoreAccumulatesNothing)
+{
+    big0().setOnline(false);
+    sim.runFor(oneSec);
+    big0().sync();
+    EXPECT_EQ(big0().onlineTicks(), 0u);
+    EXPECT_DOUBLE_EQ(big0().staticIdleWeight(), 0.0);
+}
+
+TEST_F(CoreAccountingTest, ReonlinedCoreResumesAccounting)
+{
+    big0().setOnline(false);
+    sim.runFor(msToTicks(10));
+    big0().setOnline(true);
+    sim.runFor(msToTicks(5));
+    big0().sync();
+    EXPECT_EQ(big0().onlineTicks(), msToTicks(5));
+}
+
+TEST_F(CoreAccountingTest, RedundantSetBusyIsNoop)
+{
+    little0().setBusy(true);
+    sim.runFor(msToTicks(2));
+    little0().setBusy(true); // no-op
+    sim.runFor(msToTicks(2));
+    little0().setBusy(false);
+    EXPECT_EQ(little0().busyTicks(), msToTicks(4));
+}
+
+TEST_F(CoreAccountingTest, SyncIsIdempotent)
+{
+    little0().setBusy(true);
+    sim.runFor(msToTicks(3));
+    little0().sync();
+    little0().sync();
+    little0().sync();
+    EXPECT_EQ(little0().busyTicks(), msToTicks(3));
+}
+
+TEST_F(CoreAccountingTest, ClusterActiveVsIdleWeights)
+{
+    Cluster &cl = plat.littleCluster();
+    cl.freqDomain().setFreqNow(500000); // 0.9 V
+    sim.runFor(oneSec); // idle second
+    little0().setBusy(true);
+    sim.runFor(oneSec); // active second
+    little0().setBusy(false);
+    cl.sync();
+    EXPECT_NEAR(cl.idleWeight(), 0.9, 1e-9);
+    EXPECT_NEAR(cl.activeWeight(), 0.9, 1e-9);
+}
+
+TEST_F(CoreAccountingTest, ClusterCounts)
+{
+    Cluster &cl = plat.littleCluster();
+    EXPECT_EQ(cl.onlineCount(), 4u);
+    EXPECT_EQ(cl.busyCount(), 0u);
+    cl.core(1).setBusy(true);
+    cl.core(2).setBusy(true);
+    EXPECT_EQ(cl.busyCount(), 2u);
+    cl.core(3).setOnline(false);
+    EXPECT_EQ(cl.onlineCount(), 3u);
+}
+
+TEST_F(CoreAccountingTest, CoreMetadata)
+{
+    EXPECT_EQ(little0().type(), CoreType::little);
+    EXPECT_EQ(big0().type(), CoreType::big);
+    EXPECT_EQ(little0().id(), 0u);
+    EXPECT_EQ(big0().id(), 4u);
+    EXPECT_EQ(little0().name(), "a7.cpu0");
+    EXPECT_EQ(big0().name(), "a15.cpu4");
+}
+
+TEST_F(CoreAccountingTest, BusyWhileOfflinePanics)
+{
+    big0().setOnline(false);
+    EXPECT_DEATH(big0().setBusy(true), "busy while offline");
+}
+
+TEST_F(CoreAccountingTest, OfflineWhileBusyPanics)
+{
+    big0().setBusy(true);
+    EXPECT_DEATH(big0().setOnline(false), "hotplugged off while busy");
+}

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Tests for the two-state cpuidle model: WFI-to-gated promotion,
+ * span-exact accounting across syncs, and the power consequences.
+ */
+
+#include <gtest/gtest.h>
+
+#include "platform/power.hh"
+#include "sim/simulation.hh"
+
+using namespace biglittle;
+
+namespace
+{
+
+class CpuIdleTest : public ::testing::Test
+{
+  protected:
+    Simulation sim;
+    AsymmetricPlatform plat{sim, exynos5422Params()};
+
+    Core &core() { return plat.littleCluster().core(0); }
+};
+
+} // namespace
+
+TEST_F(CpuIdleTest, ShortIdleStaysInWfi)
+{
+    plat.littleCluster().freqDomain().setFreqNow(500000); // 0.9 V
+    core().setBusy(true);
+    sim.runFor(msToTicks(5));
+    core().setBusy(false);
+    sim.runFor(msToTicks(1)); // idle 1 ms < 2 ms gate delay
+    core().setBusy(true);
+    core().sync();
+    EXPECT_NEAR(core().idleWfiWeight(), 0.001 * 0.9, 1e-12);
+    EXPECT_DOUBLE_EQ(core().idleGatedWeight(), 0.0);
+}
+
+TEST_F(CpuIdleTest, LongIdleSplitsAtGateDelay)
+{
+    plat.littleCluster().freqDomain().setFreqNow(500000);
+    core().setBusy(true);
+    sim.runFor(msToTicks(5));
+    core().setBusy(false);
+    sim.runFor(msToTicks(10)); // 2 ms WFI + 8 ms gated
+    core().sync();
+    EXPECT_NEAR(core().idleWfiWeight(), 0.002 * 0.9, 1e-12);
+    EXPECT_NEAR(core().idleGatedWeight(), 0.008 * 0.9, 1e-12);
+    EXPECT_NEAR(core().staticIdleWeight(), 0.010 * 0.9, 1e-12);
+}
+
+TEST_F(CpuIdleTest, SyncsMidSpanDoNotResetPromotion)
+{
+    plat.littleCluster().freqDomain().setFreqNow(500000);
+    core().setBusy(true);
+    sim.runFor(oneMs);
+    core().setBusy(false);
+    // Sync every 0.5 ms across a 6 ms idle span; the split must be
+    // identical to one uninterrupted accounting interval.
+    for (int i = 0; i < 12; ++i) {
+        sim.runFor(usToTicks(500));
+        core().sync();
+    }
+    EXPECT_NEAR(core().idleWfiWeight(), 0.002 * 0.9, 1e-12);
+    EXPECT_NEAR(core().idleGatedWeight(), 0.004 * 0.9, 1e-12);
+}
+
+TEST_F(CpuIdleTest, NewSpanRestartsInWfi)
+{
+    plat.littleCluster().freqDomain().setFreqNow(500000);
+    core().setBusy(false);
+    sim.runFor(msToTicks(10)); // span 1: 2 WFI + 8 gated
+    core().setBusy(true);
+    sim.runFor(oneMs);
+    core().setBusy(false);
+    sim.runFor(oneMs); // span 2: 1 ms, all WFI again
+    core().sync();
+    EXPECT_NEAR(core().idleWfiWeight(), 0.003 * 0.9, 1e-12);
+    EXPECT_NEAR(core().idleGatedWeight(), 0.008 * 0.9, 1e-12);
+}
+
+TEST_F(CpuIdleTest, CurrentIdleSpanTracksState)
+{
+    EXPECT_EQ(core().currentIdleSpan(), sim.now());
+    sim.runFor(msToTicks(7));
+    EXPECT_EQ(core().currentIdleSpan(), msToTicks(7));
+    core().setBusy(true);
+    EXPECT_EQ(core().currentIdleSpan(), 0u);
+    sim.runFor(oneMs);
+    core().setBusy(false);
+    sim.runFor(oneMs);
+    EXPECT_EQ(core().currentIdleSpan(), oneMs);
+}
+
+TEST_F(CpuIdleTest, GatedIdleIsCheaperThanWfi)
+{
+    PowerModel power(plat);
+    const double fresh_idle = power.instantPowerMw();
+    sim.runFor(msToTicks(50)); // all cores promote to gated
+    const double gated_idle = power.instantPowerMw();
+    EXPECT_LT(gated_idle, fresh_idle);
+}
+
+TEST_F(CpuIdleTest, FlatModelIgnoresSpanLength)
+{
+    Simulation sim2;
+    PlatformParams params = exynos5422Params();
+    params.cpuidleEnabled = false;
+    AsymmetricPlatform flat(sim2, params);
+    PowerModel power(flat);
+    const double early = power.instantPowerMw();
+    sim2.runFor(msToTicks(50));
+    const double late = power.instantPowerMw();
+    EXPECT_DOUBLE_EQ(early, late);
+}
+
+TEST_F(CpuIdleTest, MostlyIdlePlatformSavesPowerVsFlat)
+{
+    // 1 s fully idle: the cpuidle model's energy must be well below
+    // the flat model's (gated leak 0.05 vs flat 0.12).
+    PowerModel power(plat);
+    const PowerSnapshot a = power.snapshot();
+    sim.runFor(oneSec);
+    const PowerSnapshot b = power.snapshot();
+    const double cpuidle_mj =
+        power.energyBetween(a, b).coreStaticMj;
+
+    Simulation sim2;
+    PlatformParams params = exynos5422Params();
+    params.cpuidleEnabled = false;
+    AsymmetricPlatform flat(sim2, params);
+    PowerModel flat_power(flat);
+    const PowerSnapshot c = flat_power.snapshot();
+    sim2.runFor(oneSec);
+    const PowerSnapshot d = flat_power.snapshot();
+    const double flat_mj =
+        flat_power.energyBetween(c, d).coreStaticMj;
+
+    EXPECT_LT(cpuidle_mj, 0.6 * flat_mj);
+}

@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Tests for FreqDomain: OPP selection, transition latency, listener
+ * ordering, and the thermal ceiling.
+ */
+
+#include <gtest/gtest.h>
+
+#include "platform/freq_domain.hh"
+#include "sim/simulation.hh"
+
+using namespace biglittle;
+
+namespace
+{
+
+std::vector<Opp>
+testOpps()
+{
+    return {{500000, 900}, {800000, 950}, {1100000, 1000},
+            {1300000, 1100}};
+}
+
+} // namespace
+
+TEST(FreqDomain, StartsAtLowestOpp)
+{
+    Simulation sim;
+    FreqDomain d(sim, "dom", testOpps(), 0);
+    EXPECT_EQ(d.currentFreq(), 500000u);
+    EXPECT_EQ(d.minFreq(), 500000u);
+    EXPECT_EQ(d.maxFreq(), 1300000u);
+    EXPECT_DOUBLE_EQ(d.currentVolts(), 0.9);
+}
+
+TEST(FreqDomain, RequestRoundsUpToNextOpp)
+{
+    Simulation sim;
+    FreqDomain d(sim, "dom", testOpps(), 0);
+    d.requestFreq(600000);
+    EXPECT_EQ(d.currentFreq(), 800000u);
+    d.requestFreq(800001);
+    EXPECT_EQ(d.currentFreq(), 1100000u);
+}
+
+TEST(FreqDomain, RequestAboveMaxClampsToMax)
+{
+    Simulation sim;
+    FreqDomain d(sim, "dom", testOpps(), 0);
+    d.requestFreq(9999999);
+    EXPECT_EQ(d.currentFreq(), 1300000u);
+}
+
+TEST(FreqDomain, RequestZeroGoesToMin)
+{
+    Simulation sim;
+    FreqDomain d(sim, "dom", testOpps(), 0);
+    d.setFreqNow(1300000);
+    d.requestFreq(0);
+    EXPECT_EQ(d.currentFreq(), 500000u);
+}
+
+TEST(FreqDomain, TransitionLatencyDelaysChange)
+{
+    Simulation sim;
+    FreqDomain d(sim, "dom", testOpps(), usToTicks(100));
+    d.requestFreq(1300000);
+    EXPECT_EQ(d.currentFreq(), 500000u); // not yet
+    sim.runFor(usToTicks(99));
+    EXPECT_EQ(d.currentFreq(), 500000u);
+    sim.runFor(usToTicks(1));
+    EXPECT_EQ(d.currentFreq(), 1300000u);
+}
+
+TEST(FreqDomain, NewerRequestSupersedesPending)
+{
+    Simulation sim;
+    FreqDomain d(sim, "dom", testOpps(), usToTicks(100));
+    d.requestFreq(1300000);
+    sim.runFor(usToTicks(50));
+    d.requestFreq(800000); // replaces the pending 1.3 GHz request
+    sim.runFor(usToTicks(200));
+    EXPECT_EQ(d.currentFreq(), 800000u);
+}
+
+TEST(FreqDomain, RequestOfCurrentFreqCancelsPending)
+{
+    Simulation sim;
+    FreqDomain d(sim, "dom", testOpps(), usToTicks(100));
+    d.requestFreq(1300000);
+    d.requestFreq(500000); // back to current: cancel
+    sim.runFor(usToTicks(500));
+    EXPECT_EQ(d.currentFreq(), 500000u);
+    EXPECT_EQ(d.transitions(), 0u);
+}
+
+TEST(FreqDomain, SetFreqNowBypassesLatency)
+{
+    Simulation sim;
+    FreqDomain d(sim, "dom", testOpps(), usToTicks(100));
+    d.setFreqNow(1100000);
+    EXPECT_EQ(d.currentFreq(), 1100000u);
+    EXPECT_EQ(d.transitions(), 1u);
+}
+
+TEST(FreqDomain, ListenerSeesOldAndNewOpp)
+{
+    Simulation sim;
+    FreqDomain d(sim, "dom", testOpps(), 0);
+    FreqKHz seen_old = 0, seen_new = 0;
+    FreqKHz current_at_callback = 0;
+    d.addListener([&](const Opp &o, const Opp &n) {
+        seen_old = o.freq;
+        seen_new = n.freq;
+        current_at_callback = d.currentFreq();
+    });
+    d.requestFreq(1100000);
+    EXPECT_EQ(seen_old, 500000u);
+    EXPECT_EQ(seen_new, 1100000u);
+    // Listener runs before the change lands.
+    EXPECT_EQ(current_at_callback, 500000u);
+}
+
+TEST(FreqDomain, TransitionCountAccumulates)
+{
+    Simulation sim;
+    FreqDomain d(sim, "dom", testOpps(), 0);
+    d.requestFreq(800000);
+    d.requestFreq(1300000);
+    d.requestFreq(500000);
+    d.requestFreq(500000); // no-op
+    EXPECT_EQ(d.transitions(), 3u);
+}
+
+TEST(FreqDomain, CeilingClampsRequests)
+{
+    Simulation sim;
+    FreqDomain d(sim, "dom", testOpps(), 0);
+    d.setCeiling(1100000);
+    EXPECT_EQ(d.ceiling(), 1100000u);
+    d.requestFreq(1300000);
+    EXPECT_EQ(d.currentFreq(), 1100000u);
+}
+
+TEST(FreqDomain, LoweringCeilingBelowCurrentAppliesImmediately)
+{
+    Simulation sim;
+    FreqDomain d(sim, "dom", testOpps(), 0);
+    d.setFreqNow(1300000);
+    d.setCeiling(800000);
+    EXPECT_EQ(d.currentFreq(), 800000u);
+}
+
+TEST(FreqDomain, RaisingCeilingRestoresHeadroom)
+{
+    Simulation sim;
+    FreqDomain d(sim, "dom", testOpps(), 0);
+    d.setCeiling(800000);
+    d.requestFreq(1300000);
+    EXPECT_EQ(d.currentFreq(), 800000u);
+    d.setCeiling(1300000);
+    d.requestFreq(1300000);
+    EXPECT_EQ(d.currentFreq(), 1300000u);
+}
+
+TEST(FreqDomain, CeilingBetweenOppsRoundsDown)
+{
+    Simulation sim;
+    FreqDomain d(sim, "dom", testOpps(), 0);
+    d.setCeiling(1000000); // between 800 and 1100 MHz
+    EXPECT_EQ(d.ceiling(), 800000u);
+}
+
+/** Property: for any target, the chosen OPP is the lowest >= it. */
+class OppSelection : public ::testing::TestWithParam<FreqKHz>
+{
+};
+
+TEST_P(OppSelection, LowestOppAtOrAboveTarget)
+{
+    Simulation sim;
+    FreqDomain d(sim, "dom", testOpps(), 0);
+    const FreqKHz target = GetParam();
+    d.requestFreq(target);
+    const FreqKHz chosen = d.currentFreq();
+    if (target <= d.maxFreq()) {
+        EXPECT_GE(chosen, target);
+    }
+    for (const Opp &opp : d.opps()) {
+        if (opp.freq >= target) {
+            EXPECT_LE(chosen, opp.freq);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Targets, OppSelection,
+                         ::testing::Values(1u, 500000u, 500001u,
+                                           799999u, 800000u, 1200000u,
+                                           1300000u, 2000000u));

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Tests for the Exynos 5422 parameter factory: the configuration
+ * must match Table I and Section II of the paper.
+ */
+
+#include <gtest/gtest.h>
+
+#include "platform/params.hh"
+
+using namespace biglittle;
+
+TEST(Exynos5422Params, HasLittleAndBigClusters)
+{
+    const PlatformParams p = exynos5422Params();
+    ASSERT_EQ(p.clusters.size(), 2u);
+    EXPECT_EQ(p.clusters[0].type, CoreType::little);
+    EXPECT_EQ(p.clusters[1].type, CoreType::big);
+    EXPECT_EQ(p.clusters[0].coreCount, 4u);
+    EXPECT_EQ(p.clusters[1].coreCount, 4u);
+}
+
+TEST(Exynos5422Params, FrequencyRangesMatchPaper)
+{
+    const PlatformParams p = exynos5422Params();
+    // little: 0.5 - 1.3 GHz, big: 0.8 - 1.9 GHz (Section II).
+    EXPECT_EQ(p.clusters[0].opps.front().freq, 500000u);
+    EXPECT_EQ(p.clusters[0].opps.back().freq, 1300000u);
+    EXPECT_EQ(p.clusters[1].opps.front().freq, 800000u);
+    EXPECT_EQ(p.clusters[1].opps.back().freq, 1900000u);
+}
+
+TEST(Exynos5422Params, OppTablesAscendInFreqAndVoltage)
+{
+    const PlatformParams p = exynos5422Params();
+    for (const auto &cluster : p.clusters) {
+        for (std::size_t i = 1; i < cluster.opps.size(); ++i) {
+            EXPECT_GT(cluster.opps[i].freq, cluster.opps[i - 1].freq);
+            EXPECT_GE(cluster.opps[i].voltage,
+                      cluster.opps[i - 1].voltage);
+        }
+    }
+}
+
+TEST(Exynos5422Params, CacheSizesMatchTableI)
+{
+    const PlatformParams p = exynos5422Params();
+    EXPECT_EQ(p.clusters[0].l2.sizeKB, 512u); // little: 512 KB
+    EXPECT_EQ(p.clusters[1].l2.sizeKB, 2048u); // big: 2 MB
+}
+
+TEST(Exynos5422Params, BigCoreIsWiderAndExtractsMoreIlp)
+{
+    const PlatformParams p = exynos5422Params();
+    EXPECT_GT(p.clusters[1].perf.issueWidth,
+              p.clusters[0].perf.issueWidth);
+    EXPECT_GT(p.clusters[1].perf.ilpExtraction,
+              p.clusters[0].perf.ilpExtraction);
+}
+
+TEST(Exynos5422Params, BigCoreBurnsMorePower)
+{
+    const PlatformParams p = exynos5422Params();
+    EXPECT_GT(p.clusters[1].power.dynCoeffMw,
+              2.0 * p.clusters[0].power.dynCoeffMw);
+    EXPECT_GT(p.clusters[1].power.staticCoeffMw,
+              p.clusters[0].power.staticCoeffMw);
+}
+
+TEST(Exynos5422Params, BootCoreIsALittleCore)
+{
+    const PlatformParams p = exynos5422Params();
+    EXPECT_EQ(p.bootCluster, 0u);
+    EXPECT_EQ(p.clusters[p.bootCluster].type, CoreType::little);
+}
+
+TEST(Exynos5422Params, CoreTypeNames)
+{
+    EXPECT_STREQ(coreTypeName(CoreType::little), "little");
+    EXPECT_STREQ(coreTypeName(CoreType::big), "big");
+}

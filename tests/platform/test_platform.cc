@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Tests for AsymmetricPlatform: construction, lookup, hotplug rules
+ * and the Fig. 7/8 core configurations.
+ */
+
+#include <gtest/gtest.h>
+
+#include "platform/platform.hh"
+#include "sim/simulation.hh"
+
+using namespace biglittle;
+
+namespace
+{
+
+class PlatformTest : public ::testing::Test
+{
+  protected:
+    Simulation sim;
+    AsymmetricPlatform plat{sim, exynos5422Params()};
+};
+
+} // namespace
+
+TEST_F(PlatformTest, EightCoresInIdOrder)
+{
+    EXPECT_EQ(plat.coreCount(), 8u);
+    for (CoreId id = 0; id < 8; ++id)
+        EXPECT_EQ(plat.core(id).id(), id);
+    for (CoreId id = 0; id < 4; ++id)
+        EXPECT_EQ(plat.core(id).type(), CoreType::little);
+    for (CoreId id = 4; id < 8; ++id)
+        EXPECT_EQ(plat.core(id).type(), CoreType::big);
+}
+
+TEST_F(PlatformTest, ClusterLookupByType)
+{
+    EXPECT_EQ(plat.littleCluster().type(), CoreType::little);
+    EXPECT_EQ(plat.bigCluster().type(), CoreType::big);
+    EXPECT_EQ(&plat.clusterOf(CoreType::big), &plat.bigCluster());
+}
+
+TEST_F(PlatformTest, SeparateFreqDomains)
+{
+    plat.littleCluster().freqDomain().setFreqNow(1300000);
+    plat.bigCluster().freqDomain().setFreqNow(800000);
+    EXPECT_EQ(plat.littleCluster().freqDomain().currentFreq(),
+              1300000u);
+    EXPECT_EQ(plat.bigCluster().freqDomain().currentFreq(), 800000u);
+}
+
+TEST_F(PlatformTest, HotplugCountsByType)
+{
+    EXPECT_EQ(plat.onlineCount(CoreType::little), 4u);
+    EXPECT_EQ(plat.onlineCount(CoreType::big), 4u);
+    plat.setCoreOnline(5, false);
+    plat.setCoreOnline(6, false);
+    EXPECT_EQ(plat.onlineCount(CoreType::big), 2u);
+}
+
+TEST_F(PlatformTest, BootCoreCannotGoOffline)
+{
+    EXPECT_EXIT(plat.setCoreOnline(0, false),
+                ::testing::ExitedWithCode(1), "boot core");
+}
+
+TEST_F(PlatformTest, ApplyStandardCoreConfigs)
+{
+    for (const CoreConfig &cc : standardCoreConfigs()) {
+        plat.applyCoreConfig(cc);
+        EXPECT_EQ(plat.onlineCount(CoreType::little), cc.littleCores)
+            << cc.label;
+        EXPECT_EQ(plat.onlineCount(CoreType::big), cc.bigCores)
+            << cc.label;
+    }
+}
+
+TEST_F(PlatformTest, StandardConfigsMatchFig7)
+{
+    const auto configs = standardCoreConfigs();
+    ASSERT_EQ(configs.size(), 7u);
+    EXPECT_EQ(configs.front().label, "L2");
+    EXPECT_EQ(configs.back().label, "L4+B4");
+    // Every config keeps at least one little core (boot rule).
+    for (const auto &cc : configs)
+        EXPECT_GE(cc.littleCores, 1u);
+}
+
+TEST_F(PlatformTest, ConfigWithoutLittleCoresIsFatal)
+{
+    const CoreConfig bad{0, 4, "B4-only"};
+    EXPECT_EXIT(plat.applyCoreConfig(bad),
+                ::testing::ExitedWithCode(1), "boot core");
+}
+
+TEST_F(PlatformTest, ConfigRequestingTooManyCoresIsFatal)
+{
+    const CoreConfig bad{5, 0, "L5"};
+    EXPECT_EXIT(plat.applyCoreConfig(bad),
+                ::testing::ExitedWithCode(1), "wants 5");
+}
+
+TEST_F(PlatformTest, ReapplyingBaselineRestoresAllCores)
+{
+    plat.applyCoreConfig({2, 1, "L2+B1"});
+    plat.applyCoreConfig({4, 4, "L4+B4"});
+    EXPECT_EQ(plat.onlineCount(CoreType::little), 4u);
+    EXPECT_EQ(plat.onlineCount(CoreType::big), 4u);
+}
+
+TEST(PlatformConstruction, EmptyClusterListIsFatal)
+{
+    Simulation sim;
+    PlatformParams p;
+    p.name = "empty";
+    EXPECT_EXIT(AsymmetricPlatform(sim, p),
+                ::testing::ExitedWithCode(1), "no clusters");
+}
+
+TEST(PlatformConstruction, SingleClusterPlatformWorks)
+{
+    Simulation sim;
+    PlatformParams p = exynos5422Params();
+    p.clusters.resize(1); // little only
+    AsymmetricPlatform plat(sim, p);
+    EXPECT_EQ(plat.coreCount(), 4u);
+    EXPECT_DEATH(plat.clusterOf(CoreType::big), "no big cluster");
+}

@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Tests for the power model: calibration anchors from Section III-A
+ * (2.3x iso-frequency ratio, 1.5x for big@0.8 vs little@1.3), energy
+ * accounting consistency, and utilization linearity (Fig. 6).
+ */
+
+#include <gtest/gtest.h>
+
+#include "platform/power.hh"
+#include "sim/simulation.hh"
+
+using namespace biglittle;
+
+namespace
+{
+
+class PowerTest : public ::testing::Test
+{
+  protected:
+    Simulation sim;
+    AsymmetricPlatform plat{sim, exynos5422Params()};
+    PowerModel power{plat};
+
+    /** Run one core busy at a fixed freq and return avg system mW. */
+    double
+    systemPowerOneBusy(CoreType type, FreqKHz freq, Tick duration)
+    {
+        Cluster &cl = plat.clusterOf(type);
+        cl.freqDomain().setFreqNow(freq);
+        const PowerSnapshot before = power.snapshot();
+        cl.core(0).setBusy(true);
+        sim.runFor(duration);
+        cl.core(0).setBusy(false);
+        const PowerSnapshot after = power.snapshot();
+        return power.energyBetween(before, after).averagePowerMw();
+    }
+};
+
+} // namespace
+
+TEST_F(PowerTest, IdleSystemPowerIsSmall)
+{
+    const PowerSnapshot before = power.snapshot();
+    sim.runFor(oneSec);
+    const PowerSnapshot after = power.snapshot();
+    const EnergyBreakdown e = power.energyBetween(before, after);
+    // Base + leakage only: well under 0.5 W.
+    EXPECT_GT(e.averagePowerMw(), 200.0);
+    EXPECT_LT(e.averagePowerMw(), 500.0);
+    EXPECT_DOUBLE_EQ(e.coreDynamicMj, 0.0);
+}
+
+TEST_F(PowerTest, IsoFrequencyRatioMatchesPaper)
+{
+    const double little =
+        systemPowerOneBusy(CoreType::little, 1300000, oneSec);
+    const double big =
+        systemPowerOneBusy(CoreType::big, 1300000, oneSec);
+    // Section III-A: "a big core consumes 2.3 times more power".
+    EXPECT_NEAR(big / little, 2.3, 0.25);
+}
+
+TEST_F(PowerTest, BigMinVsLittleMaxRatioMatchesPaper)
+{
+    const double little =
+        systemPowerOneBusy(CoreType::little, 1300000, oneSec);
+    const double big =
+        systemPowerOneBusy(CoreType::big, 800000, oneSec);
+    // "Even a big core with 0.8GHz consumes 1.5 times more power
+    // than a little core with 1.3GHz."
+    EXPECT_NEAR(big / little, 1.5, 0.2);
+}
+
+TEST_F(PowerTest, PowerIncreasesWithFrequency)
+{
+    double prev = 0.0;
+    for (FreqKHz f : {800000u, 1100000u, 1400000u, 1700000u,
+                      1900000u}) {
+        const double p =
+            systemPowerOneBusy(CoreType::big, f, msToTicks(100));
+        EXPECT_GT(p, prev) << f;
+        prev = p;
+    }
+}
+
+TEST_F(PowerTest, EnergyScalesLinearlyWithBusyTime)
+{
+    Cluster &cl = plat.littleCluster();
+    cl.freqDomain().setFreqNow(1300000);
+    const PowerSnapshot s0 = power.snapshot();
+    cl.core(0).setBusy(true);
+    sim.runFor(msToTicks(100));
+    const PowerSnapshot s1 = power.snapshot();
+    sim.runFor(msToTicks(200));
+    cl.core(0).setBusy(false);
+    const PowerSnapshot s2 = power.snapshot();
+    const double e1 = power.energyBetween(s0, s1).coreDynamicMj;
+    const double e2 = power.energyBetween(s1, s2).coreDynamicMj;
+    EXPECT_NEAR(e2 / e1, 2.0, 1e-6);
+}
+
+TEST_F(PowerTest, SnapshotsCompose)
+{
+    Cluster &cl = plat.bigCluster();
+    const PowerSnapshot s0 = power.snapshot();
+    cl.core(1).setBusy(true);
+    sim.runFor(msToTicks(37));
+    const PowerSnapshot s1 = power.snapshot();
+    sim.runFor(msToTicks(11));
+    cl.core(1).setBusy(false);
+    sim.runFor(msToTicks(5));
+    const PowerSnapshot s2 = power.snapshot();
+    const double total = power.energyBetween(s0, s2).totalMj();
+    const double split = power.energyBetween(s0, s1).totalMj() +
+                         power.energyBetween(s1, s2).totalMj();
+    EXPECT_NEAR(total, split, 1e-9);
+}
+
+TEST_F(PowerTest, EnergySinceStartMatchesManualSnapshot)
+{
+    plat.littleCluster().core(2).setBusy(true);
+    sim.runFor(msToTicks(50));
+    plat.littleCluster().core(2).setBusy(false);
+    const EnergyBreakdown e = power.energySinceStart();
+    EXPECT_EQ(e.elapsed, msToTicks(50));
+    EXPECT_GT(e.coreDynamicMj, 0.0);
+    EXPECT_GT(e.baseMj, 0.0);
+}
+
+TEST_F(PowerTest, InstantPowerTracksState)
+{
+    const double idle = power.instantPowerMw();
+    plat.bigCluster().freqDomain().setFreqNow(1900000);
+    plat.bigCluster().core(0).setBusy(true);
+    const double busy = power.instantPowerMw();
+    EXPECT_GT(busy, idle + 2000.0); // a big core at 1.9 GHz is >2 W
+    plat.bigCluster().core(0).setBusy(false);
+    EXPECT_LT(power.instantPowerMw(), busy);
+}
+
+TEST_F(PowerTest, MarginalCoreCostShrinksAfterFirst)
+{
+    plat.littleCluster().freqDomain().setFreqNow(1300000);
+    const double p0 = power.instantPowerMw();
+    plat.littleCluster().core(0).setBusy(true);
+    const double p1 = power.instantPowerMw();
+    plat.littleCluster().core(1).setBusy(true);
+    const double p2 = power.instantPowerMw();
+    plat.littleCluster().core(2).setBusy(true);
+    const double p3 = power.instantPowerMw();
+    // The first busy core also wakes the shared L2 (cluster-active
+    // static), so its marginal cost exceeds the later cores'.
+    EXPECT_GT(p1 - p0, p2 - p1);
+    // Subsequent cores add the same dynamic+static increment.
+    EXPECT_NEAR(p2 - p1, p3 - p2, 1e-9);
+    EXPECT_GT(p2 - p1, 0.0);
+}
+
+TEST_F(PowerTest, OfflineClusterDrawsNothing)
+{
+    for (std::size_t i = 0; i < 4; ++i)
+        plat.bigCluster().core(i).setOnline(false);
+    EXPECT_DOUBLE_EQ(clusterInstantPowerMw(plat.bigCluster()), 0.0);
+}
+
+TEST_F(PowerTest, HotplugReducesIdleLeakage)
+{
+    const double all_on = power.instantPowerMw();
+    for (std::size_t i = 0; i < 4; ++i)
+        plat.bigCluster().core(i).setOnline(false);
+    const double big_off = power.instantPowerMw();
+    EXPECT_LT(big_off, all_on);
+}
+
+TEST_F(PowerTest, UtilizationLinearityOfEnergy)
+{
+    // Fig. 6 linearity: energy at 50% duty is the midpoint of idle
+    // and fully-busy energy over the same interval.
+    Cluster &cl = plat.littleCluster();
+    cl.freqDomain().setFreqNow(1300000);
+
+    const PowerSnapshot a = power.snapshot();
+    sim.runFor(oneSec); // idle
+    const PowerSnapshot b = power.snapshot();
+    cl.core(0).setBusy(true);
+    sim.runFor(oneSec); // busy
+    cl.core(0).setBusy(false);
+    const PowerSnapshot c = power.snapshot();
+    // 50% duty second
+    for (int i = 0; i < 10; ++i) {
+        cl.core(0).setBusy(true);
+        sim.runFor(msToTicks(50));
+        cl.core(0).setBusy(false);
+        sim.runFor(msToTicks(50));
+    }
+    const PowerSnapshot d = power.snapshot();
+
+    const double e_idle = power.energyBetween(a, b).totalMj();
+    const double e_busy = power.energyBetween(b, c).totalMj();
+    const double e_half = power.energyBetween(c, d).totalMj();
+    EXPECT_NEAR(e_half, (e_idle + e_busy) / 2.0,
+                0.02 * (e_idle + e_busy));
+}
+
+TEST_F(PowerTest, MismatchedSnapshotsAssert)
+{
+    PowerSnapshot bogus;
+    bogus.when = 0;
+    bogus.clusters.resize(1); // wrong cluster count
+    const PowerSnapshot good = power.snapshot();
+    EXPECT_DEATH((void)power.energyBetween(bogus, good), "assertion");
+}

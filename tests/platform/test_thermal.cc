@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Tests for the thermal throttle: temperature dynamics, trip-point
+ * hysteresis, and the platform behavior it is calibrated for (a
+ * single big core sustains max frequency; a fully busy big cluster
+ * is forced down).
+ */
+
+#include <gtest/gtest.h>
+
+#include "platform/platform.hh"
+#include "platform/power.hh"
+#include "platform/thermal.hh"
+#include "sim/simulation.hh"
+
+using namespace biglittle;
+
+namespace
+{
+
+class ThermalTest : public ::testing::Test
+{
+  protected:
+    Simulation sim;
+    AsymmetricPlatform plat{sim, exynos5422Params()};
+
+    Cluster &big() { return plat.bigCluster(); }
+};
+
+} // namespace
+
+TEST_F(ThermalTest, StartsAtAmbientWithNoCeiling)
+{
+    ThermalThrottle throttle(sim, big());
+    EXPECT_DOUBLE_EQ(throttle.temperatureC(),
+                     throttle.params().ambientC);
+    EXPECT_EQ(throttle.ceiling(), big().freqDomain().maxFreq());
+}
+
+TEST_F(ThermalTest, IdleClusterStaysCool)
+{
+    ThermalThrottle throttle(sim, big());
+    throttle.start();
+    sim.runFor(msToTicks(5000));
+    EXPECT_LT(throttle.temperatureC(), throttle.params().hotTripC);
+    EXPECT_EQ(throttle.throttleEvents(), 0u);
+    EXPECT_EQ(big().freqDomain().currentFreq(),
+              big().freqDomain().minFreq());
+}
+
+TEST_F(ThermalTest, SingleBusyBigCoreSustainsMaxFreq)
+{
+    big().freqDomain().setFreqNow(1900000);
+    big().core(0).setBusy(true);
+    ThermalThrottle throttle(sim, big());
+    throttle.start();
+    sim.runFor(msToTicks(20000));
+    // One core at 1.9 GHz: steady state just under the hot trip.
+    EXPECT_EQ(big().freqDomain().currentFreq(), 1900000u);
+    EXPECT_EQ(throttle.throttleEvents(), 0u);
+}
+
+TEST_F(ThermalTest, FullyBusyBigClusterThrottles)
+{
+    big().freqDomain().setFreqNow(1900000);
+    for (std::size_t i = 0; i < 4; ++i)
+        big().core(i).setBusy(true);
+    ThermalThrottle throttle(sim, big());
+    throttle.start();
+    sim.runFor(msToTicks(20000));
+    EXPECT_GT(throttle.throttleEvents(), 0u);
+    // Four busy big cores settle well below max, near ~1.0-1.4 GHz.
+    EXPECT_LE(big().freqDomain().currentFreq(), 1400000u);
+    EXPECT_GE(big().freqDomain().currentFreq(), 800000u);
+}
+
+TEST_F(ThermalTest, TemperatureRisesUnderLoad)
+{
+    big().freqDomain().setFreqNow(1900000);
+    for (std::size_t i = 0; i < 4; ++i)
+        big().core(i).setBusy(true);
+    ThermalThrottle throttle(sim, big());
+    throttle.start();
+    sim.runFor(msToTicks(500));
+    EXPECT_GT(throttle.temperatureC(), throttle.params().ambientC + 5);
+}
+
+TEST_F(ThermalTest, CeilingRecoversAfterLoadDrops)
+{
+    big().freqDomain().setFreqNow(1900000);
+    for (std::size_t i = 0; i < 4; ++i)
+        big().core(i).setBusy(true);
+    ThermalThrottle throttle(sim, big());
+    throttle.start();
+    sim.runFor(msToTicks(20000));
+    ASSERT_LT(throttle.ceiling(), 1900000u);
+    for (std::size_t i = 0; i < 4; ++i)
+        big().core(i).setBusy(false);
+    sim.runFor(msToTicks(30000));
+    EXPECT_EQ(throttle.ceiling(), 1900000u);
+}
+
+TEST_F(ThermalTest, LittleClusterNeverThrottles)
+{
+    Cluster &little = plat.littleCluster();
+    little.freqDomain().setFreqNow(1300000);
+    for (std::size_t i = 0; i < 4; ++i)
+        little.core(i).setBusy(true);
+    ThermalThrottle throttle(sim, little);
+    throttle.start();
+    sim.runFor(msToTicks(30000));
+    EXPECT_EQ(throttle.throttleEvents(), 0u);
+    EXPECT_EQ(little.freqDomain().currentFreq(), 1300000u);
+}
+
+TEST_F(ThermalTest, StopFreezesEvaluation)
+{
+    big().freqDomain().setFreqNow(1900000);
+    for (std::size_t i = 0; i < 4; ++i)
+        big().core(i).setBusy(true);
+    ThermalThrottle throttle(sim, big());
+    throttle.start();
+    sim.runFor(msToTicks(200));
+    throttle.stop();
+    const double temp = throttle.temperatureC();
+    sim.runFor(msToTicks(5000));
+    EXPECT_DOUBLE_EQ(throttle.temperatureC(), temp);
+}
+
+TEST_F(ThermalTest, SteadyStateTemperatureMatchesClosedForm)
+{
+    // With constant power P, steady T = ambient + P/G.
+    Cluster &little = plat.littleCluster();
+    little.freqDomain().setFreqNow(1300000);
+    little.core(0).setBusy(true);
+    ThermalParams tp;
+    tp.hotTripC = 1000.0; // never throttle; observe pure dynamics
+    tp.coolTripC = 999.0;
+    ThermalThrottle throttle(sim, little, tp);
+    throttle.start();
+    sim.runFor(msToTicks(60000));
+    const double p_w = clusterInstantPowerMw(little) / 1000.0;
+    const double expected = tp.ambientC + p_w / tp.conductanceWPerC;
+    EXPECT_NEAR(throttle.temperatureC(), expected, 1.0);
+}

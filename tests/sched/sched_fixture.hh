@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Shared fixture for scheduler tests: a full platform with an HMP
+ * scheduler, fixed frequencies (no governor), and a helper client
+ * that records drain events.
+ */
+
+#ifndef BIGLITTLE_TESTS_SCHED_FIXTURE_HH
+#define BIGLITTLE_TESTS_SCHED_FIXTURE_HH
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "platform/perf_model.hh"
+#include "platform/platform.hh"
+#include "sched/hmp.hh"
+#include "sim/simulation.hh"
+
+namespace biglittle::test
+{
+
+/** TaskClient that logs drain ticks and can resubmit work. */
+class RecordingClient : public TaskClient
+{
+  public:
+    std::vector<Tick> drains;
+    double resubmit = 0.0; ///< if > 0, submit this much on drain
+    Simulation *sim = nullptr;
+
+    void
+    onWorkDrained(Task &task) override
+    {
+        drains.push_back(sim != nullptr ? sim->now() : 0);
+        if (resubmit > 0.0)
+            task.submitWork(resubmit);
+    }
+};
+
+class SchedFixture : public ::testing::Test
+{
+  protected:
+    Simulation sim;
+    AsymmetricPlatform plat{sim, exynos5422Params()};
+    SchedParams params = baselineSchedParams();
+    HmpScheduler sched{sim, plat, params};
+
+    void
+    SetUp() override
+    {
+        // Deterministic speeds: both clusters pinned at max.
+        plat.littleCluster().freqDomain().setFreqNow(1300000);
+        plat.bigCluster().freqDomain().setFreqNow(1900000);
+        sched.start();
+    }
+
+    /** A compute-bound work class with no memory time. */
+    static WorkClass
+    pureCompute()
+    {
+        return WorkClass{0.8, 0.0, 64.0};
+    }
+};
+
+} // namespace biglittle::test
+
+#endif // BIGLITTLE_TESTS_SCHED_FIXTURE_HH

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Tests for core evacuation and the 5410-style cluster-migration
+ * switcher.
+ */
+
+#include <gtest/gtest.h>
+
+#include "platform/platform.hh"
+#include "sched/cluster_switcher.hh"
+#include "sched/hmp.hh"
+#include "sim/simulation.hh"
+
+using namespace biglittle;
+
+namespace
+{
+
+PlatformParams
+switchableParams()
+{
+    PlatformParams p = exynos5422Params();
+    p.enforceBootCore = false;
+    return p;
+}
+
+WorkClass
+pureCompute()
+{
+    return WorkClass{0.8, 0.0, 64.0};
+}
+
+class SwitcherTest : public ::testing::Test
+{
+  protected:
+    Simulation sim;
+    AsymmetricPlatform plat{sim, switchableParams()};
+    HmpScheduler sched{sim, plat, baselineSchedParams()};
+
+    void
+    SetUp() override
+    {
+        plat.littleCluster().freqDomain().setFreqNow(1300000);
+        plat.bigCluster().freqDomain().setFreqNow(1900000);
+        sched.start();
+    }
+};
+
+} // namespace
+
+TEST_F(SwitcherTest, EvacuateMovesAllTasks)
+{
+    Task &a = sched.createTask("a", pureCompute());
+    Task &b = sched.createTask("b", pureCompute());
+    a.submitWork(1e11);
+    b.submitWork(1e11);
+    // Force both onto core 0.
+    if (a.core()->id() != 0)
+        sched.runner(a.core()->id()).remove(a);
+    if (a.core() == nullptr || a.core()->id() != 0)
+        sched.runner(0).enqueue(a);
+    if (b.core()->id() != 0) {
+        sched.runner(b.core()->id()).remove(b);
+        sched.runner(0).enqueue(b);
+    }
+    ASSERT_EQ(sched.runner(0).depth(), 2u);
+    const std::size_t moved = sched.evacuateCore(0);
+    EXPECT_EQ(moved, 2u);
+    EXPECT_EQ(sched.runner(0).depth(), 0u);
+    EXPECT_NE(a.core()->id(), 0u);
+    EXPECT_NE(b.core()->id(), 0u);
+    EXPECT_EQ(a.state() == TaskState::running ||
+                  a.state() == TaskState::queued,
+              true);
+}
+
+TEST_F(SwitcherTest, EvacuateEmptyCoreIsNoop)
+{
+    EXPECT_EQ(sched.evacuateCore(2), 0u);
+}
+
+TEST_F(SwitcherTest, EvacuatePinnedTaskIsFatal)
+{
+    Task &t = sched.createTask("pinned", pureCompute(), CoreId{1});
+    t.submitWork(1e11);
+    EXPECT_EXIT(sched.evacuateCore(1), ::testing::ExitedWithCode(1),
+                "cannot evacuate pinned task");
+}
+
+TEST_F(SwitcherTest, StartsInLittleMode)
+{
+    ClusterSwitcher switcher(sim, plat, sched);
+    switcher.start();
+    EXPECT_FALSE(switcher.bigActive());
+    EXPECT_EQ(plat.onlineCount(CoreType::little), 4u);
+    EXPECT_EQ(plat.onlineCount(CoreType::big), 0u);
+}
+
+TEST_F(SwitcherTest, HeavyLoadSwitchesToBigAndBack)
+{
+    ClusterSwitcher switcher(sim, plat, sched);
+    switcher.start();
+    Task &t = sched.createTask("hog", pureCompute());
+    t.submitWork(1e12);
+    sim.runFor(msToTicks(300));
+    // Sustained full load crossed the up threshold: big mode.
+    EXPECT_TRUE(switcher.bigActive());
+    EXPECT_EQ(plat.onlineCount(CoreType::little), 0u);
+    EXPECT_EQ(plat.onlineCount(CoreType::big), 4u);
+    ASSERT_NE(t.core(), nullptr);
+    EXPECT_EQ(t.core()->type(), CoreType::big);
+    EXPECT_GE(switcher.switches(), 1u);
+
+    // Drain the task; loads decay and the system returns to little.
+    sched.runner(t.core()->id()).remove(t);
+    t.consumeAll();
+    t.noteSleeping(sim.now());
+    sim.runFor(msToTicks(500));
+    EXPECT_FALSE(switcher.bigActive());
+    EXPECT_EQ(plat.onlineCount(CoreType::little), 4u);
+    EXPECT_EQ(plat.onlineCount(CoreType::big), 0u);
+}
+
+TEST_F(SwitcherTest, ExactlyOneClusterEverActive)
+{
+    ClusterSwitcher switcher(sim, plat, sched);
+    switcher.start();
+    Task &t = sched.createTask("burst", pureCompute());
+    // Alternate heavy and light phases to force several switches.
+    for (int phase = 0; phase < 6; ++phase) {
+        t.submitWork(phase % 2 == 0 ? 3e8 : 3e6);
+        for (int step = 0; step < 10; ++step) {
+            sim.runFor(msToTicks(10));
+            const bool little_on =
+                plat.onlineCount(CoreType::little) > 0;
+            const bool big_on = plat.onlineCount(CoreType::big) > 0;
+            ASSERT_NE(little_on, big_on)
+                << "both or neither cluster online";
+        }
+    }
+    EXPECT_GE(switcher.switches(), 2u);
+}
+
+TEST_F(SwitcherTest, RequiresRelaxedBootRule)
+{
+    Simulation sim2;
+    AsymmetricPlatform strict(sim2, exynos5422Params());
+    HmpScheduler sched2(sim2, strict, baselineSchedParams());
+    EXPECT_EXIT(ClusterSwitcher(sim2, strict, sched2),
+                ::testing::ExitedWithCode(1), "enforceBootCore");
+}

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Tests for the Task state machine and work bookkeeping.
+ */
+
+#include "sched_fixture.hh"
+
+using namespace biglittle;
+using namespace biglittle::test;
+
+using TaskTest = SchedFixture;
+
+TEST_F(TaskTest, CreatedSleepingWithNoWork)
+{
+    Task &t = sched.createTask("t", pureCompute());
+    EXPECT_EQ(t.state(), TaskState::sleeping);
+    EXPECT_TRUE(t.drained());
+    EXPECT_EQ(t.core(), nullptr);
+    EXPECT_DOUBLE_EQ(t.instructionsRetired(), 0.0);
+    EXPECT_FALSE(t.pinnedCore().has_value());
+}
+
+TEST_F(TaskTest, SubmitWorkWakesAndRuns)
+{
+    Task &t = sched.createTask("t", pureCompute());
+    t.submitWork(1e6);
+    EXPECT_EQ(t.state(), TaskState::running);
+    ASSERT_NE(t.core(), nullptr);
+    EXPECT_EQ(t.core()->type(), CoreType::little);
+}
+
+TEST_F(TaskTest, WorkDrainsAndClientIsNotified)
+{
+    Task &t = sched.createTask("t", pureCompute());
+    RecordingClient client;
+    client.sim = &sim;
+    t.setClient(&client);
+    t.submitWork(1e6); // ~1 ms on a little core at 1.3 GHz
+    sim.runFor(msToTicks(50));
+    EXPECT_EQ(t.state(), TaskState::sleeping);
+    ASSERT_EQ(client.drains.size(), 1u);
+    EXPECT_GT(client.drains[0], 0u);
+    EXPECT_NEAR(t.instructionsRetired(), 1e6, 1.0);
+}
+
+TEST_F(TaskTest, SubmitWhileRunnableAccumulates)
+{
+    Task &t = sched.createTask("t", pureCompute());
+    t.submitWork(5e6);
+    t.submitWork(3e6);
+    EXPECT_DOUBLE_EQ(t.pendingInstructions(), 8e6);
+    EXPECT_EQ(t.state(), TaskState::running);
+}
+
+TEST_F(TaskTest, DrainTimeMatchesAnalyticRate)
+{
+    Task &t = sched.createTask("t", pureCompute());
+    RecordingClient client;
+    client.sim = &sim;
+    t.setClient(&client);
+    const double rate = perf_model::instRate(
+        plat.littleCluster().core(0), pureCompute());
+    const double insts = 10e6;
+    t.submitWork(insts);
+    sim.runFor(msToTicks(100));
+    ASSERT_EQ(client.drains.size(), 1u);
+    const double expected_ns = insts / rate * 1e9;
+    EXPECT_NEAR(static_cast<double>(client.drains[0]), expected_ns,
+                expected_ns * 0.01 + 1000.0);
+}
+
+TEST_F(TaskTest, PinnedTaskRunsOnPinnedCore)
+{
+    Task &t = sched.createTask("t", pureCompute(), CoreId{6});
+    t.submitWork(1e6);
+    ASSERT_NE(t.core(), nullptr);
+    EXPECT_EQ(t.core()->id(), 6u);
+    EXPECT_EQ(t.core()->type(), CoreType::big);
+}
+
+TEST_F(TaskTest, FinishedTaskIgnoresWork)
+{
+    Task &t = sched.createTask("t", pureCompute());
+    t.finish();
+    EXPECT_EQ(t.state(), TaskState::finished);
+    t.submitWork(1e6);
+    EXPECT_TRUE(t.drained());
+    EXPECT_EQ(t.state(), TaskState::finished);
+}
+
+TEST_F(TaskTest, FinishWhileRunnablePanics)
+{
+    Task &t = sched.createTask("t", pureCompute());
+    t.submitWork(1e9);
+    EXPECT_DEATH(t.finish(), "not sleeping");
+}
+
+TEST_F(TaskTest, SubmitZeroWorkAsserts)
+{
+    Task &t = sched.createTask("t", pureCompute());
+    EXPECT_DEATH(t.submitWork(0.0), "assertion");
+}
+
+TEST_F(TaskTest, LastCoreIdTracksPlacement)
+{
+    Task &t = sched.createTask("t", pureCompute());
+    EXPECT_EQ(t.lastCoreId(), invalidCoreId);
+    t.submitWork(1e5);
+    const CoreId first = t.lastCoreId();
+    EXPECT_NE(first, invalidCoreId);
+    sim.runFor(msToTicks(20));
+    // Re-wakeup lands on the same (idle) core: wakeup affinity.
+    t.submitWork(1e5);
+    EXPECT_EQ(t.lastCoreId(), first);
+}
+
+TEST_F(TaskTest, PinToNonexistentCoreIsFatal)
+{
+    EXPECT_EXIT(sched.createTask("t", pureCompute(), CoreId{99}),
+                ::testing::ExitedWithCode(1), "nonexistent core");
+}
+
+TEST_F(TaskTest, RepeatedCyclesAccumulateRetired)
+{
+    Task &t = sched.createTask("t", pureCompute());
+    RecordingClient client;
+    client.sim = &sim;
+    t.setClient(&client);
+    for (int i = 0; i < 5; ++i) {
+        t.submitWork(1e6);
+        sim.runFor(msToTicks(20));
+    }
+    EXPECT_EQ(client.drains.size(), 5u);
+    EXPECT_NEAR(t.instructionsRetired(), 5e6, 5.0);
+}

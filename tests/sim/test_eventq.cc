@@ -1,0 +1,223 @@
+/**
+ * @file
+ * Tests for the discrete-event queue: ordering, rescheduling,
+ * determinism of same-tick events, and time advancement.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/eventq.hh"
+
+using namespace biglittle;
+
+namespace
+{
+
+/** Event that records its firing order into a shared log. */
+class LogEvent : public Event
+{
+  public:
+    LogEvent(std::vector<int> &log, int id,
+             EventPriority prio = EventPriority::deferred)
+        : Event(prio), log(log), id(id)
+    {
+    }
+
+    void process() override { log.push_back(id); }
+
+  private:
+    std::vector<int> &log;
+    int id;
+};
+
+} // namespace
+
+TEST(EventQueue, StartsEmptyAtTickZero)
+{
+    EventQueue q;
+    EXPECT_TRUE(q.empty());
+    EXPECT_EQ(q.now(), 0u);
+    EXPECT_EQ(q.nextTick(), maxTick);
+    EXPECT_FALSE(q.serviceOne());
+}
+
+TEST(EventQueue, FiresInTimeOrder)
+{
+    EventQueue q;
+    std::vector<int> log;
+    LogEvent a(log, 1), b(log, 2), c(log, 3);
+    q.schedule(a, 300);
+    q.schedule(b, 100);
+    q.schedule(c, 200);
+    while (q.serviceOne()) {
+    }
+    EXPECT_EQ(log, (std::vector<int>{2, 3, 1}));
+    EXPECT_EQ(q.now(), 300u);
+}
+
+TEST(EventQueue, SameTickOrderedByPriority)
+{
+    EventQueue q;
+    std::vector<int> log;
+    LogEvent stats(log, 3, EventPriority::stats);
+    LogEvent sched(log, 1, EventPriority::schedTick);
+    LogEvent task(log, 0, EventPriority::taskState);
+    LogEvent gov(log, 2, EventPriority::governor);
+    q.schedule(stats, 50);
+    q.schedule(sched, 50);
+    q.schedule(task, 50);
+    q.schedule(gov, 50);
+    while (q.serviceOne()) {
+    }
+    EXPECT_EQ(log, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(EventQueue, SameTickSamePriorityFifo)
+{
+    EventQueue q;
+    std::vector<int> log;
+    LogEvent a(log, 1), b(log, 2), c(log, 3);
+    q.schedule(a, 10);
+    q.schedule(b, 10);
+    q.schedule(c, 10);
+    while (q.serviceOne()) {
+    }
+    EXPECT_EQ(log, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, DescheduleRemovesEvent)
+{
+    EventQueue q;
+    std::vector<int> log;
+    LogEvent a(log, 1), b(log, 2);
+    q.schedule(a, 10);
+    q.schedule(b, 20);
+    EXPECT_TRUE(a.scheduled());
+    q.deschedule(a);
+    EXPECT_FALSE(a.scheduled());
+    while (q.serviceOne()) {
+    }
+    EXPECT_EQ(log, (std::vector<int>{2}));
+}
+
+TEST(EventQueue, RescheduleMovesEvent)
+{
+    EventQueue q;
+    std::vector<int> log;
+    LogEvent a(log, 1), b(log, 2);
+    q.schedule(a, 10);
+    q.schedule(b, 20);
+    q.reschedule(a, 30); // now after b
+    while (q.serviceOne()) {
+    }
+    EXPECT_EQ(log, (std::vector<int>{2, 1}));
+}
+
+TEST(EventQueue, RescheduleWorksOnIdleEvent)
+{
+    EventQueue q;
+    std::vector<int> log;
+    LogEvent a(log, 1);
+    q.reschedule(a, 5); // never scheduled before: acts as schedule
+    EXPECT_TRUE(a.scheduled());
+    q.serviceOne();
+    EXPECT_EQ(log, (std::vector<int>{1}));
+}
+
+TEST(EventQueue, RunUntilStopsAtBoundaryAndParksClock)
+{
+    EventQueue q;
+    std::vector<int> log;
+    LogEvent a(log, 1), b(log, 2);
+    q.schedule(a, 100);
+    q.schedule(b, 200);
+    q.runUntil(150);
+    EXPECT_EQ(log, (std::vector<int>{1}));
+    EXPECT_EQ(q.now(), 150u);
+    q.runUntil(250);
+    EXPECT_EQ(log, (std::vector<int>{1, 2}));
+    EXPECT_EQ(q.now(), 250u);
+}
+
+TEST(EventQueue, EventAtBoundaryIsIncluded)
+{
+    EventQueue q;
+    std::vector<int> log;
+    LogEvent a(log, 1);
+    q.schedule(a, 100);
+    q.runUntil(100);
+    EXPECT_EQ(log, (std::vector<int>{1}));
+}
+
+TEST(EventQueue, EventsScheduledDuringProcessingFire)
+{
+    EventQueue q;
+    std::vector<int> log;
+    LogEvent inner(log, 2);
+    CallbackEvent outer([&] {
+        log.push_back(1);
+        q.schedule(inner, q.now() + 10);
+    });
+    q.schedule(outer, 5);
+    q.runUntil(100);
+    EXPECT_EQ(log, (std::vector<int>{1, 2}));
+}
+
+TEST(EventQueue, DestructorOfScheduledEventDetaches)
+{
+    EventQueue q;
+    std::vector<int> log;
+    {
+        LogEvent a(log, 1);
+        q.schedule(a, 10);
+        // destroyed while scheduled: must deregister cleanly
+    }
+    EXPECT_TRUE(q.empty());
+    q.runUntil(20);
+    EXPECT_TRUE(log.empty());
+}
+
+TEST(EventQueue, ServiceCountAccumulates)
+{
+    EventQueue q;
+    std::vector<int> log;
+    LogEvent a(log, 1), b(log, 2);
+    q.schedule(a, 1);
+    q.schedule(b, 2);
+    q.runUntil(10);
+    EXPECT_EQ(q.eventsServiced(), 2u);
+}
+
+TEST(EventQueueDeathTest, SchedulingInPastPanics)
+{
+    EventQueue q;
+    std::vector<int> log;
+    LogEvent a(log, 1), b(log, 2);
+    q.schedule(a, 100);
+    q.serviceOne();
+    EXPECT_DEATH(q.schedule(b, 50), "before current tick");
+}
+
+TEST(EventQueueDeathTest, DoubleScheduleAsserts)
+{
+    EventQueue q;
+    std::vector<int> log;
+    LogEvent a(log, 1);
+    q.schedule(a, 10);
+    EXPECT_DEATH(q.schedule(a, 20), "assertion");
+}
+
+TEST(CallbackEvent, RunsFunctionAndReportsName)
+{
+    EventQueue q;
+    int runs = 0;
+    CallbackEvent e([&] { ++runs; }, EventPriority::deferred,
+                    "my-label");
+    EXPECT_EQ(e.name(), "my-label");
+    q.schedule(e, 10);
+    q.runUntil(10);
+    EXPECT_EQ(runs, 1);
+    EXPECT_FALSE(e.scheduled());
+}

@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Tests for the trace recorder: event capture from the scheduler
+ * and frequency domains, buffer bounding, CSV export, and the text
+ * timeline.
+ */
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "governor/interactive.hh"
+#include "platform/platform.hh"
+#include "sched/hmp.hh"
+#include "sim/simulation.hh"
+#include "trace/trace.hh"
+#include "workload/apps.hh"
+#include "workload/behavior.hh"
+
+using namespace biglittle;
+
+namespace
+{
+
+class TraceTest : public ::testing::Test
+{
+  protected:
+    Simulation sim;
+    AsymmetricPlatform plat{sim, exynos5422Params()};
+    HmpScheduler sched{sim, plat, baselineSchedParams()};
+    TraceRecorder trace{sim};
+
+    void
+    SetUp() override
+    {
+        plat.littleCluster().freqDomain().setFreqNow(1300000);
+        plat.bigCluster().freqDomain().setFreqNow(1900000);
+        trace.attachScheduler(sched);
+        sched.start();
+    }
+
+    static WorkClass
+    pureCompute()
+    {
+        return WorkClass{0.8, 0.0, 64.0};
+    }
+};
+
+} // namespace
+
+TEST_F(TraceTest, RecordsWakeupAndSleep)
+{
+    Task &t = sched.createTask("worker", pureCompute());
+    t.submitWork(1e6);
+    sim.runFor(msToTicks(50));
+    ASSERT_GE(trace.events().size(), 2u);
+    EXPECT_EQ(trace.countOf(TraceKind::wakeup), 1u);
+    EXPECT_EQ(trace.countOf(TraceKind::sleep), 1u);
+    const TraceEvent &wake = trace.events().front();
+    EXPECT_EQ(wake.kind, TraceKind::wakeup);
+    EXPECT_EQ(wake.taskName, "worker");
+    EXPECT_NE(wake.core, invalidCoreId);
+}
+
+TEST_F(TraceTest, RecordsUpMigrationWithLoad)
+{
+    Task &t = sched.createTask("hog", pureCompute());
+    t.submitWork(1e12);
+    sim.runFor(msToTicks(200));
+    ASSERT_EQ(trace.countOf(TraceKind::migrateUp), 1u);
+    for (const TraceEvent &e : trace.events()) {
+        if (e.kind != TraceKind::migrateUp)
+            continue;
+        EXPECT_EQ(e.taskName, "hog");
+        EXPECT_LT(e.fromCore, 4u); // from a little core
+        EXPECT_GE(e.core, 4u); // to a big core
+        EXPECT_GT(e.load, 700.0);
+    }
+}
+
+TEST_F(TraceTest, RecordsFreqChanges)
+{
+    trace.attachCluster(plat.littleCluster());
+    plat.littleCluster().freqDomain().setFreqNow(500000);
+    plat.littleCluster().freqDomain().setFreqNow(1000000);
+    EXPECT_EQ(trace.countOf(TraceKind::freqChange), 2u);
+    const TraceEvent &last = trace.events().back();
+    EXPECT_EQ(last.freq, 1000000u);
+    EXPECT_EQ(last.taskName, "a7");
+}
+
+TEST_F(TraceTest, BufferIsBounded)
+{
+    TraceRecorder small(sim, 8);
+    small.attachScheduler(sched);
+    Task &t = sched.createTask("t", pureCompute());
+    for (int i = 0; i < 20; ++i) {
+        t.submitWork(1e4);
+        sim.runFor(msToTicks(2));
+    }
+    EXPECT_LE(small.events().size(), 8u);
+    EXPECT_GT(small.dropped(), 0u);
+    EXPECT_EQ(small.observed(),
+              small.dropped() + small.events().size());
+}
+
+TEST_F(TraceTest, TimelineMentionsEvents)
+{
+    Task &t = sched.createTask("ui-thread", pureCompute());
+    t.submitWork(1e6);
+    sim.runFor(msToTicks(20));
+    const std::string text = trace.timeline();
+    EXPECT_NE(text.find("wakeup"), std::string::npos);
+    EXPECT_NE(text.find("ui-thread"), std::string::npos);
+    EXPECT_NE(text.find("cpu"), std::string::npos);
+}
+
+TEST_F(TraceTest, TimelineRespectsLineLimit)
+{
+    Task &t = sched.createTask("t", pureCompute());
+    for (int i = 0; i < 30; ++i) {
+        t.submitWork(1e4);
+        sim.runFor(msToTicks(2));
+    }
+    const std::string text = trace.timeline(5);
+    EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 5);
+}
+
+TEST_F(TraceTest, CsvExportRoundTrips)
+{
+    Task &t = sched.createTask("t", pureCompute());
+    t.submitWork(1e6);
+    sim.runFor(msToTicks(20));
+    const std::string path =
+        ::testing::TempDir() + "biglittle_trace_test.csv";
+    trace.writeCsv(path);
+    std::ifstream in(path);
+    std::string header;
+    std::getline(in, header);
+    EXPECT_EQ(header,
+              "time_ms,kind,task_id,name,core,from_core,freq_khz,"
+              "load");
+    std::size_t rows = 0;
+    std::string line;
+    while (std::getline(in, line))
+        ++rows;
+    EXPECT_EQ(rows, trace.events().size());
+    std::remove(path.c_str());
+}
+
+TEST_F(TraceTest, ClearDropsBufferNotTotals)
+{
+    Task &t = sched.createTask("t", pureCompute());
+    t.submitWork(1e6);
+    sim.runFor(msToTicks(20));
+    const auto seen = trace.observed();
+    ASSERT_GT(seen, 0u);
+    trace.clear();
+    EXPECT_TRUE(trace.events().empty());
+    EXPECT_EQ(trace.observed(), seen);
+}
+
+TEST_F(TraceTest, FullAppRunProducesRichTrace)
+{
+    trace.attachCluster(plat.littleCluster());
+    trace.attachCluster(plat.bigCluster());
+    AppInstance app(sim, sched, encoderApp());
+    app.start();
+    sim.runFor(msToTicks(1000));
+    EXPECT_GT(trace.countOf(TraceKind::wakeup), 20u);
+    EXPECT_GT(trace.countOf(TraceKind::sleep), 20u);
+    EXPECT_GE(trace.countOf(TraceKind::migrateUp), 1u);
+}
+
+TEST_F(TraceTest, KindNamesAreStable)
+{
+    EXPECT_STREQ(traceKindName(TraceKind::wakeup), "wakeup");
+    EXPECT_STREQ(traceKindName(TraceKind::sleep), "sleep");
+    EXPECT_STREQ(traceKindName(TraceKind::migrateUp), "migrate-up");
+    EXPECT_STREQ(traceKindName(TraceKind::migrateDown),
+                 "migrate-down");
+    EXPECT_STREQ(traceKindName(TraceKind::balance), "balance");
+    EXPECT_STREQ(traceKindName(TraceKind::freqChange), "freq-change");
+}

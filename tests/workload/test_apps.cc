@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Tests for the Table II application suite definitions and the
+ * AppInstance wiring.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "platform/platform.hh"
+#include "sched/hmp.hh"
+#include "sim/simulation.hh"
+#include "workload/apps.hh"
+
+using namespace biglittle;
+
+TEST(AppSuite, TwelveAppsInTableOrder)
+{
+    const auto apps = allApps();
+    ASSERT_EQ(apps.size(), 12u);
+    EXPECT_EQ(apps[0].name, "pdf_reader");
+    EXPECT_EQ(apps[3].name, "bbench");
+    EXPECT_EQ(apps[11].name, "youtube");
+}
+
+TEST(AppSuite, MetricSplitMatchesTableII)
+{
+    // 7 latency-oriented and 5 FPS-oriented applications.
+    EXPECT_EQ(latencyApps().size(), 7u);
+    EXPECT_EQ(fpsApps().size(), 5u);
+    for (const AppSpec &app : latencyApps())
+        EXPECT_EQ(app.metric, AppMetric::latency) << app.name;
+    for (const AppSpec &app : fpsApps())
+        EXPECT_EQ(app.metric, AppMetric::fps) << app.name;
+}
+
+TEST(AppSuite, NamesAreUniqueAndSeedsDiffer)
+{
+    std::set<std::string> names;
+    std::set<std::uint64_t> seeds;
+    for (const AppSpec &app : allApps()) {
+        EXPECT_TRUE(names.insert(app.name).second) << app.name;
+        EXPECT_TRUE(seeds.insert(app.seed).second) << app.name;
+    }
+}
+
+TEST(AppSuite, LatencyAppsHaveScriptsAndWorkers)
+{
+    for (const AppSpec &app : latencyApps()) {
+        EXPECT_FALSE(app.actions.empty()) << app.name;
+        for (const ActionSpec &a : app.actions) {
+            EXPECT_GT(a.uiInstructions, 0.0) << app.name;
+            EXPECT_LE(a.workerInstructions.size(),
+                      app.workers.size())
+                << app.name;
+        }
+    }
+}
+
+TEST(AppSuite, FpsAppsHaveExactlyOneRenderThread)
+{
+    for (const AppSpec &app : fpsApps()) {
+        int renders = 0;
+        for (const auto &pt : app.periodicThreads)
+            renders += pt.isRender ? 1 : 0;
+        EXPECT_EQ(renders, 1) << app.name;
+    }
+}
+
+TEST(AppSuite, PeriodicThreadsAreWellFormed)
+{
+    for (const AppSpec &app : allApps()) {
+        for (const auto &pt : app.periodicThreads) {
+            EXPECT_GT(pt.periodic.period, 0u) << app.name;
+            EXPECT_GT(pt.periodic.instPerPeriod, 0.0) << app.name;
+            EXPECT_GE(pt.periodic.activeProbability, 0.0);
+            EXPECT_LE(pt.periodic.activeProbability, 1.0);
+        }
+    }
+}
+
+TEST(AppSuite, LookupByName)
+{
+    EXPECT_EQ(appByName("encoder").name, "encoder");
+    EXPECT_EQ(appByName("fifa15").metric, AppMetric::fps);
+    EXPECT_EXIT(appByName("not_an_app"),
+                ::testing::ExitedWithCode(1), "unknown app");
+}
+
+TEST(AppSuite, MetricNames)
+{
+    EXPECT_STREQ(appMetricName(AppMetric::latency), "latency");
+    EXPECT_STREQ(appMetricName(AppMetric::fps), "fps");
+}
+
+namespace
+{
+
+class AppInstanceTest : public ::testing::Test
+{
+  protected:
+    Simulation sim;
+    AsymmetricPlatform plat{sim, exynos5422Params()};
+    HmpScheduler sched{sim, plat, baselineSchedParams()};
+
+    void
+    SetUp() override
+    {
+        plat.littleCluster().freqDomain().setFreqNow(1300000);
+        plat.bigCluster().freqDomain().setFreqNow(1900000);
+        sched.start();
+    }
+};
+
+} // namespace
+
+TEST_F(AppInstanceTest, FpsAppCreatesPeriodicTasks)
+{
+    const AppSpec spec = angryBirdApp();
+    AppInstance app(sim, sched, spec);
+    EXPECT_EQ(sched.tasks().size(), spec.periodicThreads.size());
+    app.start();
+    sim.runFor(msToTicks(3000));
+    EXPECT_GT(app.frameStats().frames(), 100u);
+    EXPECT_FALSE(app.done()); // FPS apps are externally timed
+}
+
+TEST_F(AppInstanceTest, LatencyAppCreatesUiAndWorkers)
+{
+    const AppSpec spec = photoEditorApp();
+    AppInstance app(sim, sched, spec);
+    EXPECT_EQ(sched.tasks().size(),
+              spec.periodicThreads.size() + 1 + spec.workers.size());
+    app.start();
+    Tick guard = 0;
+    while (!app.done() && guard < spec.duration) {
+        sim.runFor(msToTicks(10));
+        guard += msToTicks(10);
+    }
+    EXPECT_TRUE(app.done());
+    EXPECT_EQ(app.actionsCompleted(), spec.actions.size());
+    EXPECT_GT(app.latency(), 0u);
+}
+
+TEST_F(AppInstanceTest, TaskNamesCarryAppPrefix)
+{
+    AppInstance app(sim, sched, videoPlayerApp());
+    for (const auto &task : sched.tasks())
+        EXPECT_EQ(task->name().rfind("video_player.", 0), 0u)
+            << task->name();
+}
+
+TEST_F(AppInstanceTest, LatencyAppWithoutActionsIsFatal)
+{
+    AppSpec bad = browserApp();
+    bad.actions.clear();
+    EXPECT_EXIT(AppInstance(sim, sched, bad),
+                ::testing::ExitedWithCode(1), "no action script");
+}

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Tests for FrameStats: average FPS, the worst-1-second-window
+ * minimum FPS of Fig. 5, and frame-interval series.
+ */
+
+#include <gtest/gtest.h>
+
+#include "base/random.hh"
+#include "workload/frame_stats.hh"
+
+using namespace biglittle;
+
+TEST(FrameStats, EmptyAndSingleFrame)
+{
+    FrameStats s;
+    EXPECT_EQ(s.frames(), 0u);
+    EXPECT_DOUBLE_EQ(s.averageFps(), 0.0);
+    EXPECT_DOUBLE_EQ(s.minFps(), 0.0);
+    s.recordFrame(oneSec);
+    EXPECT_EQ(s.frames(), 1u);
+    EXPECT_DOUBLE_EQ(s.averageFps(), 0.0);
+}
+
+TEST(FrameStats, SteadySixtyFps)
+{
+    FrameStats s;
+    for (int i = 0; i <= 600; ++i)
+        s.recordFrame(static_cast<Tick>(i) * oneSec / 60);
+    EXPECT_NEAR(s.averageFps(), 60.0, 0.1);
+    EXPECT_NEAR(s.minFps(), 60.0, 1.5);
+}
+
+TEST(FrameStats, MinFpsCatchesAStall)
+{
+    // 60 FPS for 3 s, a 0.5 s stall, then 60 FPS for 3 s: the
+    // average barely moves but the worst window halves.
+    FrameStats s;
+    Tick t = 0;
+    for (int i = 0; i < 180; ++i) {
+        t += oneSec / 60;
+        s.recordFrame(t);
+    }
+    t += oneSec / 2; // stall
+    for (int i = 0; i < 180; ++i) {
+        t += oneSec / 60;
+        s.recordFrame(t);
+    }
+    EXPECT_GT(s.averageFps(), 50.0);
+    EXPECT_LT(s.minFps(), 45.0);
+}
+
+TEST(FrameStats, MinFpsNeverExceedsAverageByMuch)
+{
+    FrameStats s;
+    Rng rng(4);
+    Tick t = 0;
+    for (int i = 0; i < 500; ++i) {
+        t += static_cast<Tick>(rng.uniform(10.0, 40.0) * oneMs);
+        s.recordFrame(t);
+    }
+    EXPECT_LE(s.minFps(), s.averageFps() + 1e-9);
+}
+
+TEST(FrameStats, ShortRunFallsBackToAverage)
+{
+    FrameStats s;
+    s.recordFrame(0);
+    s.recordFrame(msToTicks(100)); // 100 ms span < 1 s window
+    EXPECT_DOUBLE_EQ(s.minFps(), s.averageFps());
+}
+
+TEST(FrameStats, FrameIntervals)
+{
+    FrameStats s;
+    s.recordFrame(0);
+    s.recordFrame(msToTicks(10));
+    s.recordFrame(msToTicks(30));
+    const SampleSeries intervals = s.frameIntervalsMs();
+    ASSERT_EQ(intervals.count(), 2u);
+    EXPECT_DOUBLE_EQ(intervals.values()[0], 10.0);
+    EXPECT_DOUBLE_EQ(intervals.values()[1], 20.0);
+}
+
+TEST(FrameStatsDeathTest, NonMonotoneRecordAsserts)
+{
+    FrameStats s;
+    s.recordFrame(msToTicks(10));
+    EXPECT_DEATH(s.recordFrame(msToTicks(5)), "assertion");
+}

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Tests for the SPEC-like kernel suite definitions.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "workload/spec.hh"
+
+using namespace biglittle;
+
+TEST(SpecSuite, TwelveKernels)
+{
+    EXPECT_EQ(specSuite().size(), 12u);
+}
+
+TEST(SpecSuite, NamesAreUnique)
+{
+    std::set<std::string> names;
+    for (const SpecKernel &k : specSuite())
+        EXPECT_TRUE(names.insert(k.name).second) << k.name;
+}
+
+TEST(SpecSuite, WorkClassesAreValid)
+{
+    for (const SpecKernel &k : specSuite()) {
+        EXPECT_GE(k.workClass.ilp, 0.0) << k.name;
+        EXPECT_LE(k.workClass.ilp, 1.0) << k.name;
+        EXPECT_GE(k.workClass.l1MissPerInst, 0.0) << k.name;
+        EXPECT_LE(k.workClass.l1MissPerInst, 0.2) << k.name;
+        EXPECT_GT(k.workClass.footprintKB, 0.0) << k.name;
+        EXPECT_GT(k.instructions, 1e8) << k.name;
+    }
+}
+
+TEST(SpecSuite, SuiteSpansTheBehaviorSpace)
+{
+    // At least one clearly compute-bound kernel (tiny footprint,
+    // high ILP), one cache-sensitive kernel (between the two L2
+    // sizes), and one streaming kernel (far beyond both).
+    bool compute = false, cache_sensitive = false, streaming = false;
+    for (const SpecKernel &k : specSuite()) {
+        if (k.workClass.ilp > 0.85 && k.workClass.footprintKB < 512)
+            compute = true;
+        if (k.workClass.footprintKB > 512 &&
+            k.workClass.footprintKB <= 2048)
+            cache_sensitive = true;
+        if (k.workClass.footprintKB > 8192)
+            streaming = true;
+    }
+    EXPECT_TRUE(compute);
+    EXPECT_TRUE(cache_sensitive);
+    EXPECT_TRUE(streaming);
+}
+
+TEST(SpecSuite, LookupByName)
+{
+    EXPECT_EQ(specKernelByName("mcf").name, "mcf");
+    EXPECT_EQ(specKernelByName("hmmer").workClass.ilp, 0.92);
+    EXPECT_EXIT(specKernelByName("zzz"),
+                ::testing::ExitedWithCode(1), "unknown SPEC kernel");
+}
