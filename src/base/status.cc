@@ -1,0 +1,36 @@
+#include "base/status.hh"
+
+namespace biglittle
+{
+
+const char *
+statusCodeName(StatusCode code)
+{
+    switch (code) {
+      case StatusCode::ok:
+        return "ok";
+      case StatusCode::invalidArgument:
+        return "invalid-argument";
+      case StatusCode::failedPrecondition:
+        return "failed-precondition";
+      case StatusCode::notFound:
+        return "not-found";
+      case StatusCode::outOfRange:
+        return "out-of-range";
+      case StatusCode::unavailable:
+        return "unavailable";
+      case StatusCode::internal:
+        return "internal";
+    }
+    return "unknown";
+}
+
+std::string
+Status::toString() const
+{
+    if (ok())
+        return "ok";
+    return std::string(statusCodeName(statusCode)) + ": " + msg;
+}
+
+} // namespace biglittle

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Status / Result<T>: lightweight recoverable-error values.
+ *
+ * fatal() and panic() remain the right answer for unusable user
+ * configuration and internal bugs, but paths that a running
+ * simulation can survive (a denied DVFS transition, a refused
+ * hotplug, a failed evacuation) return a Status instead so the
+ * caller can degrade gracefully.  The vocabulary follows the usual
+ * canonical codes, trimmed to what the workbench needs.
+ */
+
+#ifndef BIGLITTLE_BASE_STATUS_HH
+#define BIGLITTLE_BASE_STATUS_HH
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "base/logging.hh"
+
+namespace biglittle
+{
+
+/** Canonical error categories for recoverable failures. */
+enum class StatusCode
+{
+    ok,
+    invalidArgument, ///< the request itself is malformed
+    failedPrecondition, ///< valid request, wrong system state
+    notFound, ///< named entity does not exist
+    outOfRange, ///< value outside the representable/legal range
+    unavailable, ///< transient refusal; retrying later may succeed
+    internal, ///< invariant violated but survivable
+};
+
+/** Stable lower-case name of a status code ("failed-precondition"). */
+const char *statusCodeName(StatusCode code);
+
+/** The outcome of a recoverable operation: a code plus a message. */
+class [[nodiscard]] Status
+{
+  public:
+    /** Default construction is success. */
+    Status() = default;
+
+    Status(StatusCode code, std::string message)
+        : statusCode(code), msg(std::move(message))
+    {
+    }
+
+    bool ok() const { return statusCode == StatusCode::ok; }
+    StatusCode code() const { return statusCode; }
+    const std::string &message() const { return msg; }
+
+    /** "ok" or "<code-name>: <message>". */
+    std::string toString() const;
+
+    bool
+    operator==(const Status &other) const
+    {
+        return statusCode == other.statusCode && msg == other.msg;
+    }
+
+  private:
+    StatusCode statusCode = StatusCode::ok;
+    std::string msg;
+};
+
+/** Success. */
+inline Status
+okStatus()
+{
+    return Status{};
+}
+
+inline Status
+invalidArgument(std::string msg)
+{
+    return Status{StatusCode::invalidArgument, std::move(msg)};
+}
+
+inline Status
+failedPrecondition(std::string msg)
+{
+    return Status{StatusCode::failedPrecondition, std::move(msg)};
+}
+
+inline Status
+notFound(std::string msg)
+{
+    return Status{StatusCode::notFound, std::move(msg)};
+}
+
+inline Status
+outOfRange(std::string msg)
+{
+    return Status{StatusCode::outOfRange, std::move(msg)};
+}
+
+inline Status
+unavailable(std::string msg)
+{
+    return Status{StatusCode::unavailable, std::move(msg)};
+}
+
+inline Status
+internalError(std::string msg)
+{
+    return Status{StatusCode::internal, std::move(msg)};
+}
+
+/**
+ * Either a value or the Status explaining why there is none.
+ * Constructing from a value yields ok(); constructing from a Status
+ * requires a non-ok code.
+ */
+template <typename T>
+class [[nodiscard]] Result
+{
+  public:
+    Result(T value) : val(std::move(value)) {}
+
+    Result(Status status) : st(std::move(status))
+    {
+        BL_ASSERT(!st.ok());
+    }
+
+    bool ok() const { return st.ok(); }
+    const Status &status() const { return st; }
+
+    T &
+    value()
+    {
+        BL_ASSERT(val.has_value());
+        return *val;
+    }
+
+    const T &
+    value() const
+    {
+        BL_ASSERT(val.has_value());
+        return *val;
+    }
+
+    /** The value, or @p fallback when this Result holds an error. */
+    T
+    valueOr(T fallback) const
+    {
+        return val.has_value() ? *val : std::move(fallback);
+    }
+
+  private:
+    Status st;
+    std::optional<T> val;
+};
+
+} // namespace biglittle
+
+#endif // BIGLITTLE_BASE_STATUS_HH

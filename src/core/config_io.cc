@@ -44,18 +44,20 @@ trim(const std::string &s)
 }
 
 double
-parseNumber(const std::string &key, const std::string &value)
+parseNumber(int line_no, const std::string &key,
+            const std::string &value)
 {
     char *end = nullptr;
     const double v = std::strtod(value.c_str(), &end);
     if (end == value.c_str() || *end != '\0')
-        fatal("config key '%s': '%s' is not a number", key.c_str(),
-              value.c_str());
+        fatal("config line %d: key '%s': '%s' is not a number",
+              line_no, key.c_str(), value.c_str());
     return v;
 }
 
 bool
-parseBool(const std::string &key, const std::string &value)
+parseBool(int line_no, const std::string &key,
+          const std::string &value)
 {
     const std::string lower = toLower(value);
     if (lower == "true" || lower == "1" || lower == "yes" ||
@@ -64,15 +66,15 @@ parseBool(const std::string &key, const std::string &value)
     if (lower == "false" || lower == "0" || lower == "no" ||
         lower == "off")
         return false;
-    fatal("config key '%s': '%s' is not a boolean", key.c_str(),
-          value.c_str());
+    fatal("config line %d: key '%s': '%s' is not a boolean", line_no,
+          key.c_str(), value.c_str());
 }
 
 void
-applyKey(ExperimentConfig &cfg, const std::string &key,
+applyKey(ExperimentConfig &cfg, int line_no, const std::string &key,
          const std::string &value)
 {
-    const auto num = [&] { return parseNumber(key, value); };
+    const auto num = [&] { return parseNumber(line_no, key, value); };
     if (key == "governor") {
         cfg.governor = governorKindFromName(value);
     } else if (key == "label") {
@@ -104,7 +106,7 @@ applyKey(ExperimentConfig &cfg, const std::string &key,
     } else if (key == "cores.big") {
         cfg.coreConfig.bigCores = static_cast<std::uint32_t>(num());
     } else if (key == "thermal.enabled") {
-        cfg.thermalEnabled = parseBool(key, value);
+        cfg.thermalEnabled = parseBool(line_no, key, value);
     } else if (key == "thermal.hot_trip_c") {
         cfg.thermal.hotTripC = num();
     } else if (key == "thermal.cool_trip_c") {
@@ -116,8 +118,36 @@ applyKey(ExperimentConfig &cfg, const std::string &key,
     } else if (key == "sample_window_ms") {
         cfg.sampleWindow =
             msToTicks(static_cast<std::uint64_t>(num()));
+    } else if (key == "fault.enabled") {
+        cfg.fault.enabled = parseBool(line_no, key, value);
+    } else if (key == "fault.seed") {
+        cfg.fault.seed = static_cast<std::uint64_t>(num());
+    } else if (key == "fault.draw_period_ms") {
+        cfg.fault.drawPeriod =
+            msToTicks(static_cast<std::uint64_t>(num()));
+    } else if (key == "fault.hotplug_rate_hz") {
+        cfg.fault.hotplugRatePerSec = num();
+    } else if (key == "fault.hotplug_downtime_ms") {
+        cfg.fault.hotplugDownTime =
+            msToTicks(static_cast<std::uint64_t>(num()));
+    } else if (key == "fault.dvfs_deny_prob") {
+        cfg.fault.dvfsDenyProb = num();
+    } else if (key == "fault.dvfs_delay_prob") {
+        cfg.fault.dvfsDelayProb = num();
+    } else if (key == "fault.dvfs_extra_latency_us") {
+        cfg.fault.dvfsExtraLatency =
+            usToTicks(static_cast<std::uint64_t>(num()));
+    } else if (key == "fault.thermal_spike_rate_hz") {
+        cfg.fault.thermalSpikeRatePerSec = num();
+    } else if (key == "fault.thermal_spike_c") {
+        cfg.fault.thermalSpikeC = num();
+    } else if (key == "fault.task_stall_rate_hz") {
+        cfg.fault.taskStallRatePerSec = num();
+    } else if (key == "fault.task_stall_instructions") {
+        cfg.fault.taskStallInstructions = num();
     } else {
-        fatal("unknown config key '%s'", key.c_str());
+        fatal("config line %d: unknown config key '%s'", line_no,
+              key.c_str());
     }
 }
 
@@ -146,7 +176,7 @@ parseExperimentConfig(const std::string &text)
         const std::string value = trim(line.substr(eq + 1));
         if (key.empty() || value.empty())
             fatal("config line %d: empty key or value", line_no);
-        applyKey(cfg, key, value);
+        applyKey(cfg, line_no, key, value);
     }
     // Keep the label of the core combination coherent.
     cfg.coreConfig.label = format("L%u+B%u",
@@ -205,6 +235,33 @@ saveExperimentConfig(const ExperimentConfig &cfg)
     out += format("sample_window_ms = %llu\n",
                   static_cast<unsigned long long>(
                       ticksToMs(cfg.sampleWindow)));
+    out += format("fault.enabled = %s\n",
+                  cfg.fault.enabled ? "true" : "false");
+    out += format("fault.seed = %llu\n",
+                  static_cast<unsigned long long>(cfg.fault.seed));
+    out += format("fault.draw_period_ms = %llu\n",
+                  static_cast<unsigned long long>(
+                      ticksToMs(cfg.fault.drawPeriod)));
+    out += format("fault.hotplug_rate_hz = %g\n",
+                  cfg.fault.hotplugRatePerSec);
+    out += format("fault.hotplug_downtime_ms = %llu\n",
+                  static_cast<unsigned long long>(
+                      ticksToMs(cfg.fault.hotplugDownTime)));
+    out += format("fault.dvfs_deny_prob = %g\n",
+                  cfg.fault.dvfsDenyProb);
+    out += format("fault.dvfs_delay_prob = %g\n",
+                  cfg.fault.dvfsDelayProb);
+    out += format("fault.dvfs_extra_latency_us = %llu\n",
+                  static_cast<unsigned long long>(
+                      cfg.fault.dvfsExtraLatency / oneUs));
+    out += format("fault.thermal_spike_rate_hz = %g\n",
+                  cfg.fault.thermalSpikeRatePerSec);
+    out += format("fault.thermal_spike_c = %g\n",
+                  cfg.fault.thermalSpikeC);
+    out += format("fault.task_stall_rate_hz = %g\n",
+                  cfg.fault.taskStallRatePerSec);
+    out += format("fault.task_stall_instructions = %g\n",
+                  cfg.fault.taskStallInstructions);
     return out;
 }
 

@@ -55,6 +55,8 @@ struct Rig
     PowerModel power;
     std::vector<std::unique_ptr<Governor>> governors;
     std::vector<std::unique_ptr<ThermalThrottle>> throttles;
+    std::unique_ptr<FaultInjector> injector;
+    std::unique_ptr<InvariantChecker> checker;
 
     explicit Rig(const ExperimentConfig &cfg)
         : platform(sim, cfg.platform),
@@ -68,6 +70,16 @@ struct Rig
                 throttles.push_back(std::make_unique<ThermalThrottle>(
                     sim, cl, cfg.thermal));
             }
+        }
+        if (cfg.fault.enabled) {
+            injector = std::make_unique<FaultInjector>(
+                sim, platform, sched, cfg.fault);
+            for (auto &throttle : throttles)
+                injector->addThermal(throttle.get());
+            checker = std::make_unique<InvariantChecker>(
+                sim, platform, &sched, &power);
+            checker->setNext(sched.observer());
+            sched.setObserver(checker.get());
         }
     }
 
@@ -107,6 +119,10 @@ struct Rig
         for (auto &throttle : throttles)
             throttle->start();
         sched.start();
+        if (checker != nullptr)
+            checker->start();
+        if (injector != nullptr)
+            injector->start();
     }
 };
 
@@ -181,6 +197,12 @@ Experiment::runApp(const AppSpec &app)
         summary.bigRuntime = task->runtimeOn(CoreType::big);
         summary.typeMigrations = task->typeMigrations();
         result.tasks.push_back(std::move(summary));
+    }
+    if (rig.injector != nullptr)
+        result.faults = rig.injector->stats();
+    if (rig.checker != nullptr) {
+        (void)rig.checker->checkNow();
+        result.invariantViolations = rig.checker->violationCount();
     }
     return result;
 }

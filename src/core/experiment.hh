@@ -19,6 +19,8 @@
 #include "core/freq_residency.hh"
 #include "core/state_sampler.hh"
 #include "core/tlp.hh"
+#include "fault/fault.hh"
+#include "fault/invariants.hh"
 #include "governor/interactive.hh"
 #include "platform/params.hh"
 #include "platform/power.hh"
@@ -67,6 +69,14 @@ struct ExperimentConfig
      */
     bool thermalEnabled = true;
     ThermalParams thermal;
+
+    /**
+     * Fault injection (disabled by default).  When enabled the run
+     * also carries an InvariantChecker wired as the scheduler
+     * observer, and the result reports injected-fault counts plus
+     * any invariant violations.
+     */
+    FaultParams fault;
 
     /** Characterization sampling window (the paper's 10 ms). */
     Tick sampleWindow = msToTicks(10);
@@ -124,6 +134,10 @@ struct AppRunResult
     FreqResidency bigResidency;
     SchedStats sched;
     std::vector<TaskSummary> tasks; ///< per-thread breakdown
+
+    // robustness (populated when cfg.fault.enabled)
+    FaultStats faults;
+    std::uint64_t invariantViolations = 0;
 
     /** Headline performance number: ms latency or average FPS. */
     double performanceValue() const;

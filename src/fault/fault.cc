@@ -1,0 +1,190 @@
+#include "fault/fault.hh"
+
+#include "base/logging.hh"
+#include "platform/platform.hh"
+#include "platform/thermal.hh"
+#include "sched/hmp.hh"
+
+namespace biglittle
+{
+
+FaultParams
+scaledFaultParams(double rate, std::uint64_t seed)
+{
+    BL_ASSERT(rate >= 0.0);
+    FaultParams p;
+    p.enabled = rate > 0.0;
+    p.seed = seed;
+    p.hotplugRatePerSec = 2.0 * rate;
+    p.dvfsDenyProb = std::min(0.9, 0.10 * rate);
+    p.dvfsDelayProb = std::min(0.9, 0.10 * rate);
+    p.thermalSpikeRatePerSec = 1.0 * rate;
+    p.taskStallRatePerSec = 4.0 * rate;
+    return p;
+}
+
+FaultInjector::FaultInjector(Simulation &sim_in,
+                             AsymmetricPlatform &platform,
+                             HmpScheduler &sched_in,
+                             const FaultParams &params)
+    : sim(sim_in), plat(platform), sched(sched_in), fp(params),
+      rng(params.seed)
+{
+    BL_ASSERT(fp.drawPeriod > 0);
+    BL_ASSERT(fp.dvfsDenyProb >= 0.0 && fp.dvfsDenyProb <= 1.0);
+    BL_ASSERT(fp.dvfsDelayProb >= 0.0 && fp.dvfsDelayProb <= 1.0);
+}
+
+FaultInjector::~FaultInjector()
+{
+    // The DVFS gates capture `this`; make sure a domain outliving the
+    // injector (not the usual Rig lifetime, but possible in tests)
+    // never calls into a dead object.
+    if (gatesInstalled) {
+        for (std::size_t i = 0; i < plat.clusterCount(); ++i)
+            plat.cluster(i).freqDomain().setFaultGate(nullptr);
+    }
+}
+
+void
+FaultInjector::addThermal(ThermalThrottle *throttle)
+{
+    BL_ASSERT(throttle != nullptr);
+    throttles.push_back(throttle);
+}
+
+DvfsFaultAction
+FaultInjector::gateDecision()
+{
+    const double u = rng.uniform();
+    if (u < fp.dvfsDenyProb) {
+        ++faultStats.dvfsDenied;
+        return DvfsFaultAction::deny;
+    }
+    if (u < fp.dvfsDenyProb + fp.dvfsDelayProb) {
+        ++faultStats.dvfsDelayed;
+        return DvfsFaultAction::delay;
+    }
+    return DvfsFaultAction::allow;
+}
+
+void
+FaultInjector::start()
+{
+    if (!fp.enabled)
+        return;
+    if (!gatesInstalled &&
+        (fp.dvfsDenyProb > 0.0 || fp.dvfsDelayProb > 0.0)) {
+        for (std::size_t i = 0; i < plat.clusterCount(); ++i) {
+            plat.cluster(i).freqDomain().setFaultGate(
+                [this](FreqKHz) { return gateDecision(); },
+                fp.dvfsExtraLatency);
+        }
+        gatesInstalled = true;
+    }
+    if (drawTask == nullptr) {
+        drawTask = &sim.addPeriodic(
+            fp.drawPeriod, [this](Tick now) { draw(now); },
+            EventPriority::deferred, "fault.draw");
+    }
+    drawTask->start();
+}
+
+void
+FaultInjector::stop()
+{
+    if (drawTask != nullptr)
+        drawTask->cancel();
+    if (gatesInstalled) {
+        for (std::size_t i = 0; i < plat.clusterCount(); ++i)
+            plat.cluster(i).freqDomain().setFaultGate(nullptr);
+        gatesInstalled = false;
+    }
+}
+
+void
+FaultInjector::draw(Tick)
+{
+    const double dt = ticksToSeconds(fp.drawPeriod);
+    if (rng.chance(fp.hotplugRatePerSec * dt))
+        injectHotplug();
+    if (rng.chance(fp.thermalSpikeRatePerSec * dt))
+        injectThermalSpike();
+    if (rng.chance(fp.taskStallRatePerSec * dt))
+        injectTaskStall();
+}
+
+void
+FaultInjector::injectHotplug()
+{
+    // Pick a random online core; the platform's hotplug rules (boot
+    // core, last little core) and a failed evacuation turn the fault
+    // into a counted rejection rather than a crash.
+    std::vector<CoreId> online;
+    for (const Core *core : plat.cores()) {
+        if (core->online())
+            online.push_back(core->id());
+    }
+    if (online.empty())
+        return;
+    const CoreId id =
+        online[rng.uniformInt(0, online.size() - 1)];
+    // Evacuate first (a busy core is legal to unplug once drained);
+    // if the platform then refuses - boot core, last little core -
+    // the displaced tasks simply rebalance back.
+    const Result<std::size_t> moved = sched.evacuateCore(id);
+    if (!moved.ok()) {
+        ++faultStats.hotplugRejected;
+        return;
+    }
+    const Status off = plat.setCoreOnline(id, false);
+    if (!off.ok()) {
+        ++faultStats.hotplugRejected;
+        return;
+    }
+    ++faultStats.hotplugOff;
+    debugLog("fault: core %u offline for %llu ms", id,
+             static_cast<unsigned long long>(
+                 ticksToMs(fp.hotplugDownTime)));
+    sim.after(fp.hotplugDownTime, [this, id] {
+        if (plat.setCoreOnline(id, true).ok())
+            ++faultStats.hotplugOn;
+    }, EventPriority::deferred, "fault.replug");
+}
+
+void
+FaultInjector::injectThermalSpike()
+{
+    if (throttles.empty())
+        return;
+    ThermalThrottle *throttle =
+        throttles[rng.uniformInt(0, throttles.size() - 1)];
+    throttle->injectTemperature(fp.thermalSpikeC);
+    ++faultStats.thermalSpikes;
+}
+
+void
+FaultInjector::injectTaskStall()
+{
+    // A stalled thread re-executes work (lock contention, a retried
+    // frame): model it as a burst of extra instructions on a random
+    // unpinned task that already has work in flight.  Sleeping tasks
+    // are skipped - waking one from outside its workload would fire
+    // its drain listener a second time and corrupt the workload's
+    // outstanding-burst bookkeeping.
+    const auto &tasks = sched.tasks();
+    if (tasks.empty())
+        return;
+    const std::size_t start = rng.uniformInt(0, tasks.size() - 1);
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+        Task &task = *tasks[(start + i) % tasks.size()];
+        if (task.state() == TaskState::sleeping ||
+            task.state() == TaskState::finished || task.pinnedCore())
+            continue;
+        task.submitWork(fp.taskStallInstructions);
+        ++faultStats.taskStalls;
+        return;
+    }
+}
+
+} // namespace biglittle

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * FaultInjector: deterministic, seeded perturbation of a running
+ * platform, in the spirit of chaos testing for mobile SoCs.
+ *
+ * The injector drives four fault classes through the event queue:
+ *
+ *  - hotplug: a random non-boot core is evacuated and taken offline
+ *    for a down time, then brought back (a thermally-parked or
+ *    firmware-failed CPU);
+ *  - DVFS: frequency-transition requests are probabilistically
+ *    denied or delayed (a busy regulator / slow firmware mailbox);
+ *  - thermal: a sensor spike is injected into a cluster's thermal
+ *    throttle (a bad sample biasing the IPA loop);
+ *  - task stall: a random thread receives a burst of extra work (a
+ *    lock-contention or retry stall delaying its deadline).
+ *
+ * All draws come from one seeded Rng, so a fault schedule is exactly
+ * reproducible, and every perturbation goes through the public
+ * Status-returning degradation paths - a refused fault (e.g. the
+ * hotplug rule protecting the last little core) is counted, never
+ * forced.
+ */
+
+#ifndef BIGLITTLE_FAULT_FAULT_HH
+#define BIGLITTLE_FAULT_FAULT_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "base/random.hh"
+#include "base/types.hh"
+#include "platform/freq_domain.hh"
+#include "sim/simulation.hh"
+
+namespace biglittle
+{
+
+class AsymmetricPlatform;
+class HmpScheduler;
+class ThermalThrottle;
+
+/** Rates and magnitudes of the injected fault classes. */
+struct FaultParams
+{
+    bool enabled = false;
+
+    /** Seed of the injector's private random stream. */
+    std::uint64_t seed = 1;
+
+    /** Resolution at which fault arrivals are drawn. */
+    Tick drawPeriod = msToTicks(10);
+
+    // hotplug
+    double hotplugRatePerSec = 0.0; ///< off events per second
+    Tick hotplugDownTime = msToTicks(250); ///< offline duration
+
+    // DVFS
+    double dvfsDenyProb = 0.0; ///< per-request denial probability
+    double dvfsDelayProb = 0.0; ///< per-request delay probability
+    Tick dvfsExtraLatency = usToTicks(500); ///< added when delayed
+
+    // thermal
+    double thermalSpikeRatePerSec = 0.0;
+    double thermalSpikeC = 20.0; ///< sensor spike magnitude
+
+    // task stall
+    double taskStallRatePerSec = 0.0;
+    double taskStallInstructions = 3e6; ///< extra work per stall
+};
+
+/**
+ * The baseline fault profile scaled by @p rate (0 disables all
+ * classes): the knob the resilience bench sweeps.
+ */
+FaultParams scaledFaultParams(double rate, std::uint64_t seed = 1);
+
+/** Counters of injected (and refused) perturbations. */
+struct FaultStats
+{
+    std::uint64_t hotplugOff = 0;
+    std::uint64_t hotplugOn = 0;
+    std::uint64_t hotplugRejected = 0; ///< refused by platform/sched
+    std::uint64_t dvfsDenied = 0;
+    std::uint64_t dvfsDelayed = 0;
+    std::uint64_t thermalSpikes = 0;
+    std::uint64_t taskStalls = 0;
+
+    /** All perturbations that actually landed. */
+    std::uint64_t
+    totalInjected() const
+    {
+        return hotplugOff + hotplugOn + dvfsDenied + dvfsDelayed +
+               thermalSpikes + taskStalls;
+    }
+};
+
+/** Schedules perturbations of a platform through the event queue. */
+class FaultInjector
+{
+  public:
+    FaultInjector(Simulation &sim, AsymmetricPlatform &platform,
+                  HmpScheduler &sched, const FaultParams &params);
+
+    FaultInjector(const FaultInjector &) = delete;
+    FaultInjector &operator=(const FaultInjector &) = delete;
+
+    ~FaultInjector();
+
+    /** Register a thermal throttle as a sensor-spike target. */
+    void addThermal(ThermalThrottle *throttle);
+
+    /** Install the DVFS gates and begin drawing fault arrivals. */
+    void start();
+
+    /** Stop injecting (cores already offline still come back). */
+    void stop();
+
+    const FaultParams &params() const { return fp; }
+    const FaultStats &stats() const { return faultStats; }
+
+  private:
+    Simulation &sim;
+    AsymmetricPlatform &plat;
+    HmpScheduler &sched;
+    FaultParams fp;
+    Rng rng;
+
+    PeriodicTask *drawTask = nullptr;
+    std::vector<ThermalThrottle *> throttles;
+    bool gatesInstalled = false;
+    FaultStats faultStats;
+
+    void draw(Tick now);
+    void injectHotplug();
+    void injectThermalSpike();
+    void injectTaskStall();
+    DvfsFaultAction gateDecision();
+};
+
+} // namespace biglittle
+
+#endif // BIGLITTLE_FAULT_FAULT_HH

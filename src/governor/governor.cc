@@ -53,6 +53,17 @@ Governor::onSample(Tick now)
     sample(now);
 }
 
+void
+Governor::request(FreqKHz target)
+{
+    const Status st = clusterRef.freqDomain().requestFreq(target);
+    if (!st.ok()) {
+        ++deniedCount;
+        debugLog("%s governor: %s; retrying next sample",
+                 governorName.c_str(), st.message().c_str());
+    }
+}
+
 double
 Governor::clusterUtilization()
 {

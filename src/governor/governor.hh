@@ -48,6 +48,13 @@ class Governor
     /** Number of samples taken. */
     std::uint64_t samples() const { return sampleCount; }
 
+    /**
+     * Requests the domain refused (fault injection).  The policy
+     * simply holds its current - still valid - OPP and retries on
+     * the next sample, the way cpufreq treats a -EBUSY regulator.
+     */
+    std::uint64_t deniedRequests() const { return deniedCount; }
+
   protected:
     /** Frequency to apply when the governor starts. */
     virtual FreqKHz initialFreq() const;
@@ -61,6 +68,13 @@ class Governor
      */
     double clusterUtilization();
 
+    /**
+     * Ask the domain for @p target, absorbing a fault-gate denial:
+     * the governor stays at the current OPP, counts the refusal, and
+     * retries naturally on its next sampling period.
+     */
+    void request(FreqKHz target);
+
     Simulation &sim;
     Cluster &clusterRef;
 
@@ -68,6 +82,7 @@ class Governor
     std::string governorName;
     PeriodicTask *samplerTask = nullptr;
     std::uint64_t sampleCount = 0;
+    std::uint64_t deniedCount = 0;
 
     Tick lastSampleTick = 0;
     std::vector<Tick> lastBusyTicks;

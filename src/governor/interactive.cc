@@ -90,10 +90,10 @@ InteractiveGovernor::sample(Tick)
 
     if (util >= ip.goHispeedLoad && freq < hispeed) {
         ++jumps;
-        domain.requestFreq(std::max(hispeed, target_freq));
+        request(std::max(hispeed, target_freq));
         return;
     }
-    domain.requestFreq(target_freq);
+    request(target_freq);
 }
 
 } // namespace biglittle

@@ -23,8 +23,7 @@ void
 PerformanceGovernor::sample(Tick)
 {
     clusterUtilization(); // keep the window bookkeeping warm
-    clusterRef.freqDomain().requestFreq(
-        clusterRef.freqDomain().maxFreq());
+    request(clusterRef.freqDomain().maxFreq());
 }
 
 PowersaveGovernor::PowersaveGovernor(Simulation &sim_in,
@@ -37,8 +36,7 @@ void
 PowersaveGovernor::sample(Tick)
 {
     clusterUtilization();
-    clusterRef.freqDomain().requestFreq(
-        clusterRef.freqDomain().minFreq());
+    request(clusterRef.freqDomain().minFreq());
 }
 
 UserspaceGovernor::UserspaceGovernor(Simulation &sim_in,
@@ -75,13 +73,13 @@ OndemandGovernor::sample(Tick)
     const double util = clusterUtilization() * 100.0;
     FreqDomain &domain = clusterRef.freqDomain();
     if (util >= op.upThreshold) {
-        domain.requestFreq(domain.maxFreq());
+        request(domain.maxFreq());
         return;
     }
     const auto target = static_cast<FreqKHz>(std::ceil(
         static_cast<double>(domain.currentFreq()) * util /
         op.scalingMargin));
-    domain.requestFreq(target);
+    request(target);
 }
 
 ConservativeGovernor::ConservativeGovernor(
@@ -104,7 +102,7 @@ ConservativeGovernor::sample(Tick)
     FreqDomain &domain = clusterRef.freqDomain();
     const FreqKHz freq = domain.currentFreq();
     if (util >= cp.upThreshold) {
-        domain.requestFreq(freq + step);
+        request(freq + step);
     } else if (util <= cp.downThreshold && freq > domain.minFreq()) {
         // requestFreq rounds up, so resolve the step-down target to
         // the highest OPP at or below (freq - step) ourselves.
@@ -115,7 +113,7 @@ ConservativeGovernor::sample(Tick)
             if (opp.freq <= want)
                 target = opp.freq;
         }
-        domain.requestFreq(target);
+        request(target);
     }
 }
 
@@ -140,7 +138,7 @@ SchedutilGovernor::sample(Tick)
     const auto target = static_cast<FreqKHz>(std::ceil(
         sp.margin * cap_util *
         static_cast<double>(domain.maxFreq())));
-    domain.requestFreq(target);
+    request(target);
 }
 
 } // namespace biglittle

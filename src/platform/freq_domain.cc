@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "base/logging.hh"
+#include "base/strutil.hh"
 
 namespace biglittle
 {
@@ -52,7 +53,7 @@ FreqDomain::setCeiling(FreqKHz ceiling)
         pendingIndex = ceilingIndex;
 }
 
-void
+Status
 FreqDomain::requestFreq(FreqKHz target)
 {
     const std::size_t index = indexFor(target);
@@ -61,16 +62,41 @@ FreqDomain::requestFreq(FreqKHz target)
         if (applyEvent.scheduled())
             sim.eventQueue().deschedule(applyEvent);
         pendingIndex = table.size();
-        return;
+        return okStatus();
     }
     if (pendingIndex == index && applyEvent.scheduled())
-        return;
-    pendingIndex = index;
-    if (latency == 0) {
-        applyPending();
-        return;
+        return okStatus();
+    Tick effective_latency = latency;
+    if (faultGate) {
+        switch (faultGate(table[index].freq)) {
+          case DvfsFaultAction::allow:
+            break;
+          case DvfsFaultAction::deny:
+            ++deniedCount;
+            return unavailable(format(
+                "%s: transition to %u kHz denied",
+                domainName.c_str(), table[index].freq));
+          case DvfsFaultAction::delay:
+            ++delayedCount;
+            effective_latency += faultExtraLatency;
+            break;
+        }
     }
-    sim.eventQueue().reschedule(applyEvent, sim.now() + latency);
+    pendingIndex = index;
+    if (effective_latency == 0) {
+        applyPending();
+        return okStatus();
+    }
+    sim.eventQueue().reschedule(applyEvent,
+                                sim.now() + effective_latency);
+    return okStatus();
+}
+
+void
+FreqDomain::setFaultGate(FaultGate gate, Tick extra_latency)
+{
+    faultGate = std::move(gate);
+    faultExtraLatency = extra_latency;
 }
 
 void

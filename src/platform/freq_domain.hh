@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "base/status.hh"
 #include "base/types.hh"
 #include "platform/params.hh"
 #include "sim/simulation.hh"
@@ -25,12 +26,27 @@
 namespace biglittle
 {
 
+/**
+ * What a fault gate decides about one DVFS request: let it through,
+ * refuse it outright (the regulator/firmware rejected it), or apply
+ * it late (a slow or contended transition).
+ */
+enum class DvfsFaultAction
+{
+    allow,
+    deny,
+    delay,
+};
+
 /** One shared clock/voltage domain (a big.LITTLE cluster). */
 class FreqDomain
 {
   public:
     /** Called just before a change with (old OPP, new OPP). */
     using ChangeListener = std::function<void(const Opp &, const Opp &)>;
+
+    /** Consulted per request with the resolved target frequency. */
+    using FaultGate = std::function<DvfsFaultAction(FreqKHz)>;
 
     /**
      * @param sim time source and event scheduling
@@ -65,8 +81,12 @@ class FreqDomain
      * The change lands after the transition latency; a newer request
      * supersedes a pending one.  A request equal to the current and
      * pending state is a no-op.
+     *
+     * Returns unavailable() when an installed fault gate denies the
+     * transition; the domain then stays at its current (valid) OPP
+     * and the caller is expected to retry on its next sample.
      */
-    void requestFreq(FreqKHz target);
+    Status requestFreq(FreqKHz target);
 
     /** Apply a frequency immediately (hotplug/test/reset paths). */
     void setFreqNow(FreqKHz target);
@@ -84,6 +104,20 @@ class FreqDomain
 
     /** Register a pre-change listener. */
     void addListener(ChangeListener listener);
+
+    /**
+     * Install (or, with an empty function, remove) a fault gate that
+     * screens every requestFreq().  Delayed transitions land after
+     * latency + @p extra_latency.  setFreqNow() bypasses the gate:
+     * it is the hotplug/test/reset path.
+     */
+    void setFaultGate(FaultGate gate, Tick extra_latency = 0);
+
+    /** Requests refused by the fault gate. */
+    std::uint64_t deniedRequests() const { return deniedCount; }
+
+    /** Requests the fault gate applied late. */
+    std::uint64_t delayedRequests() const { return delayedCount; }
 
     /** Number of completed frequency transitions. */
     std::uint64_t transitions() const { return transitionCount; }
@@ -104,6 +138,11 @@ class FreqDomain
 
     std::vector<ChangeListener> listeners;
     std::uint64_t transitionCount = 0;
+
+    FaultGate faultGate;
+    Tick faultExtraLatency = 0;
+    std::uint64_t deniedCount = 0;
+    std::uint64_t delayedCount = 0;
 
     std::size_t indexFor(FreqKHz target) const;
     void applyIndex(std::size_t index);

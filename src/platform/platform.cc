@@ -1,6 +1,7 @@
 #include "platform/platform.hh"
 
 #include "base/logging.hh"
+#include "base/status.hh"
 #include "base/strutil.hh"
 
 namespace biglittle
@@ -79,14 +80,43 @@ AsymmetricPlatform::core(CoreId id) const
     return *coreIndex[id];
 }
 
-void
+Status
+AsymmetricPlatform::hotplugAllowed(CoreId id, bool online) const
+{
+    if (id >= coreIndex.size())
+        return invalidArgument(format("core %u does not exist", id));
+    const Core &target = *coreIndex[id];
+    if (online || !target.online())
+        return okStatus();
+    if (platformParams.enforceBootCore) {
+        if (id == bootCoreId) {
+            return failedPrecondition(format(
+                "core %u is the boot core and cannot be "
+                "hotplugged off", id));
+        }
+        if (target.type() == CoreType::little &&
+            onlineCount(CoreType::little) <= 1) {
+            return failedPrecondition(format(
+                "core %u is the last online little core; one "
+                "little core must always stay alive", id));
+        }
+    }
+    if (target.busy()) {
+        return failedPrecondition(format(
+            "core %u is busy; evacuate its tasks before "
+            "hotplugging it off", id));
+    }
+    return okStatus();
+}
+
+Status
 AsymmetricPlatform::setCoreOnline(CoreId id, bool online)
 {
-    if (!online && id == bootCoreId &&
-        platformParams.enforceBootCore)
-        fatal("core %u is the boot core and cannot be hotplugged off",
-              id);
+    Status allowed = hotplugAllowed(id, online);
+    if (!allowed.ok())
+        return allowed;
     core(id).setOnline(online);
+    return okStatus();
 }
 
 void

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "base/status.hh"
 #include "base/types.hh"
 #include "platform/cluster.hh"
 #include "platform/params.hh"
@@ -75,11 +76,23 @@ class AsymmetricPlatform
     const std::vector<Core *> &cores() const { return coreIndex; }
 
     /**
-     * Hotplug a core.  Refuses to take the boot core offline
-     * (fatal()), mirroring the platform's "one little core must
-     * always be active" rule.
+     * Whether hotplugging core @p id to @p online would be legal
+     * right now: the id must exist, the boot core can never go
+     * offline, the last online little core must stay alive (the
+     * Exynos 5422 rule, while enforceBootCore holds), and a busy
+     * core must be evacuated before it can be unplugged.
      */
-    void setCoreOnline(CoreId id, bool online);
+    Status hotplugAllowed(CoreId id, bool online) const;
+
+    /**
+     * Hotplug a core.  Returns the hotplugAllowed() error - leaving
+     * the platform untouched - instead of crashing, so fault
+     * injection and runtime policies can degrade gracefully.
+     */
+    Status setCoreOnline(CoreId id, bool online);
+
+    /** Platform-wide id of the boot (always-alive) core. */
+    CoreId bootCore() const { return bootCoreId; }
 
     /**
      * Apply a CoreConfig: first @p littleCores little cores and

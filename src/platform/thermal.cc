@@ -1,5 +1,8 @@
 #include "platform/thermal.hh"
 
+#include <algorithm>
+#include <cmath>
+
 #include "base/logging.hh"
 #include "platform/power.hh"
 
@@ -45,6 +48,29 @@ ThermalThrottle::stop()
 }
 
 void
+ThermalThrottle::clampTemperature()
+{
+    // A perturbed sensor may bias the throttle but must never wedge
+    // the model: reject NaN/inf and keep the reading in a plausible
+    // band so the Euler step stays stable.
+    if (!std::isfinite(temp)) {
+        warn("%s: non-finite temperature reading; resetting to "
+             "ambient", clusterRef.name().c_str());
+        temp = tp.ambientC;
+        return;
+    }
+    temp = std::clamp(temp, tp.ambientC, 300.0);
+}
+
+void
+ThermalThrottle::injectTemperature(double delta_c)
+{
+    ++spikes;
+    temp += delta_c;
+    clampTemperature();
+}
+
+void
 ThermalThrottle::evaluate(Tick now)
 {
     const double dt = ticksToSeconds(now - lastEval);
@@ -57,6 +83,7 @@ ThermalThrottle::evaluate(Tick now)
     temp += dt *
             (power_w - tp.conductanceWPerC * (temp - tp.ambientC)) /
             tp.heatCapacityJPerC;
+    clampTemperature();
 
     FreqDomain &domain = clusterRef.freqDomain();
     if (temp > tp.hotTripC && ceilingIndex > 0) {

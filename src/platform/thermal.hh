@@ -54,6 +54,18 @@ class ThermalThrottle
     /** Current junction temperature estimate. */
     double temperatureC() const { return temp; }
 
+    /**
+     * Perturb the sensed temperature by @p delta_c (fault injection:
+     * a sensor spike or dropout).  The reading is clamped to the
+     * physically plausible [ambient, 300 C] band so a bad sample can
+     * bias the throttle but never wedge it on NaN/inf or a negative
+     * temperature; the first-order model then bleeds the spike off.
+     */
+    void injectTemperature(double delta_c);
+
+    /** Sensor spikes injected so far. */
+    std::uint64_t sensorSpikes() const { return spikes; }
+
     /** Current ceiling (maxFreq when unthrottled). */
     FreqKHz ceiling() const;
 
@@ -72,8 +84,10 @@ class ThermalThrottle
     Tick lastEval = 0;
     std::size_t ceilingIndex; ///< index into the OPP table
     std::uint64_t throttles = 0;
+    std::uint64_t spikes = 0;
 
     void evaluate(Tick now);
+    void clampTemperature();
 };
 
 } // namespace biglittle

@@ -80,7 +80,15 @@ ClusterSwitcher::applyMode(bool big)
         Core &core = from.core(i);
         if (!core.online())
             continue;
-        sched.evacuateCore(core.id());
+        const Result<std::size_t> moved =
+            sched.evacuateCore(core.id());
+        if (!moved.ok()) {
+            // A task that cannot leave the cluster makes 5410-style
+            // operation impossible; this is a setup error, not a
+            // runtime fault.
+            fatal("cluster switch: %s",
+                  moved.status().message().c_str());
+        }
         core.setOnline(false);
     }
     bigMode = big;

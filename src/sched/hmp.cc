@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "base/logging.hh"
+#include "base/strutil.hh"
 
 namespace biglittle
 {
@@ -86,9 +87,24 @@ HmpScheduler::wakeup(Task &task)
     Core *target = nullptr;
     if (task.pinnedCore()) {
         target = &plat.core(*task.pinnedCore());
-        if (!target->online())
-            fatal("task '%s' pinned to offline core %u",
-                  task.name().c_str(), target->id());
+        if (!target->online()) {
+            // The pinned core was hotplugged off (fault injection or
+            // a runtime policy).  Breaking affinity beats losing the
+            // task: fall back to the same core type, then anywhere.
+            ++schedStats.affinityBreaks;
+            if (schedStats.affinityBreaks == 1) {
+                warn("task '%s' pinned to offline core %u; breaking "
+                     "affinity", task.name().c_str(), target->id());
+            }
+            const CoreType type = target->type();
+            target = pickTargetCore(type, task);
+            if (target == nullptr) {
+                target = pickTargetCore(type == CoreType::big
+                                            ? CoreType::little
+                                            : CoreType::big,
+                                        task);
+            }
+        }
     } else {
         const bool wants_big =
             task.loadTracker().value() >= schedParams.upThreshold;
@@ -156,7 +172,7 @@ HmpScheduler::pickTargetCore(CoreType type, const Task &task)
     return best;
 }
 
-std::size_t
+Result<std::size_t>
 HmpScheduler::evacuateCore(CoreId id)
 {
     CoreRunner &rq = runner(id);
@@ -164,9 +180,11 @@ HmpScheduler::evacuateCore(CoreId id)
     while (rq.depth() > 0) {
         Task *task =
             rq.running() != nullptr ? rq.running() : rq.waiting().front();
-        if (task->pinnedCore())
-            fatal("cannot evacuate pinned task '%s' from core %u",
-                  task->name().c_str(), id);
+        if (task->pinnedCore()) {
+            return failedPrecondition(format(
+                "cannot evacuate pinned task '%s' from core %u",
+                task->name().c_str(), id));
+        }
         Core *best = nullptr;
         std::size_t best_depth = 0;
         for (Core *core : plat.cores()) {
@@ -178,8 +196,10 @@ HmpScheduler::evacuateCore(CoreId id)
                 best_depth = depth;
             }
         }
-        if (best == nullptr)
-            fatal("no online core to evacuate core %u onto", id);
+        if (best == nullptr) {
+            return unavailable(format(
+                "no online core to evacuate core %u onto", id));
+        }
         migrate(*task, *best,
                 best->type() != plat.core(id).type());
         ++moved;
@@ -262,8 +282,11 @@ HmpScheduler::boostBigCluster(Core &target)
     if (schedParams.upMigrationBoostFreq == 0)
         return;
     FreqDomain &domain = target.freqDomain();
-    if (domain.currentFreq() < schedParams.upMigrationBoostFreq)
-        domain.requestFreq(schedParams.upMigrationBoostFreq);
+    if (domain.currentFreq() < schedParams.upMigrationBoostFreq) {
+        // The boost is opportunistic; a denied transition just means
+        // the governor raises the frequency on its next sample.
+        (void)domain.requestFreq(schedParams.upMigrationBoostFreq);
+    }
 }
 
 void

@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "base/status.hh"
 #include "base/types.hh"
 #include "platform/platform.hh"
 #include "sched/runqueue.hh"
@@ -40,6 +41,13 @@ struct SchedStats
     std::uint64_t balanceMoves = 0; ///< intra-cluster spreads
     std::uint64_t wakeups = 0;
     std::uint64_t ticks = 0;
+
+    /**
+     * Wakeups where a pinned task's core was offline and the task
+     * was placed elsewhere instead (graceful degradation under
+     * hotplug faults; 0 in a healthy run).
+     */
+    std::uint64_t affinityBreaks = 0;
 };
 
 /** The utilization-based asymmetric scheduler. */
@@ -100,11 +108,13 @@ class HmpScheduler
 
     /**
      * Move every task off core @p id onto other online cores (least
-     * loaded first), so the core can be hotplugged.  Pinned tasks
-     * are fatal - they cannot be evacuated.
+     * loaded first), so the core can be hotplugged.  Fails with
+     * failedPrecondition() on a pinned task and unavailable() when
+     * no other online core exists; tasks already moved stay on
+     * their (valid) new cores either way.
      * @return number of tasks moved
      */
-    std::size_t evacuateCore(CoreId id);
+    Result<std::size_t> evacuateCore(CoreId id);
 
   private:
     Simulation &sim;

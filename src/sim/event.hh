@@ -54,6 +54,14 @@ class Event
     /** Called by the queue when the event fires. */
     virtual void process() = 0;
 
+    /**
+     * Called by a dying queue on each still-pending event after
+     * detaching it.  Self-owning events (the one-shots behind
+     * Simulation::at/after) override this with `delete this`; events
+     * owned elsewhere keep the default no-op.
+     */
+    virtual void orphaned() {}
+
     /** Diagnostic name used in trace output. */
     virtual std::string name() const { return "event"; }
 

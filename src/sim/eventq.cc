@@ -1,5 +1,7 @@
 #include "sim/eventq.hh"
 
+#include <vector>
+
 #include "base/logging.hh"
 
 namespace biglittle
@@ -8,9 +10,14 @@ namespace biglittle
 EventQueue::~EventQueue()
 {
     // Detach any events still pending so their destructors do not
-    // dereference a dead queue.
-    for (Event *e : queue)
+    // dereference a dead queue, then let self-owning events free
+    // themselves (orphaned() may `delete this`, so iterate a copy).
+    std::vector<Event *> pending(queue.begin(), queue.end());
+    queue.clear();
+    for (Event *e : pending)
         e->queue = nullptr;
+    for (Event *e : pending)
+        e->orphaned();
 }
 
 void

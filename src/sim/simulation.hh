@@ -103,6 +103,7 @@ class Simulation
         OneShot(std::function<void()> fn, EventPriority prio,
                 std::string label);
         void process() override;
+        void orphaned() override { delete this; }
         std::string name() const override { return label; }
 
       private:

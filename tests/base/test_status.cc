@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Tests for Status/Result: the recoverable-error values used by the
+ * graceful-degradation paths (hotplug, DVFS, evacuation).
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "base/status.hh"
+
+using namespace biglittle;
+
+TEST(Status, DefaultIsOk)
+{
+    const Status st;
+    EXPECT_TRUE(st.ok());
+    EXPECT_EQ(st.code(), StatusCode::ok);
+    EXPECT_TRUE(st.message().empty());
+    EXPECT_EQ(st.toString(), "ok");
+}
+
+TEST(Status, FactoriesCarryCodeAndMessage)
+{
+    const Status st = invalidArgument("core 42 does not exist");
+    EXPECT_FALSE(st.ok());
+    EXPECT_EQ(st.code(), StatusCode::invalidArgument);
+    EXPECT_EQ(st.message(), "core 42 does not exist");
+    EXPECT_EQ(st.toString(),
+              "invalid-argument: core 42 does not exist");
+}
+
+TEST(Status, AllCodesHaveNames)
+{
+    EXPECT_STREQ(statusCodeName(StatusCode::ok), "ok");
+    EXPECT_STREQ(statusCodeName(StatusCode::invalidArgument),
+                 "invalid-argument");
+    EXPECT_STREQ(statusCodeName(StatusCode::failedPrecondition),
+                 "failed-precondition");
+    EXPECT_STREQ(statusCodeName(StatusCode::notFound), "not-found");
+    EXPECT_STREQ(statusCodeName(StatusCode::outOfRange),
+                 "out-of-range");
+    EXPECT_STREQ(statusCodeName(StatusCode::unavailable),
+                 "unavailable");
+    EXPECT_STREQ(statusCodeName(StatusCode::internal), "internal");
+}
+
+TEST(Status, EqualityComparesCodeAndMessage)
+{
+    EXPECT_EQ(okStatus(), Status());
+    EXPECT_EQ(unavailable("x"), unavailable("x"));
+    EXPECT_NE(unavailable("x"), unavailable("y"));
+    EXPECT_NE(unavailable("x"), notFound("x"));
+}
+
+TEST(Result, HoldsValue)
+{
+    const Result<int> r(7);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.value(), 7);
+    EXPECT_EQ(r.valueOr(-1), 7);
+    EXPECT_TRUE(r.status().ok());
+}
+
+TEST(Result, HoldsError)
+{
+    const Result<int> r(failedPrecondition("core is busy"));
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::failedPrecondition);
+    EXPECT_EQ(r.status().message(), "core is busy");
+    EXPECT_EQ(r.valueOr(-1), -1);
+}
+
+TEST(Result, MoveOnlyValueWorks)
+{
+    Result<std::unique_ptr<int>> r(std::make_unique<int>(3));
+    ASSERT_TRUE(r.ok());
+    std::unique_ptr<int> v = std::move(r.value());
+    EXPECT_EQ(*v, 3);
+}
+
+TEST(ResultDeathTest, ValueOnErrorAsserts)
+{
+    const Result<int> r(unavailable("no"));
+    EXPECT_DEATH((void)r.value(), "assertion");
+}
+
+TEST(ResultDeathTest, OkStatusIntoResultAsserts)
+{
+    EXPECT_DEATH((void)Result<int>(okStatus()), "assertion");
+}

@@ -84,6 +84,15 @@ TEST(ConfigIoDeathTest, UnknownKeyIsFatal)
                 ::testing::ExitedWithCode(1), "unknown config key");
 }
 
+TEST(ConfigIoDeathTest, UnknownKeyReportsLineNumber)
+{
+    EXPECT_EXIT(parseExperimentConfig("# comment\n"
+                                      "governor = ondemand\n"
+                                      "bogus.key = 1\n"),
+                ::testing::ExitedWithCode(1),
+                "line 3: unknown config key 'bogus.key'");
+}
+
 TEST(ConfigIoDeathTest, MalformedLineIsFatal)
 {
     EXPECT_EXIT(parseExperimentConfig("governor interactive"),
@@ -94,6 +103,22 @@ TEST(ConfigIoDeathTest, NonNumericValueIsFatal)
 {
     EXPECT_EXIT(parseExperimentConfig("sched.up_threshold = high"),
                 ::testing::ExitedWithCode(1), "not a number");
+}
+
+TEST(ConfigIoDeathTest, NonNumericValueReportsLineAndKey)
+{
+    EXPECT_EXIT(parseExperimentConfig("\n\nsched.up_threshold = high"),
+                ::testing::ExitedWithCode(1),
+                "line 3: key 'sched.up_threshold': 'high' is not a "
+                "number");
+}
+
+TEST(ConfigIoDeathTest, BadBooleanReportsLineAndKey)
+{
+    EXPECT_EXIT(parseExperimentConfig("fault.enabled = maybe"),
+                ::testing::ExitedWithCode(1),
+                "line 1: key 'fault.enabled': 'maybe' is not a "
+                "boolean");
 }
 
 TEST(ConfigIoDeathTest, UnknownGovernorIsFatal)
@@ -141,6 +166,60 @@ TEST(ConfigIo, SaveParseRoundTrip)
     EXPECT_EQ(back.coreConfig.bigCores, cfg.coreConfig.bigCores);
     EXPECT_EQ(back.thermalEnabled, cfg.thermalEnabled);
     EXPECT_EQ(back.userspaceBigFreq, cfg.userspaceBigFreq);
+}
+
+TEST(ConfigIo, ParsesFaultKeys)
+{
+    const ExperimentConfig cfg = parseExperimentConfig(R"(
+fault.enabled = true
+fault.seed = 99
+fault.draw_period_ms = 5
+fault.hotplug_rate_hz = 2.5
+fault.hotplug_downtime_ms = 100
+fault.dvfs_deny_prob = 0.25
+fault.dvfs_delay_prob = 0.1
+fault.dvfs_extra_latency_us = 750
+fault.thermal_spike_rate_hz = 1.5
+fault.thermal_spike_c = 15
+fault.task_stall_rate_hz = 3
+fault.task_stall_instructions = 5e6
+)");
+    EXPECT_TRUE(cfg.fault.enabled);
+    EXPECT_EQ(cfg.fault.seed, 99u);
+    EXPECT_EQ(cfg.fault.drawPeriod, msToTicks(5));
+    EXPECT_DOUBLE_EQ(cfg.fault.hotplugRatePerSec, 2.5);
+    EXPECT_EQ(cfg.fault.hotplugDownTime, msToTicks(100));
+    EXPECT_DOUBLE_EQ(cfg.fault.dvfsDenyProb, 0.25);
+    EXPECT_DOUBLE_EQ(cfg.fault.dvfsDelayProb, 0.1);
+    EXPECT_EQ(cfg.fault.dvfsExtraLatency, usToTicks(750));
+    EXPECT_DOUBLE_EQ(cfg.fault.thermalSpikeRatePerSec, 1.5);
+    EXPECT_DOUBLE_EQ(cfg.fault.thermalSpikeC, 15.0);
+    EXPECT_DOUBLE_EQ(cfg.fault.taskStallRatePerSec, 3.0);
+    EXPECT_DOUBLE_EQ(cfg.fault.taskStallInstructions, 5e6);
+}
+
+TEST(ConfigIo, FaultKeysRoundTrip)
+{
+    ExperimentConfig cfg;
+    cfg.fault = scaledFaultParams(1.5, 31);
+    const ExperimentConfig back =
+        parseExperimentConfig(saveExperimentConfig(cfg));
+    EXPECT_EQ(back.fault.enabled, cfg.fault.enabled);
+    EXPECT_EQ(back.fault.seed, cfg.fault.seed);
+    EXPECT_DOUBLE_EQ(back.fault.hotplugRatePerSec,
+                     cfg.fault.hotplugRatePerSec);
+    EXPECT_EQ(back.fault.hotplugDownTime, cfg.fault.hotplugDownTime);
+    EXPECT_DOUBLE_EQ(back.fault.dvfsDenyProb, cfg.fault.dvfsDenyProb);
+    EXPECT_DOUBLE_EQ(back.fault.dvfsDelayProb,
+                     cfg.fault.dvfsDelayProb);
+    EXPECT_EQ(back.fault.dvfsExtraLatency, cfg.fault.dvfsExtraLatency);
+    EXPECT_DOUBLE_EQ(back.fault.thermalSpikeRatePerSec,
+                     cfg.fault.thermalSpikeRatePerSec);
+    EXPECT_DOUBLE_EQ(back.fault.thermalSpikeC, cfg.fault.thermalSpikeC);
+    EXPECT_DOUBLE_EQ(back.fault.taskStallRatePerSec,
+                     cfg.fault.taskStallRatePerSec);
+    EXPECT_DOUBLE_EQ(back.fault.taskStallInstructions,
+                     cfg.fault.taskStallInstructions);
 }
 
 TEST(ConfigIo, FileRoundTrip)

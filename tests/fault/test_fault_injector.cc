@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Tests for the seeded FaultInjector: determinism, respect for the
+ * hotplug safety rules, and each fault class landing through the
+ * graceful-degradation paths.
+ */
+
+#include <gtest/gtest.h>
+
+#include "fault/fault.hh"
+#include "platform/platform.hh"
+#include "platform/thermal.hh"
+#include "sched/hmp.hh"
+#include "sim/simulation.hh"
+
+using namespace biglittle;
+
+namespace
+{
+
+WorkClass
+pureCompute()
+{
+    return WorkClass{0.8, 0.0, 64.0};
+}
+
+/** Platform + scheduler + a couple of busy tasks. */
+class FaultInjectorTest : public ::testing::Test
+{
+  protected:
+    Simulation sim;
+    AsymmetricPlatform plat{sim, exynos5422Params()};
+    HmpScheduler sched{sim, plat, baselineSchedParams()};
+
+    void
+    SetUp() override
+    {
+        plat.littleCluster().freqDomain().setFreqNow(1300000);
+        plat.bigCluster().freqDomain().setFreqNow(1900000);
+        sched.start();
+        sched.createTask("a", pureCompute()).submitWork(1e12);
+        sched.createTask("b", pureCompute()).submitWork(1e12);
+    }
+
+    FaultStats
+    runWith(const FaultParams &fp, Tick duration = msToTicks(2000))
+    {
+        FaultInjector injector(sim, plat, sched, fp);
+        injector.start();
+        sim.runFor(duration);
+        injector.stop();
+        return injector.stats();
+    }
+};
+
+} // namespace
+
+TEST_F(FaultInjectorTest, DisabledInjectsNothing)
+{
+    FaultParams fp; // enabled = false
+    const FaultStats stats = runWith(fp);
+    EXPECT_EQ(stats.totalInjected(), 0u);
+    EXPECT_EQ(stats.hotplugRejected, 0u);
+}
+
+TEST_F(FaultInjectorTest, HotplugFaultsLandAndRecover)
+{
+    FaultParams fp;
+    fp.enabled = true;
+    fp.seed = 42;
+    fp.hotplugRatePerSec = 20.0;
+    fp.hotplugDownTime = msToTicks(50);
+
+    FaultInjector injector(sim, plat, sched, fp);
+    injector.start();
+    for (int step = 0; step < 200; ++step) {
+        sim.runFor(msToTicks(10));
+        // The safety rules hold at every instant.
+        EXPECT_TRUE(plat.core(plat.bootCore()).online());
+        EXPECT_GE(plat.onlineCount(CoreType::little), 1u);
+    }
+    const FaultStats &stats = injector.stats();
+    EXPECT_GT(stats.hotplugOff, 0u);
+    EXPECT_GT(stats.hotplugOn, 0u);
+
+    // Every offline core comes back once down times expire.
+    injector.stop();
+    sim.runFor(fp.hotplugDownTime + msToTicks(10));
+    EXPECT_EQ(plat.onlineCount(CoreType::little), 4u);
+    EXPECT_EQ(plat.onlineCount(CoreType::big), 4u);
+}
+
+TEST_F(FaultInjectorTest, DvfsGateDeniesRequests)
+{
+    FaultParams fp;
+    fp.enabled = true;
+    fp.dvfsDenyProb = 1.0;
+
+    FaultInjector injector(sim, plat, sched, fp);
+    injector.start();
+
+    FreqDomain &domain = plat.bigCluster().freqDomain();
+    const FreqKHz before = domain.currentFreq();
+    // Request a freq that differs from the current one: no-op
+    // requests are deduplicated before the gate runs.
+    ASSERT_NE(before, domain.minFreq());
+    const Status st = domain.requestFreq(domain.minFreq());
+    EXPECT_FALSE(st.ok());
+    EXPECT_EQ(st.code(), StatusCode::unavailable);
+    sim.runFor(msToTicks(10));
+    // The denied transition left the domain at its old valid OPP.
+    EXPECT_EQ(domain.currentFreq(), before);
+    EXPECT_GT(injector.stats().dvfsDenied, 0u);
+    EXPECT_EQ(domain.deniedRequests(), injector.stats().dvfsDenied);
+}
+
+TEST_F(FaultInjectorTest, StopRemovesDvfsGate)
+{
+    FaultParams fp;
+    fp.enabled = true;
+    fp.dvfsDenyProb = 1.0;
+
+    FaultInjector injector(sim, plat, sched, fp);
+    injector.start();
+    injector.stop();
+
+    FreqDomain &domain = plat.bigCluster().freqDomain();
+    EXPECT_TRUE(domain.requestFreq(domain.maxFreq()).ok());
+}
+
+TEST_F(FaultInjectorTest, ThermalSpikesHitRegisteredThrottles)
+{
+    ThermalThrottle throttle(sim, plat.bigCluster());
+    throttle.start();
+
+    FaultParams fp;
+    fp.enabled = true;
+    fp.seed = 3;
+    fp.thermalSpikeRatePerSec = 50.0;
+    fp.thermalSpikeC = 25.0;
+
+    FaultInjector injector(sim, plat, sched, fp);
+    injector.addThermal(&throttle);
+    injector.start();
+    sim.runFor(msToTicks(1000));
+
+    EXPECT_GT(injector.stats().thermalSpikes, 0u);
+    EXPECT_EQ(throttle.sensorSpikes(), injector.stats().thermalSpikes);
+}
+
+TEST_F(FaultInjectorTest, TaskStallsAddWork)
+{
+    FaultParams fp;
+    fp.enabled = true;
+    fp.seed = 9;
+    fp.taskStallRatePerSec = 100.0;
+
+    const FaultStats stats = runWith(fp, msToTicks(1000));
+    EXPECT_GT(stats.taskStalls, 0u);
+}
+
+TEST_F(FaultInjectorTest, SameSeedSameFaultSchedule)
+{
+    FaultParams fp;
+    fp.enabled = true;
+    fp.seed = 1234;
+    fp.hotplugRatePerSec = 10.0;
+    fp.hotplugDownTime = msToTicks(40);
+    fp.thermalSpikeRatePerSec = 5.0;
+    fp.taskStallRatePerSec = 20.0;
+
+    const auto run = [&fp] {
+        Simulation sim2;
+        AsymmetricPlatform plat2(sim2, exynos5422Params());
+        HmpScheduler sched2(sim2, plat2, baselineSchedParams());
+        plat2.littleCluster().freqDomain().setFreqNow(1300000);
+        plat2.bigCluster().freqDomain().setFreqNow(1900000);
+        sched2.start();
+        sched2.createTask("a", pureCompute()).submitWork(1e12);
+        FaultInjector injector(sim2, plat2, sched2, fp);
+        injector.start();
+        sim2.runFor(msToTicks(3000));
+        return injector.stats();
+    };
+
+    const FaultStats first = run();
+    const FaultStats second = run();
+    EXPECT_EQ(first.hotplugOff, second.hotplugOff);
+    EXPECT_EQ(first.hotplugOn, second.hotplugOn);
+    EXPECT_EQ(first.hotplugRejected, second.hotplugRejected);
+    EXPECT_EQ(first.thermalSpikes, second.thermalSpikes);
+    EXPECT_EQ(first.taskStalls, second.taskStalls);
+    EXPECT_GT(first.totalInjected(), 0u);
+}
+
+TEST(ScaledFaultParams, RateZeroDisables)
+{
+    const FaultParams fp = scaledFaultParams(0.0);
+    EXPECT_FALSE(fp.enabled);
+    EXPECT_EQ(fp.hotplugRatePerSec, 0.0);
+    EXPECT_EQ(fp.dvfsDenyProb, 0.0);
+}
+
+TEST(ScaledFaultParams, RatesScaleMonotonically)
+{
+    const FaultParams low = scaledFaultParams(0.5);
+    const FaultParams high = scaledFaultParams(4.0);
+    EXPECT_TRUE(low.enabled);
+    EXPECT_TRUE(high.enabled);
+    EXPECT_LT(low.hotplugRatePerSec, high.hotplugRatePerSec);
+    EXPECT_LT(low.dvfsDenyProb, high.dvfsDenyProb);
+    EXPECT_LT(low.thermalSpikeRatePerSec, high.thermalSpikeRatePerSec);
+    EXPECT_LT(low.taskStallRatePerSec, high.taskStallRatePerSec);
+    // Probabilities stay probabilities however hard we push.
+    EXPECT_LE(scaledFaultParams(100.0).dvfsDenyProb, 1.0);
+}

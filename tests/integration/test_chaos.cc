@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Chaos smoke test: full app runs under randomized (but seeded)
+ * fault schedules.  Whatever the injector throws at the system -
+ * hotplugged cores, denied DVFS transitions, thermal-sensor spikes,
+ * stalled tasks - every simulation invariant must hold and no run
+ * may abort.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.hh"
+#include "workload/apps.hh"
+
+using namespace biglittle;
+
+namespace
+{
+
+AppSpec
+shortApp(AppSpec app, Tick duration = msToTicks(2000))
+{
+    app.duration = duration;
+    return app;
+}
+
+} // namespace
+
+TEST(Chaos, TenSeedsZeroInvariantViolations)
+{
+    std::uint64_t injected = 0;
+    for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+        ExperimentConfig cfg;
+        cfg.fault = scaledFaultParams(2.0, seed);
+        cfg.label = "chaos";
+        const AppRunResult r =
+            Experiment(cfg).runApp(shortApp(eternityWarrior2App()));
+        EXPECT_TRUE(r.completed) << "seed " << seed;
+        EXPECT_EQ(r.invariantViolations, 0u) << "seed " << seed;
+        injected += r.faults.totalInjected();
+    }
+    // The sweep only means something if faults actually landed.
+    EXPECT_GT(injected, 0u);
+}
+
+TEST(Chaos, LatencyAppSurvivesFaults)
+{
+    for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+        ExperimentConfig cfg;
+        cfg.fault = scaledFaultParams(1.0, seed);
+        cfg.maxSimTime = msToTicks(60000);
+        const AppRunResult r =
+            Experiment(cfg).runApp(pdfReaderApp());
+        EXPECT_TRUE(r.completed) << "seed " << seed;
+        EXPECT_EQ(r.invariantViolations, 0u) << "seed " << seed;
+        EXPECT_GT(r.latency, 0u);
+    }
+}
+
+TEST(Chaos, HighFaultRateStillHoldsInvariants)
+{
+    ExperimentConfig cfg;
+    cfg.fault = scaledFaultParams(8.0, 77);
+    const AppRunResult r =
+        Experiment(cfg).runApp(shortApp(videoPlayerApp()));
+    EXPECT_TRUE(r.completed);
+    EXPECT_EQ(r.invariantViolations, 0u);
+    EXPECT_GT(r.faults.totalInjected(), 0u);
+}
+
+TEST(Chaos, FaultRunsAreDeterministic)
+{
+    ExperimentConfig cfg;
+    cfg.fault = scaledFaultParams(2.0, 5);
+    const AppRunResult a =
+        Experiment(cfg).runApp(shortApp(angryBirdApp()));
+    const AppRunResult b =
+        Experiment(cfg).runApp(shortApp(angryBirdApp()));
+    EXPECT_EQ(a.avgFps, b.avgFps);
+    EXPECT_EQ(a.faults.hotplugOff, b.faults.hotplugOff);
+    EXPECT_EQ(a.faults.dvfsDenied, b.faults.dvfsDenied);
+    EXPECT_EQ(a.faults.thermalSpikes, b.faults.thermalSpikes);
+    EXPECT_EQ(a.faults.taskStalls, b.faults.taskStalls);
+    EXPECT_EQ(a.energy.totalMj(), b.energy.totalMj());
+}
+
+TEST(Chaos, FaultFreeBaselineIsUnperturbed)
+{
+    // A disabled fault config must not change results at all.
+    ExperimentConfig plain;
+    ExperimentConfig with_knob;
+    with_knob.fault = scaledFaultParams(0.0);
+    const AppSpec app = shortApp(videoPlayerApp());
+    const AppRunResult a = Experiment(plain).runApp(app);
+    const AppRunResult b = Experiment(with_knob).runApp(app);
+    EXPECT_EQ(a.avgFps, b.avgFps);
+    EXPECT_EQ(a.energy.totalMj(), b.energy.totalMj());
+    EXPECT_EQ(b.faults.totalInjected(), 0u);
+    EXPECT_EQ(b.invariantViolations, 0u);
+}

@@ -37,9 +37,9 @@ TEST(FreqDomain, RequestRoundsUpToNextOpp)
 {
     Simulation sim;
     FreqDomain d(sim, "dom", testOpps(), 0);
-    d.requestFreq(600000);
+    (void)d.requestFreq(600000);
     EXPECT_EQ(d.currentFreq(), 800000u);
-    d.requestFreq(800001);
+    (void)d.requestFreq(800001);
     EXPECT_EQ(d.currentFreq(), 1100000u);
 }
 
@@ -47,7 +47,7 @@ TEST(FreqDomain, RequestAboveMaxClampsToMax)
 {
     Simulation sim;
     FreqDomain d(sim, "dom", testOpps(), 0);
-    d.requestFreq(9999999);
+    (void)d.requestFreq(9999999);
     EXPECT_EQ(d.currentFreq(), 1300000u);
 }
 
@@ -56,7 +56,7 @@ TEST(FreqDomain, RequestZeroGoesToMin)
     Simulation sim;
     FreqDomain d(sim, "dom", testOpps(), 0);
     d.setFreqNow(1300000);
-    d.requestFreq(0);
+    (void)d.requestFreq(0);
     EXPECT_EQ(d.currentFreq(), 500000u);
 }
 
@@ -64,7 +64,7 @@ TEST(FreqDomain, TransitionLatencyDelaysChange)
 {
     Simulation sim;
     FreqDomain d(sim, "dom", testOpps(), usToTicks(100));
-    d.requestFreq(1300000);
+    (void)d.requestFreq(1300000);
     EXPECT_EQ(d.currentFreq(), 500000u); // not yet
     sim.runFor(usToTicks(99));
     EXPECT_EQ(d.currentFreq(), 500000u);
@@ -76,9 +76,9 @@ TEST(FreqDomain, NewerRequestSupersedesPending)
 {
     Simulation sim;
     FreqDomain d(sim, "dom", testOpps(), usToTicks(100));
-    d.requestFreq(1300000);
+    (void)d.requestFreq(1300000);
     sim.runFor(usToTicks(50));
-    d.requestFreq(800000); // replaces the pending 1.3 GHz request
+    (void)d.requestFreq(800000); // replaces the pending 1.3 GHz request
     sim.runFor(usToTicks(200));
     EXPECT_EQ(d.currentFreq(), 800000u);
 }
@@ -87,8 +87,8 @@ TEST(FreqDomain, RequestOfCurrentFreqCancelsPending)
 {
     Simulation sim;
     FreqDomain d(sim, "dom", testOpps(), usToTicks(100));
-    d.requestFreq(1300000);
-    d.requestFreq(500000); // back to current: cancel
+    (void)d.requestFreq(1300000);
+    (void)d.requestFreq(500000); // back to current: cancel
     sim.runFor(usToTicks(500));
     EXPECT_EQ(d.currentFreq(), 500000u);
     EXPECT_EQ(d.transitions(), 0u);
@@ -114,7 +114,7 @@ TEST(FreqDomain, ListenerSeesOldAndNewOpp)
         seen_new = n.freq;
         current_at_callback = d.currentFreq();
     });
-    d.requestFreq(1100000);
+    (void)d.requestFreq(1100000);
     EXPECT_EQ(seen_old, 500000u);
     EXPECT_EQ(seen_new, 1100000u);
     // Listener runs before the change lands.
@@ -125,10 +125,10 @@ TEST(FreqDomain, TransitionCountAccumulates)
 {
     Simulation sim;
     FreqDomain d(sim, "dom", testOpps(), 0);
-    d.requestFreq(800000);
-    d.requestFreq(1300000);
-    d.requestFreq(500000);
-    d.requestFreq(500000); // no-op
+    (void)d.requestFreq(800000);
+    (void)d.requestFreq(1300000);
+    (void)d.requestFreq(500000);
+    (void)d.requestFreq(500000); // no-op
     EXPECT_EQ(d.transitions(), 3u);
 }
 
@@ -138,7 +138,7 @@ TEST(FreqDomain, CeilingClampsRequests)
     FreqDomain d(sim, "dom", testOpps(), 0);
     d.setCeiling(1100000);
     EXPECT_EQ(d.ceiling(), 1100000u);
-    d.requestFreq(1300000);
+    (void)d.requestFreq(1300000);
     EXPECT_EQ(d.currentFreq(), 1100000u);
 }
 
@@ -156,10 +156,10 @@ TEST(FreqDomain, RaisingCeilingRestoresHeadroom)
     Simulation sim;
     FreqDomain d(sim, "dom", testOpps(), 0);
     d.setCeiling(800000);
-    d.requestFreq(1300000);
+    (void)d.requestFreq(1300000);
     EXPECT_EQ(d.currentFreq(), 800000u);
     d.setCeiling(1300000);
-    d.requestFreq(1300000);
+    (void)d.requestFreq(1300000);
     EXPECT_EQ(d.currentFreq(), 1300000u);
 }
 
@@ -169,6 +169,80 @@ TEST(FreqDomain, CeilingBetweenOppsRoundsDown)
     FreqDomain d(sim, "dom", testOpps(), 0);
     d.setCeiling(1000000); // between 800 and 1100 MHz
     EXPECT_EQ(d.ceiling(), 800000u);
+}
+
+TEST(FreqDomainFaultGate, DenyKeepsCurrentOppAndCounts)
+{
+    Simulation sim;
+    FreqDomain d(sim, "dom", testOpps(), 0);
+    d.setFaultGate([](FreqKHz) { return DvfsFaultAction::deny; });
+
+    const Status st = d.requestFreq(1300000);
+    EXPECT_FALSE(st.ok());
+    EXPECT_EQ(st.code(), StatusCode::unavailable);
+    EXPECT_EQ(d.currentFreq(), 500000u);
+    EXPECT_EQ(d.deniedRequests(), 1u);
+    EXPECT_EQ(d.delayedRequests(), 0u);
+}
+
+TEST(FreqDomainFaultGate, DelayAddsExtraLatency)
+{
+    Simulation sim;
+    FreqDomain d(sim, "dom", testOpps(), usToTicks(100));
+    d.setFaultGate([](FreqKHz) { return DvfsFaultAction::delay; },
+                   usToTicks(400));
+
+    EXPECT_TRUE(d.requestFreq(1300000).ok());
+    sim.runFor(usToTicks(100)); // the normal latency alone: too early
+    EXPECT_EQ(d.currentFreq(), 500000u);
+    sim.runFor(usToTicks(400));
+    EXPECT_EQ(d.currentFreq(), 1300000u);
+    EXPECT_EQ(d.delayedRequests(), 1u);
+}
+
+TEST(FreqDomainFaultGate, GateSeesResolvedTargetFreq)
+{
+    Simulation sim;
+    FreqDomain d(sim, "dom", testOpps(), 0);
+    FreqKHz seen = 0;
+    d.setFaultGate([&seen](FreqKHz f) {
+        seen = f;
+        return DvfsFaultAction::allow;
+    });
+    EXPECT_TRUE(d.requestFreq(600000).ok());
+    EXPECT_EQ(seen, 800000u); // rounded up to the next OPP
+    EXPECT_EQ(d.currentFreq(), 800000u);
+}
+
+TEST(FreqDomainFaultGate, NoOpRequestsBypassTheGate)
+{
+    Simulation sim;
+    FreqDomain d(sim, "dom", testOpps(), 0);
+    d.setFaultGate([](FreqKHz) { return DvfsFaultAction::deny; });
+    // Requesting the current frequency never consults the gate.
+    EXPECT_TRUE(d.requestFreq(500000).ok());
+    EXPECT_EQ(d.deniedRequests(), 0u);
+}
+
+TEST(FreqDomainFaultGate, SetFreqNowBypassesTheGate)
+{
+    Simulation sim;
+    FreqDomain d(sim, "dom", testOpps(), 0);
+    d.setFaultGate([](FreqKHz) { return DvfsFaultAction::deny; });
+    d.setFreqNow(1100000);
+    EXPECT_EQ(d.currentFreq(), 1100000u);
+    EXPECT_EQ(d.deniedRequests(), 0u);
+}
+
+TEST(FreqDomainFaultGate, RemovingGateRestoresNormalOperation)
+{
+    Simulation sim;
+    FreqDomain d(sim, "dom", testOpps(), 0);
+    d.setFaultGate([](FreqKHz) { return DvfsFaultAction::deny; });
+    EXPECT_FALSE(d.requestFreq(1300000).ok());
+    d.setFaultGate(nullptr);
+    EXPECT_TRUE(d.requestFreq(1300000).ok());
+    EXPECT_EQ(d.currentFreq(), 1300000u);
 }
 
 /** Property: for any target, the chosen OPP is the lowest >= it. */
@@ -181,7 +255,7 @@ TEST_P(OppSelection, LowestOppAtOrAboveTarget)
     Simulation sim;
     FreqDomain d(sim, "dom", testOpps(), 0);
     const FreqKHz target = GetParam();
-    d.requestFreq(target);
+    (void)d.requestFreq(target);
     const FreqKHz chosen = d.currentFreq();
     if (target <= d.maxFreq()) {
         EXPECT_GE(chosen, target);

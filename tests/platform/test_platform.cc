@@ -54,15 +54,74 @@ TEST_F(PlatformTest, HotplugCountsByType)
 {
     EXPECT_EQ(plat.onlineCount(CoreType::little), 4u);
     EXPECT_EQ(plat.onlineCount(CoreType::big), 4u);
-    plat.setCoreOnline(5, false);
-    plat.setCoreOnline(6, false);
+    EXPECT_TRUE(plat.setCoreOnline(5, false).ok());
+    EXPECT_TRUE(plat.setCoreOnline(6, false).ok());
     EXPECT_EQ(plat.onlineCount(CoreType::big), 2u);
 }
 
 TEST_F(PlatformTest, BootCoreCannotGoOffline)
 {
-    EXPECT_EXIT(plat.setCoreOnline(0, false),
-                ::testing::ExitedWithCode(1), "boot core");
+    const Status st = plat.setCoreOnline(0, false);
+    EXPECT_FALSE(st.ok());
+    EXPECT_EQ(st.code(), StatusCode::failedPrecondition);
+    EXPECT_NE(st.message().find("boot core"), std::string::npos);
+    // The refusal left the platform untouched.
+    EXPECT_TRUE(plat.core(0).online());
+    EXPECT_EQ(plat.onlineCount(CoreType::little), 4u);
+}
+
+TEST_F(PlatformTest, NonexistentCoreIsInvalidArgument)
+{
+    const Status st = plat.setCoreOnline(42, false);
+    EXPECT_FALSE(st.ok());
+    EXPECT_EQ(st.code(), StatusCode::invalidArgument);
+}
+
+TEST_F(PlatformTest, BusyCoreMustBeEvacuatedFirst)
+{
+    plat.core(1).setBusy(true);
+    const Status st = plat.setCoreOnline(1, false);
+    EXPECT_FALSE(st.ok());
+    EXPECT_EQ(st.code(), StatusCode::failedPrecondition);
+    EXPECT_NE(st.message().find("busy"), std::string::npos);
+    EXPECT_TRUE(plat.core(1).online());
+    plat.core(1).setBusy(false);
+    EXPECT_TRUE(plat.setCoreOnline(1, false).ok());
+}
+
+TEST(PlatformHotplug, LastLittleCoreCannotGoOffline)
+{
+    // Boot from the big cluster so the last-little rule triggers on
+    // its own, independent of the boot-core rule.
+    Simulation sim;
+    PlatformParams p = exynos5422Params();
+    p.bootCluster = 1;
+    p.bootCore = 0;
+    AsymmetricPlatform plat(sim, p);
+
+    EXPECT_TRUE(plat.setCoreOnline(1, false).ok());
+    EXPECT_TRUE(plat.setCoreOnline(2, false).ok());
+    EXPECT_TRUE(plat.setCoreOnline(3, false).ok());
+    ASSERT_EQ(plat.onlineCount(CoreType::little), 1u);
+
+    const Status st = plat.setCoreOnline(0, false);
+    EXPECT_FALSE(st.ok());
+    EXPECT_EQ(st.code(), StatusCode::failedPrecondition);
+    EXPECT_NE(st.message().find("little"), std::string::npos);
+    EXPECT_EQ(plat.onlineCount(CoreType::little), 1u);
+
+    // With a second little core back, the first may leave.
+    EXPECT_TRUE(plat.setCoreOnline(1, true).ok());
+    EXPECT_TRUE(plat.setCoreOnline(0, false).ok());
+}
+
+TEST_F(PlatformTest, HotplugAllowedPredictsSetCoreOnline)
+{
+    EXPECT_TRUE(plat.hotplugAllowed(7, false).ok());
+    EXPECT_FALSE(plat.hotplugAllowed(0, false).ok());
+    // Bringing any existing core online is always legal.
+    EXPECT_TRUE(plat.hotplugAllowed(0, true).ok());
+    EXPECT_TRUE(plat.hotplugAllowed(7, true).ok());
 }
 
 TEST_F(PlatformTest, ApplyStandardCoreConfigs)

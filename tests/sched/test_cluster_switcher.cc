@@ -64,8 +64,9 @@ TEST_F(SwitcherTest, EvacuateMovesAllTasks)
         sched.runner(0).enqueue(b);
     }
     ASSERT_EQ(sched.runner(0).depth(), 2u);
-    const std::size_t moved = sched.evacuateCore(0);
-    EXPECT_EQ(moved, 2u);
+    const Result<std::size_t> moved = sched.evacuateCore(0);
+    ASSERT_TRUE(moved.ok());
+    EXPECT_EQ(moved.value(), 2u);
     EXPECT_EQ(sched.runner(0).depth(), 0u);
     EXPECT_NE(a.core()->id(), 0u);
     EXPECT_NE(b.core()->id(), 0u);
@@ -76,15 +77,24 @@ TEST_F(SwitcherTest, EvacuateMovesAllTasks)
 
 TEST_F(SwitcherTest, EvacuateEmptyCoreIsNoop)
 {
-    EXPECT_EQ(sched.evacuateCore(2), 0u);
+    const Result<std::size_t> moved = sched.evacuateCore(2);
+    ASSERT_TRUE(moved.ok());
+    EXPECT_EQ(moved.value(), 0u);
 }
 
-TEST_F(SwitcherTest, EvacuatePinnedTaskIsFatal)
+TEST_F(SwitcherTest, EvacuatePinnedTaskFails)
 {
     Task &t = sched.createTask("pinned", pureCompute(), CoreId{1});
     t.submitWork(1e11);
-    EXPECT_EXIT(sched.evacuateCore(1), ::testing::ExitedWithCode(1),
-                "cannot evacuate pinned task");
+    const Result<std::size_t> moved = sched.evacuateCore(1);
+    ASSERT_FALSE(moved.ok());
+    EXPECT_EQ(moved.status().code(), StatusCode::failedPrecondition);
+    EXPECT_NE(moved.status().message().find(
+                  "cannot evacuate pinned task"),
+              std::string::npos);
+    // The pinned task stays put and keeps running.
+    ASSERT_NE(t.core(), nullptr);
+    EXPECT_EQ(t.core()->id(), 1u);
 }
 
 TEST_F(SwitcherTest, StartsInLittleMode)

@@ -124,6 +124,24 @@ TEST_F(HmpTest, PinnedTaskNeverMigrates)
     EXPECT_EQ(t.typeMigrations(), 0u);
 }
 
+TEST_F(HmpTest, PinnedWakeupOnOfflineCoreBreaksAffinity)
+{
+    Task &t = sched.createTask("t", pureCompute(), CoreId{1});
+    t.submitWork(1e6);
+    sim.runFor(msToTicks(100));
+    ASSERT_EQ(t.state(), TaskState::sleeping);
+
+    // The pinned core vanishes while the task sleeps (hotplug
+    // fault); the wakeup must place it elsewhere instead of
+    // crashing, and count the broken affinity.
+    ASSERT_TRUE(plat.setCoreOnline(1, false).ok());
+    t.submitWork(1e6);
+    ASSERT_NE(t.core(), nullptr);
+    EXPECT_NE(t.core()->id(), 1u);
+    EXPECT_TRUE(t.core()->online());
+    EXPECT_EQ(sched.stats().affinityBreaks, 1u);
+}
+
 TEST_F(HmpTest, LoadFrozenWhileSleeping)
 {
     Task &t = sched.createTask("t", pureCompute());

@@ -209,6 +209,46 @@ TEST(EventQueueDeathTest, DoubleScheduleAsserts)
     EXPECT_DEATH(q.schedule(a, 20), "assertion");
 }
 
+TEST(EventQueueDeathTest, DescheduleIdleEventAsserts)
+{
+    EventQueue q;
+    std::vector<int> log;
+    LogEvent a(log, 1);
+    EXPECT_DEATH(q.deschedule(a), "assertion");
+}
+
+TEST(EventQueueDeathTest, DescheduleAfterFiringAsserts)
+{
+    EventQueue q;
+    std::vector<int> log;
+    LogEvent a(log, 1);
+    q.schedule(a, 10);
+    q.runUntil(10);
+    // The event detached when it fired; descheduling it is misuse.
+    EXPECT_DEATH(q.deschedule(a), "assertion");
+}
+
+TEST(EventQueueDeathTest, DescheduleFromWrongQueueAsserts)
+{
+    EventQueue q1;
+    EventQueue q2;
+    std::vector<int> log;
+    LogEvent a(log, 1);
+    q1.schedule(a, 10);
+    EXPECT_DEATH(q2.deschedule(a), "assertion");
+}
+
+TEST(EventQueueDeathTest, RescheduleIntoPastPanics)
+{
+    EventQueue q;
+    std::vector<int> log;
+    LogEvent a(log, 1), b(log, 2);
+    q.schedule(a, 100);
+    q.schedule(b, 200);
+    q.serviceOne(); // clock is now at 100
+    EXPECT_DEATH(q.reschedule(b, 50), "before current tick");
+}
+
 TEST(CallbackEvent, RunsFunctionAndReportsName)
 {
     EventQueue q;
