@@ -24,6 +24,7 @@ main(int argc, char **argv)
     ArgParser args("bench_fig05_fps_apps",
                    "Fig. 5: 4 big vs 4 little, FPS apps");
     args.addString("csv", "", "mirror rows into this CSV file");
+    addSnapshotOptions(args);
     args.parse(argc, argv);
 
     std::unique_ptr<CsvWriter> csv;
@@ -36,8 +37,12 @@ main(int argc, char **argv)
     }
 
     const auto apps = fpsApps();
-    const auto little = runApps(littleOnlyConfig(), apps);
-    const auto big = runApps(bigOnlyConfig(), apps);
+    ExperimentConfig little_cfg = littleOnlyConfig();
+    ExperimentConfig big_cfg = bigOnlyConfig();
+    applySnapshotOptions(args, little_cfg);
+    applySnapshotOptions(args, big_cfg);
+    const auto little = runApps(little_cfg, apps);
+    const auto big = runApps(big_cfg, apps);
 
     std::printf("%s\n",
                 (padRight("app", 18) + padLeft("avg L", 8) +

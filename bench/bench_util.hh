@@ -10,9 +10,12 @@
 #define BIGLITTLE_BENCH_BENCH_UTIL_HH
 
 #include <cstdio>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "base/argparse.hh"
+#include "base/logging.hh"
 #include "core/experiment.hh"
 #include "workload/apps.hh"
 
@@ -112,16 +115,80 @@ parameterSweep()
     return sweep;
 }
 
+/** Declare the shared determinism/recovery options on @p args. */
+inline void
+addSnapshotOptions(ArgParser &args)
+{
+    args.addInt("checkpoint-every", 0,
+                "write a checkpoint every N simulated ms (0 = off)");
+    args.addString("checkpoint-dir", ".",
+                   "directory for periodic checkpoints");
+    args.addString("resume", "",
+                   "resume (with state verification) from this "
+                   "checkpoint file");
+    args.addInt("seed", 0,
+                "master seed for named random streams (0 = the "
+                "legacy per-spec seeds)");
+}
+
+/** Apply the addSnapshotOptions() values onto @p cfg. */
+inline void
+applySnapshotOptions(const ArgParser &args, ExperimentConfig &cfg)
+{
+    cfg.snapshot.checkpointEvery = msToTicks(
+        static_cast<std::uint64_t>(args.getInt("checkpoint-every")));
+    cfg.snapshot.checkpointDir = args.getString("checkpoint-dir");
+    cfg.snapshot.resumePath = args.getString("resume");
+    cfg.masterSeed =
+        static_cast<std::uint64_t>(args.getInt("seed"));
+}
+
+/** One stderr line of checkpoint overhead, when any were written. */
+inline void
+reportCheckpointOverhead(const AppRunResult &r)
+{
+    if (r.checkpoints.count == 0)
+        return;
+    std::fprintf(stderr,
+                 "  [%s] %s: %llu checkpoints, %llu bytes, %.2f ms "
+                 "write time (last: %s)\n",
+                 r.configLabel.c_str(), r.app.c_str(),
+                 static_cast<unsigned long long>(r.checkpoints.count),
+                 static_cast<unsigned long long>(r.checkpoints.bytes),
+                 r.checkpoints.writeMs,
+                 r.checkpoints.lastPath.c_str());
+}
+
 /** Run @p apps under @p cfg, with progress lines on stderr. */
 inline std::vector<AppRunResult>
 runApps(const ExperimentConfig &cfg, const std::vector<AppSpec> &apps)
 {
+    // A checkpoint belongs to exactly one (app, config) run; on a
+    // multi-app bench, resume only the run it matches instead of
+    // dying on the identity check of the first unrelated app.
+    std::optional<Checkpoint> resume;
+    if (!cfg.snapshot.resumePath.empty()) {
+        Result<Checkpoint> loaded =
+            Checkpoint::readFile(cfg.snapshot.resumePath);
+        if (!loaded.ok()) {
+            fatal("--resume: %s",
+                  loaded.status().toString().c_str());
+        }
+        resume = std::move(loaded.value());
+    }
+
     std::vector<AppRunResult> results;
-    Experiment experiment(cfg);
     for (const AppSpec &app : apps) {
+        ExperimentConfig run_cfg = cfg;
+        if (resume && (resume->app != app.name ||
+                       resume->label != cfg.label)) {
+            run_cfg.snapshot.resumePath.clear();
+        }
         std::fprintf(stderr, "  [%s] running %s...\n",
                      cfg.label.c_str(), app.name.c_str());
+        Experiment experiment(run_cfg);
         results.push_back(experiment.runApp(app));
+        reportCheckpointOverhead(results.back());
     }
     return results;
 }

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "base/logging.hh"
+#include "base/serialize.hh"
 
 namespace biglittle
 {
@@ -99,6 +100,29 @@ DiscreteHistogram::reset()
 {
     map.clear();
     total = 0.0;
+}
+
+void
+DiscreteHistogram::serialize(Serializer &s) const
+{
+    s.putU64(map.size());
+    for (const auto &[key, weight] : map) {
+        s.putU64(key);
+        s.putDouble(weight);
+    }
+    s.putDouble(total);
+}
+
+void
+DiscreteHistogram::deserialize(Deserializer &d)
+{
+    map.clear();
+    const std::uint64_t cells = d.getU64();
+    for (std::uint64_t i = 0; i < cells && d.ok(); ++i) {
+        const std::uint64_t key = d.getU64();
+        map[key] = d.getDouble();
+    }
+    total = d.getDouble();
 }
 
 } // namespace biglittle

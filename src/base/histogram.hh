@@ -18,6 +18,9 @@
 namespace biglittle
 {
 
+class Serializer;
+class Deserializer;
+
 /**
  * Histogram over half-open numeric bins [edge_i, edge_{i+1}) with
  * under/overflow buckets and per-observation weights.
@@ -90,6 +93,12 @@ class DiscreteHistogram
 
     /** Drop all accumulated weight. */
     void reset();
+
+    /** Write cells + total (sorted, so byte-stable). */
+    void serialize(Serializer &s) const;
+
+    /** Replace contents with state written by serialize(). */
+    void deserialize(Deserializer &d);
 
   private:
     std::map<std::uint64_t, double> map;

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "base/logging.hh"
+#include "base/serialize.hh"
 
 namespace biglittle
 {
@@ -130,6 +131,42 @@ Rng
 Rng::fork()
 {
     return Rng(next());
+}
+
+void
+Rng::serialize(Serializer &ser) const
+{
+    for (const auto &word : s)
+        ser.putU64(word);
+    ser.putDouble(cachedNormal);
+    ser.putBool(hasCachedNormal);
+}
+
+void
+Rng::deserialize(Deserializer &d)
+{
+    for (auto &word : s)
+        word = d.getU64();
+    cachedNormal = d.getDouble();
+    hasCachedNormal = d.getBool();
+}
+
+std::uint64_t
+deriveStreamSeed(std::uint64_t master_seed, const std::string &name)
+{
+    // Mix the master seed once through SplitMix64 before folding in
+    // the name hash so that master seeds 0 and 1 do not yield nearby
+    // stream families.
+    std::uint64_t sm = master_seed;
+    const std::uint64_t mixed = splitMix64(sm);
+    sm = mixed ^ fnv1a64(name);
+    return splitMix64(sm);
+}
+
+Rng
+namedStream(std::uint64_t master_seed, const std::string &name)
+{
+    return Rng(deriveStreamSeed(master_seed, name));
 }
 
 } // namespace biglittle

@@ -13,9 +13,13 @@
 #define BIGLITTLE_BASE_RANDOM_HH
 
 #include <cstdint>
+#include <string>
 
 namespace biglittle
 {
+
+class Serializer;
+class Deserializer;
 
 /**
  * A small, fast, deterministic random number generator
@@ -65,6 +69,17 @@ class Rng
      */
     Rng fork();
 
+    /**
+     * Write the full generator state (xoshiro words plus the cached
+     * Box-Muller variate).  serialize -> deserialize -> serialize is
+     * byte-identical, and a restored generator continues the exact
+     * draw sequence of the original.
+     */
+    void serialize(Serializer &s) const;
+
+    /** Restore state written by serialize(). */
+    void deserialize(Deserializer &d);
+
   private:
     std::uint64_t s[4];
 
@@ -72,6 +87,21 @@ class Rng
     double cachedNormal = 0.0;
     bool hasCachedNormal = false;
 };
+
+/**
+ * Seed of the named random stream of one subsystem, derived from the
+ * experiment's master seed.  Every stochastic subsystem (fault
+ * injector, each workload thread, future consumers) owns a stream
+ * keyed by a stable name, so adding a consumer - or reordering
+ * construction - never perturbs the draws of unrelated subsystems.
+ * The derivation hashes the name and mixes it with the master seed,
+ * so streams are independent for any (master, name) pair.
+ */
+std::uint64_t deriveStreamSeed(std::uint64_t master_seed,
+                               const std::string &name);
+
+/** Rng seeded by deriveStreamSeed(master_seed, name). */
+Rng namedStream(std::uint64_t master_seed, const std::string &name);
 
 } // namespace biglittle
 

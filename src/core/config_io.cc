@@ -145,6 +145,29 @@ applyKey(ExperimentConfig &cfg, int line_no, const std::string &key,
         cfg.fault.taskStallRatePerSec = num();
     } else if (key == "fault.task_stall_instructions") {
         cfg.fault.taskStallInstructions = num();
+    } else if (key == "seed") {
+        cfg.masterSeed = static_cast<std::uint64_t>(num());
+    } else if (key == "snapshot.checkpoint_every_ms") {
+        cfg.snapshot.checkpointEvery =
+            msToTicks(static_cast<std::uint64_t>(num()));
+    } else if (key == "snapshot.checkpoint_dir") {
+        cfg.snapshot.checkpointDir = value;
+    } else if (key == "snapshot.resume") {
+        cfg.snapshot.resumePath = value;
+    } else if (key == "snapshot.record_trace") {
+        cfg.snapshot.recordTracePath = value;
+    } else if (key == "snapshot.replay_trace") {
+        cfg.snapshot.replayTracePath = value;
+    } else if (key == "watchdog.enabled") {
+        cfg.watchdog.enabled = parseBool(line_no, key, value);
+    } else if (key == "watchdog.stall_limit_sec") {
+        cfg.watchdog.stallLimitSec = num();
+    } else if (key == "watchdog.runaway_limit_sec") {
+        cfg.watchdog.runawayLimitSec = num();
+    } else if (key == "watchdog.report") {
+        cfg.watchdog.reportPath = value;
+    } else if (key == "watchdog.ring_depth") {
+        cfg.watchdog.ringDepth = static_cast<std::size_t>(num());
     } else {
         fatal("config line %d: unknown config key '%s'", line_no,
               key.c_str());
@@ -262,6 +285,39 @@ saveExperimentConfig(const ExperimentConfig &cfg)
                   cfg.fault.taskStallRatePerSec);
     out += format("fault.task_stall_instructions = %g\n",
                   cfg.fault.taskStallInstructions);
+    out += format("seed = %llu\n",
+                  static_cast<unsigned long long>(cfg.masterSeed));
+    out += format("snapshot.checkpoint_every_ms = %llu\n",
+                  static_cast<unsigned long long>(
+                      ticksToMs(cfg.snapshot.checkpointEvery)));
+    // Path-valued keys are omitted when empty: the parser rejects
+    // 'key =' with no value, and an absent key means the default.
+    out += format("snapshot.checkpoint_dir = %s\n",
+                  cfg.snapshot.checkpointDir.c_str());
+    if (!cfg.snapshot.resumePath.empty()) {
+        out += format("snapshot.resume = %s\n",
+                      cfg.snapshot.resumePath.c_str());
+    }
+    if (!cfg.snapshot.recordTracePath.empty()) {
+        out += format("snapshot.record_trace = %s\n",
+                      cfg.snapshot.recordTracePath.c_str());
+    }
+    if (!cfg.snapshot.replayTracePath.empty()) {
+        out += format("snapshot.replay_trace = %s\n",
+                      cfg.snapshot.replayTracePath.c_str());
+    }
+    out += format("watchdog.enabled = %s\n",
+                  cfg.watchdog.enabled ? "true" : "false");
+    out += format("watchdog.stall_limit_sec = %g\n",
+                  cfg.watchdog.stallLimitSec);
+    out += format("watchdog.runaway_limit_sec = %g\n",
+                  cfg.watchdog.runawayLimitSec);
+    if (!cfg.watchdog.reportPath.empty()) {
+        out += format("watchdog.report = %s\n",
+                      cfg.watchdog.reportPath.c_str());
+    }
+    out += format("watchdog.ring_depth = %zu\n",
+                  cfg.watchdog.ringDepth);
     return out;
 }
 

@@ -1,11 +1,17 @@
 #include "core/experiment.hh"
 
+#include <algorithm>
+#include <chrono>
 #include <memory>
+#include <optional>
 
 #include "base/logging.hh"
+#include "base/serialize.hh"
+#include "base/strutil.hh"
 #include "governor/simple_governors.hh"
 #include "sched/hmp.hh"
 #include "sim/simulation.hh"
+#include "snapshot/event_trace.hh"
 #include "workload/behavior.hh"
 #include "workload/microbench.hh"
 
@@ -72,8 +78,13 @@ struct Rig
             }
         }
         if (cfg.fault.enabled) {
+            FaultParams fault_params = cfg.fault;
+            if (cfg.masterSeed != 0) {
+                fault_params.seed =
+                    deriveStreamSeed(cfg.masterSeed, "fault");
+            }
             injector = std::make_unique<FaultInjector>(
-                sim, platform, sched, cfg.fault);
+                sim, platform, sched, fault_params);
             for (auto &throttle : throttles)
                 injector->addThermal(throttle.get());
             checker = std::make_unique<InvariantChecker>(
@@ -126,6 +137,56 @@ struct Rig
     }
 };
 
+/**
+ * Snapshot the full mutable state of a rigged run as named sections.
+ * The section list is the checkpoint contract: every component with
+ * state that can drift between runs must appear here, because resume
+ * verification byte-compares exactly these sections.
+ */
+Checkpoint
+collectCheckpoint(Rig &rig, AppInstance &instance,
+                  const ExperimentConfig &cfg, const std::string &app)
+{
+    rig.platform.sync();
+    Checkpoint ckpt;
+    ckpt.app = app;
+    ckpt.label = cfg.label;
+    ckpt.masterSeed = cfg.masterSeed;
+    ckpt.tick = rig.sim.now();
+    ckpt.eventsServiced = rig.sim.eventQueue().eventsServiced();
+    ckpt.nextSequence = rig.sim.eventQueue().nextSequenceValue();
+
+    const auto section = [&ckpt](const std::string &name, auto &&fill) {
+        Serializer s;
+        fill(s);
+        ckpt.add(name, s.takeBytes());
+    };
+    section("eventq",
+            [&](Serializer &s) { rig.sim.eventQueue().serialize(s); });
+    for (std::size_t i = 0; i < rig.platform.clusterCount(); ++i) {
+        section(format("cluster.%zu", i), [&](Serializer &s) {
+            rig.platform.cluster(i).serialize(s);
+        });
+    }
+    for (std::size_t i = 0; i < rig.throttles.size(); ++i) {
+        section(format("thermal.%zu", i), [&](Serializer &s) {
+            rig.throttles[i]->serialize(s);
+        });
+    }
+    section("sched", [&](Serializer &s) { rig.sched.serialize(s); });
+    for (std::size_t i = 0; i < rig.governors.size(); ++i) {
+        section(format("governor.%zu", i), [&](Serializer &s) {
+            rig.governors[i]->serialize(s);
+        });
+    }
+    if (rig.injector != nullptr) {
+        section("fault",
+                [&](Serializer &s) { rig.injector->serialize(s); });
+    }
+    section("app", [&](Serializer &s) { instance.serialize(s); });
+    return ckpt;
+}
+
 } // namespace
 
 Experiment::Experiment(ExperimentConfig config)
@@ -136,11 +197,61 @@ Experiment::Experiment(ExperimentConfig config)
 AppRunResult
 Experiment::runApp(const AppSpec &app)
 {
+    const SnapshotParams &snap = cfg.snapshot;
+    if (!snap.recordTracePath.empty() && !snap.replayTracePath.empty())
+        fatal("cannot record and replay-compare a trace in one run");
+
+    AppSpec run_app = app;
+    if (cfg.masterSeed != 0) {
+        run_app.seed =
+            deriveStreamSeed(cfg.masterSeed, "app." + app.name);
+    }
+
     Rig rig(cfg);
     StateSampler sampler(rig.sim, rig.platform, cfg.sampleWindow);
     EfficiencyAnalyzer efficiency(rig.sim, rig.platform,
                                   cfg.sampleWindow);
-    AppInstance instance(rig.sim, rig.sched, app);
+    AppInstance instance(rig.sim, rig.sched, run_app);
+
+    // Resume: load + identity-check the checkpoint before spending
+    // any simulation time on the fast-forward.
+    std::optional<Checkpoint> resume;
+    if (!snap.resumePath.empty()) {
+        Result<Checkpoint> loaded =
+            Checkpoint::readFile(snap.resumePath);
+        if (!loaded.ok())
+            fatal("resume: %s", loaded.status().toString().c_str());
+        resume = std::move(loaded.value());
+        if (resume->app != app.name || resume->label != cfg.label ||
+            resume->masterSeed != cfg.masterSeed) {
+            fatal("resume: checkpoint is from app '%s' config '%s' "
+                  "seed %llu; this run is app '%s' config '%s' seed "
+                  "%llu",
+                  resume->app.c_str(), resume->label.c_str(),
+                  static_cast<unsigned long long>(resume->masterSeed),
+                  app.name.c_str(), cfg.label.c_str(),
+                  static_cast<unsigned long long>(cfg.masterSeed));
+        }
+    }
+
+    EventTraceRecorder recorder;
+    std::unique_ptr<EventTraceComparer> comparer;
+    if (!snap.recordTracePath.empty()) {
+        recorder.attach(rig.sim.eventQueue());
+    } else if (!snap.replayTracePath.empty()) {
+        Result<EventTrace> reference =
+            EventTrace::readFile(snap.replayTracePath);
+        if (!reference.ok()) {
+            fatal("replay: %s",
+                  reference.status().toString().c_str());
+        }
+        comparer = std::make_unique<EventTraceComparer>(
+            std::move(reference.value()));
+        comparer->attach(rig.sim.eventQueue());
+    }
+
+    Watchdog watchdog(cfg.watchdog);
+    watchdog.start(rig.sim.eventQueue());
 
     rig.startSystem();
     sampler.start();
@@ -149,18 +260,103 @@ Experiment::runApp(const AppSpec &app)
     const Tick start = rig.sim.now();
     instance.start();
 
+    AppRunResult result;
+
     const Tick cap = start +
         (app.metric == AppMetric::latency
              ? std::min(app.duration, cfg.maxSimTime)
              : app.duration);
-    if (app.metric == AppMetric::latency) {
-        while (!instance.done() && rig.sim.now() < cap)
-            rig.sim.runFor(msToTicks(10));
-    } else {
-        rig.sim.runUntil(cap);
+
+    // One chunked loop for both metrics: chunk boundaries never
+    // change the event order (runUntil parks the clock), they only
+    // give us places to heartbeat, checkpoint, and land exactly on
+    // the resume tick.
+    const Tick chunk = msToTicks(10);
+    Tick next_ckpt =
+        snap.checkpointEvery > 0 ? start + snap.checkpointEvery : 0;
+    const Tick resume_tick = resume ? resume->tick : 0;
+    bool resume_verified = !resume;
+
+    while (rig.sim.now() < cap) {
+        if (app.metric == AppMetric::latency && instance.done())
+            break;
+        Tick target = std::min(cap, rig.sim.now() + chunk);
+        if (next_ckpt > rig.sim.now())
+            target = std::min(target, next_ckpt);
+        if (!resume_verified && resume_tick > rig.sim.now())
+            target = std::min(target, resume_tick);
+        rig.sim.runUntil(target);
+        watchdog.heartbeat();
+
+        if (!resume_verified && rig.sim.now() >= resume_tick) {
+            // The fast-forward reached the checkpoint's tick: the
+            // live state must now equal the file byte for byte, or
+            // the "resumed" run would silently diverge from the one
+            // that wrote the checkpoint.
+            const Checkpoint live =
+                collectCheckpoint(rig, instance, cfg, app.name);
+            const Status match = compareCheckpoints(*resume, live);
+            if (!match.ok()) {
+                fatal("resume verification failed at tick %llu: %s",
+                      static_cast<unsigned long long>(resume_tick),
+                      match.toString().c_str());
+            }
+            result.resumedFrom = resume_tick;
+            resume_verified = true;
+        }
+        if (next_ckpt > 0 && rig.sim.now() >= next_ckpt) {
+            if (resume_verified) {
+                const auto t0 = std::chrono::steady_clock::now();
+                const Checkpoint ckpt =
+                    collectCheckpoint(rig, instance, cfg, app.name);
+                const std::vector<std::uint8_t> bytes = ckpt.encode();
+                const std::string path = snap.checkpointDir + "/" +
+                    app.name + "." + cfg.label +
+                    format(".%llu.ckpt",
+                           static_cast<unsigned long long>(ckpt.tick));
+                const Status written =
+                    Checkpoint::writeBytes(path, bytes);
+                const auto t1 = std::chrono::steady_clock::now();
+                if (!written.ok()) {
+                    warn("checkpoint write failed: %s",
+                         written.toString().c_str());
+                } else {
+                    ++result.checkpoints.count;
+                    result.checkpoints.bytes += bytes.size();
+                    result.checkpoints.writeMs +=
+                        std::chrono::duration<double, std::milli>(
+                            t1 - t0)
+                            .count();
+                    result.checkpoints.lastPath = path;
+                    watchdog.noteCheckpoint(bytes);
+                }
+            }
+            next_ckpt += snap.checkpointEvery;
+        }
     }
 
-    AppRunResult result;
+    watchdog.stop();
+    if (comparer != nullptr) {
+        comparer->detach();
+        comparer->finish();
+        if (comparer->diverged()) {
+            result.traceDiverged = true;
+            result.divergenceReport =
+                comparer->divergence()->describe();
+            warn("replay diverged from '%s':\n%s",
+                 snap.replayTracePath.c_str(),
+                 result.divergenceReport.c_str());
+        }
+    }
+    if (!snap.recordTracePath.empty()) {
+        recorder.detach();
+        const Status written =
+            recorder.trace().writeFile(snap.recordTracePath);
+        if (!written.ok())
+            warn("trace write failed: %s",
+                 written.toString().c_str());
+    }
+
     result.app = app.name;
     result.configLabel = cfg.label;
     result.metric = app.metric;
@@ -237,9 +433,14 @@ Experiment::runKernel(const SpecKernel &kernel, CoreType type,
     Task &task = rig.sched.createTask(kernel.name, kernel.workClass,
                                       target->id());
     bool finished = false;
+    // Legacy fixed seed when no master seed is set (preserves the
+    // calibrated reference numbers); otherwise a named stream.
     ContinuousBehavior behavior(
-        rig.sim, task, Rng(7), kernel.instructions,
-        [&finished](Tick) { finished = true; });
+        rig.sim, task,
+        cfg.masterSeed != 0
+            ? namedStream(cfg.masterSeed, "kernel." + kernel.name)
+            : Rng(7),
+        kernel.instructions, [&finished](Tick) { finished = true; });
 
     rig.startSystem();
     const PowerSnapshot before = rig.power.snapshot();

@@ -26,6 +26,8 @@
 #include "platform/power.hh"
 #include "platform/thermal.hh"
 #include "sched/sched_params.hh"
+#include "snapshot/checkpoint.hh"
+#include "snapshot/watchdog.hh"
 #include "workload/app_model.hh"
 #include "workload/spec.hh"
 
@@ -46,6 +48,44 @@ enum class GovernorKind
 
 /** Human-readable governor name. */
 const char *governorKindName(GovernorKind kind);
+
+/** Checkpoint / trace / resume controls of one run. */
+struct SnapshotParams
+{
+    /** Simulated ticks between automatic checkpoints (0 = off). */
+    Tick checkpointEvery = 0;
+
+    /** Directory the periodic checkpoints are written to. */
+    std::string checkpointDir = ".";
+
+    /**
+     * Resume from this checkpoint: the run deterministically
+     * re-executes up to the checkpoint's tick, byte-compares every
+     * state section against the file (any mismatch is a hard,
+     * attributed error), and then continues.  Requires the same
+     * config, app, and seeds that produced the checkpoint.
+     */
+    std::string resumePath;
+
+    /** Record the serviced-event trace to this file. */
+    std::string recordTracePath;
+
+    /**
+     * Compare this run's serviced events against a recorded trace
+     * and report the first diverging event.  Mutually exclusive
+     * with recordTracePath (both use the queue's one service hook).
+     */
+    std::string replayTracePath;
+};
+
+/** Checkpoint overhead of one run. */
+struct CheckpointStats
+{
+    std::uint64_t count = 0; ///< checkpoints written
+    std::uint64_t bytes = 0; ///< total bytes written
+    double writeMs = 0.0; ///< wall time spent serializing + writing
+    std::string lastPath; ///< most recent checkpoint file
+};
 
 /** Everything that defines one experimental condition. */
 struct ExperimentConfig
@@ -83,6 +123,23 @@ struct ExperimentConfig
 
     /** Cap for latency apps that never finish (safety net). */
     Tick maxSimTime = msToTicks(300000);
+
+    /**
+     * Master seed for the run's named random streams.  0 (the
+     * default) keeps the legacy behavior - each subsystem uses the
+     * seed its own spec carries - which preserves the calibrated
+     * reference results.  Nonzero derives every stream (app
+     * behaviors, fault injector, kernels) independently from this
+     * one value via deriveStreamSeed(), so one number reproduces a
+     * whole run and no two subsystems share a stream.
+     */
+    std::uint64_t masterSeed = 0;
+
+    /** Checkpoint / trace / resume controls. */
+    SnapshotParams snapshot;
+
+    /** Wall-clock stall/runaway monitor. */
+    WatchdogParams watchdog;
 
     std::string label = "default";
 };
@@ -138,6 +195,12 @@ struct AppRunResult
     // robustness (populated when cfg.fault.enabled)
     FaultStats faults;
     std::uint64_t invariantViolations = 0;
+
+    // determinism / recovery (populated when cfg.snapshot used)
+    CheckpointStats checkpoints;
+    Tick resumedFrom = 0; ///< checkpoint tick the run resumed at
+    bool traceDiverged = false;
+    std::string divergenceReport; ///< first-diverging-event details
 
     /** Headline performance number: ms latency or average FPS. */
     double performanceValue() const;

@@ -1,6 +1,7 @@
 #include "fault/fault.hh"
 
 #include "base/logging.hh"
+#include "base/serialize.hh"
 #include "platform/platform.hh"
 #include "platform/thermal.hh"
 #include "sched/hmp.hh"
@@ -185,6 +186,32 @@ FaultInjector::injectTaskStall()
         ++faultStats.taskStalls;
         return;
     }
+}
+
+void
+FaultInjector::serialize(Serializer &s) const
+{
+    rng.serialize(s);
+    s.putU64(faultStats.hotplugOff);
+    s.putU64(faultStats.hotplugOn);
+    s.putU64(faultStats.hotplugRejected);
+    s.putU64(faultStats.dvfsDenied);
+    s.putU64(faultStats.dvfsDelayed);
+    s.putU64(faultStats.thermalSpikes);
+    s.putU64(faultStats.taskStalls);
+}
+
+void
+FaultInjector::deserialize(Deserializer &d)
+{
+    rng.deserialize(d);
+    faultStats.hotplugOff = d.getU64();
+    faultStats.hotplugOn = d.getU64();
+    faultStats.hotplugRejected = d.getU64();
+    faultStats.dvfsDenied = d.getU64();
+    faultStats.dvfsDelayed = d.getU64();
+    faultStats.thermalSpikes = d.getU64();
+    faultStats.taskStalls = d.getU64();
 }
 
 } // namespace biglittle

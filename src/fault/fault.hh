@@ -38,6 +38,8 @@ namespace biglittle
 
 class AsymmetricPlatform;
 class HmpScheduler;
+class Serializer;
+class Deserializer;
 class ThermalThrottle;
 
 /** Rates and magnitudes of the injected fault classes. */
@@ -118,6 +120,12 @@ class FaultInjector
 
     const FaultParams &params() const { return fp; }
     const FaultStats &stats() const { return faultStats; }
+
+    /** Write the injector's random stream and counters. */
+    void serialize(Serializer &s) const;
+
+    /** Restore state written by serialize(). */
+    void deserialize(Deserializer &d);
 
   private:
     Simulation &sim;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "base/logging.hh"
+#include "base/serialize.hh"
 
 namespace biglittle
 {
@@ -86,6 +87,41 @@ Governor::clusterUtilization()
                           static_cast<double>(elapsed));
     }
     return std::min(1.0, max_util);
+}
+
+void
+Governor::serialize(Serializer &s) const
+{
+    s.putU64(sampleCount);
+    s.putU64(deniedCount);
+    s.putU64(lastSampleTick);
+    s.putU64(lastBusyTicks.size());
+    for (const Tick busy : lastBusyTicks)
+        s.putU64(busy);
+    serializePolicy(s);
+}
+
+void
+Governor::deserialize(Deserializer &d)
+{
+    sampleCount = d.getU64();
+    deniedCount = d.getU64();
+    lastSampleTick = d.getU64();
+    const std::uint64_t cores = d.getU64();
+    lastBusyTicks.assign(static_cast<std::size_t>(cores), 0);
+    for (auto &busy : lastBusyTicks)
+        busy = d.getU64();
+    deserializePolicy(d);
+}
+
+void
+Governor::serializePolicy(Serializer &) const
+{
+}
+
+void
+Governor::deserializePolicy(Deserializer &)
+{
 }
 
 } // namespace biglittle

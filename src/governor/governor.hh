@@ -22,6 +22,9 @@
 namespace biglittle
 {
 
+class Serializer;
+class Deserializer;
+
 /** Base class for cluster frequency governors. */
 class Governor
 {
@@ -55,7 +58,21 @@ class Governor
      */
     std::uint64_t deniedRequests() const { return deniedCount; }
 
+    /**
+     * Write the sampling bookkeeping plus any policy-specific state
+     * (via the serializePolicy hook).
+     */
+    void serialize(Serializer &s) const;
+
+    /** Restore state written by serialize(). */
+    void deserialize(Deserializer &d);
+
   protected:
+    /** Policy hook: append subclass state (default: nothing). */
+    virtual void serializePolicy(Serializer &s) const;
+
+    /** Policy hook: restore subclass state (default: nothing). */
+    virtual void deserializePolicy(Deserializer &d);
     /** Frequency to apply when the governor starts. */
     virtual FreqKHz initialFreq() const;
 

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "base/logging.hh"
+#include "base/serialize.hh"
 
 namespace biglittle
 {
@@ -94,6 +95,18 @@ InteractiveGovernor::sample(Tick)
         return;
     }
     request(target_freq);
+}
+
+void
+InteractiveGovernor::serializePolicy(Serializer &s) const
+{
+    s.putU64(jumps);
+}
+
+void
+InteractiveGovernor::deserializePolicy(Deserializer &d)
+{
+    jumps = d.getU64();
 }
 
 } // namespace biglittle

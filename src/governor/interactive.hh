@@ -77,6 +77,8 @@ class InteractiveGovernor : public Governor
 
   protected:
     void sample(Tick now) override;
+    void serializePolicy(Serializer &s) const override;
+    void deserializePolicy(Deserializer &d) override;
 
   private:
     InteractiveParams ip;

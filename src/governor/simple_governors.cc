@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "base/logging.hh"
+#include "base/serialize.hh"
 
 namespace biglittle
 {
@@ -50,6 +51,18 @@ UserspaceGovernor::setFreq(FreqKHz freq)
 {
     heldFreq = freq;
     clusterRef.freqDomain().setFreqNow(freq);
+}
+
+void
+UserspaceGovernor::serializePolicy(Serializer &s) const
+{
+    s.putU32(heldFreq);
+}
+
+void
+UserspaceGovernor::deserializePolicy(Deserializer &d)
+{
+    heldFreq = d.getU32();
 }
 
 void

@@ -62,6 +62,8 @@ class UserspaceGovernor : public Governor
   protected:
     FreqKHz initialFreq() const override { return heldFreq; }
     void sample(Tick now) override;
+    void serializePolicy(Serializer &s) const override;
+    void deserializePolicy(Deserializer &d) override;
 
   private:
     FreqKHz heldFreq;

@@ -1,6 +1,7 @@
 #include "platform/cluster.hh"
 
 #include "base/logging.hh"
+#include "base/serialize.hh"
 #include "base/strutil.hh"
 
 namespace biglittle
@@ -78,6 +79,28 @@ void
 Cluster::preCoreStateChange()
 {
     accountTo(sim.now());
+}
+
+void
+Cluster::serialize(Serializer &s) const
+{
+    s.putU64(lastUpdate);
+    s.putDouble(activeW);
+    s.putDouble(idleW);
+    for (const auto &c : coreList)
+        c->serialize(s);
+    domain.serialize(s);
+}
+
+void
+Cluster::deserialize(Deserializer &d)
+{
+    lastUpdate = d.getU64();
+    activeW = d.getDouble();
+    idleW = d.getDouble();
+    for (auto &c : coreList)
+        c->deserialize(d);
+    domain.deserialize(d);
 }
 
 } // namespace biglittle

@@ -21,6 +21,9 @@
 namespace biglittle
 {
 
+class Serializer;
+class Deserializer;
+
 /** A homogeneous group of cores with shared L2 and clock. */
 class Cluster
 {
@@ -70,6 +73,16 @@ class Cluster
 
     /** Whether idle cores use the two-state cpuidle model. */
     bool cpuidleEnabled() const { return cpuidle; }
+
+    /**
+     * Write the cluster's accounting state, each member core, and
+     * the frequency domain.  Call sync() first so every accounting
+     * interval is closed at the current tick.
+     */
+    void serialize(Serializer &s) const;
+
+    /** Restore state written by serialize(). */
+    void deserialize(Deserializer &d);
 
   private:
     Simulation &sim;

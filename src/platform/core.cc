@@ -1,6 +1,7 @@
 #include "platform/core.hh"
 
 #include "base/logging.hh"
+#include "base/serialize.hh"
 #include "platform/cluster.hh"
 
 namespace biglittle
@@ -92,6 +93,38 @@ Core::setBusy(bool busy)
     isBusy = busy;
     if (!isBusy)
         idleSpanStart = sim.now();
+}
+
+void
+Core::serialize(Serializer &s) const
+{
+    s.putBool(isOnline);
+    s.putBool(isBusy);
+    s.putU64(lastUpdate);
+    s.putU64(busyTotal);
+    s.putU64(onlineTotal);
+    s.putU64(idleSpanStart);
+    busyByFreq.serialize(s);
+    s.putDouble(dynW);
+    s.putDouble(staticBusyW);
+    s.putDouble(idleWfiW);
+    s.putDouble(idleGatedW);
+}
+
+void
+Core::deserialize(Deserializer &d)
+{
+    isOnline = d.getBool();
+    isBusy = d.getBool();
+    lastUpdate = d.getU64();
+    busyTotal = d.getU64();
+    onlineTotal = d.getU64();
+    idleSpanStart = d.getU64();
+    busyByFreq.deserialize(d);
+    dynW = d.getDouble();
+    staticBusyW = d.getDouble();
+    idleWfiW = d.getDouble();
+    idleGatedW = d.getDouble();
 }
 
 } // namespace biglittle

@@ -95,6 +95,16 @@ class Core
      */
     Tick currentIdleSpan() const;
 
+    /**
+     * Write all mutable accounting state.  Call sync() first so the
+     * open interval is closed at the current tick; two runs in the
+     * same state then produce identical bytes.
+     */
+    void serialize(Serializer &s) const;
+
+    /** Restore state written by serialize() (round-trip exact). */
+    void deserialize(Deserializer &d);
+
   private:
     Simulation &sim;
     CoreId coreId;

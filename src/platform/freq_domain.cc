@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "base/logging.hh"
+#include "base/serialize.hh"
 #include "base/strutil.hh"
 
 namespace biglittle
@@ -136,6 +137,40 @@ FreqDomain::addListener(ChangeListener listener)
 {
     BL_ASSERT(listener != nullptr);
     listeners.push_back(std::move(listener));
+}
+
+void
+FreqDomain::serialize(Serializer &s) const
+{
+    s.putU64(curIndex);
+    s.putU64(ceilingIndex);
+    s.putU64(pendingIndex);
+    s.putBool(applyEvent.scheduled());
+    s.putU64(applyEvent.scheduled() ? applyEvent.when() : 0);
+    s.putU64(transitionCount);
+    s.putU64(deniedCount);
+    s.putU64(delayedCount);
+}
+
+void
+FreqDomain::deserialize(Deserializer &d)
+{
+    curIndex = static_cast<std::size_t>(d.getU64());
+    ceilingIndex = static_cast<std::size_t>(d.getU64());
+    pendingIndex = static_cast<std::size_t>(d.getU64());
+    const bool pending_scheduled = d.getBool();
+    const Tick apply_at = d.getU64();
+    transitionCount = d.getU64();
+    deniedCount = d.getU64();
+    delayedCount = d.getU64();
+    if (!d.ok())
+        return;
+    BL_ASSERT(curIndex < table.size());
+    BL_ASSERT(ceilingIndex < table.size());
+    if (applyEvent.scheduled())
+        sim.eventQueue().deschedule(applyEvent);
+    if (pending_scheduled)
+        sim.eventQueue().schedule(applyEvent, apply_at);
 }
 
 } // namespace biglittle

@@ -26,6 +26,9 @@
 namespace biglittle
 {
 
+class Serializer;
+class Deserializer;
+
 /**
  * What a fault gate decides about one DVFS request: let it through,
  * refuse it outright (the regulator/firmware rejected it), or apply
@@ -123,6 +126,20 @@ class FreqDomain
     std::uint64_t transitions() const { return transitionCount; }
 
     const std::string &name() const { return domainName; }
+
+    /**
+     * Write the domain's mutable state: current/ceiling/pending OPP
+     * indices, the tick a pending transition lands at, and the
+     * transition/fault counters.
+     */
+    void serialize(Serializer &s) const;
+
+    /**
+     * Restore state written by serialize().  A pending transition is
+     * re-scheduled at its recorded tick (which must not be in the
+     * past of the owning simulation).
+     */
+    void deserialize(Deserializer &d);
 
   private:
     Simulation &sim;

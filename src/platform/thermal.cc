@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "base/logging.hh"
+#include "base/serialize.hh"
 #include "platform/power.hh"
 
 namespace biglittle
@@ -95,6 +96,31 @@ ThermalThrottle::evaluate(Tick now)
         ++ceilingIndex;
         domain.setCeiling(domain.opps()[ceilingIndex].freq);
     }
+}
+
+void
+ThermalThrottle::serialize(Serializer &s) const
+{
+    s.putDouble(temp);
+    s.putU64(lastEval);
+    s.putU64(ceilingIndex);
+    s.putU64(throttles);
+    s.putU64(spikes);
+}
+
+void
+ThermalThrottle::deserialize(Deserializer &d)
+{
+    temp = d.getDouble();
+    lastEval = d.getU64();
+    ceilingIndex = static_cast<std::size_t>(d.getU64());
+    throttles = d.getU64();
+    spikes = d.getU64();
+    if (!d.ok())
+        return;
+    FreqDomain &domain = clusterRef.freqDomain();
+    BL_ASSERT(ceilingIndex < domain.opps().size());
+    domain.setCeiling(domain.opps()[ceilingIndex].freq);
 }
 
 } // namespace biglittle

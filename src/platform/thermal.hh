@@ -24,6 +24,9 @@
 namespace biglittle
 {
 
+class Serializer;
+class Deserializer;
+
 /** Thermal-model coefficients for one cluster. */
 struct ThermalParams
 {
@@ -73,6 +76,12 @@ class ThermalThrottle
     std::uint64_t throttleEvents() const { return throttles; }
 
     const ThermalParams &params() const { return tp; }
+
+    /** Write temperature/ceiling state and counters. */
+    void serialize(Serializer &s) const;
+
+    /** Restore state written by serialize(). */
+    void deserialize(Deserializer &d);
 
   private:
     Simulation &sim;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "base/logging.hh"
+#include "base/serialize.hh"
 #include "base/strutil.hh"
 
 namespace biglittle
@@ -339,6 +340,41 @@ HmpScheduler::balanceCluster(Cluster &cluster)
         migrate(*victim, idlest->core(), false);
         ++schedStats.balanceMoves;
     }
+}
+
+void
+HmpScheduler::serialize(Serializer &s) const
+{
+    s.putU64(schedStats.migrationsUp);
+    s.putU64(schedStats.migrationsDown);
+    s.putU64(schedStats.balanceMoves);
+    s.putU64(schedStats.wakeups);
+    s.putU64(schedStats.ticks);
+    s.putU64(schedStats.affinityBreaks);
+    s.putU64(nextTaskId);
+    s.putU64(rrCursor);
+    s.putU64(taskList.size());
+    for (const auto &task : taskList)
+        task->serialize(s);
+}
+
+void
+HmpScheduler::deserialize(Deserializer &d)
+{
+    schedStats.migrationsUp = d.getU64();
+    schedStats.migrationsDown = d.getU64();
+    schedStats.balanceMoves = d.getU64();
+    schedStats.wakeups = d.getU64();
+    schedStats.ticks = d.getU64();
+    schedStats.affinityBreaks = d.getU64();
+    nextTaskId = d.getU64();
+    rrCursor = static_cast<std::size_t>(d.getU64());
+    const std::uint64_t count = d.getU64();
+    if (!d.ok())
+        return;
+    BL_ASSERT(count == taskList.size());
+    for (auto &task : taskList)
+        task->deserialize(d);
 }
 
 } // namespace biglittle

@@ -33,6 +33,9 @@
 namespace biglittle
 {
 
+class Serializer;
+class Deserializer;
+
 /** Counters describing scheduler activity over a run. */
 struct SchedStats
 {
@@ -115,6 +118,17 @@ class HmpScheduler
      * @return number of tasks moved
      */
     Result<std::size_t> evacuateCore(CoreId id);
+
+    /**
+     * Write scheduler counters plus every task's state, in creation
+     * order.  Restore requires an identical task population (same
+     * count, same names), which holds when the same workload was
+     * instantiated against the same config.
+     */
+    void serialize(Serializer &s) const;
+
+    /** Restore state written by serialize(). */
+    void deserialize(Deserializer &d);
 
   private:
     Simulation &sim;

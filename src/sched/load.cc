@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "base/logging.hh"
+#include "base/serialize.hh"
 
 namespace biglittle
 {
@@ -57,6 +58,20 @@ void
 LoadTracker::reset()
 {
     load = 0.0;
+}
+
+void
+LoadTracker::serialize(Serializer &s) const
+{
+    s.putDouble(halfLifeMs);
+    s.putDouble(load);
+}
+
+void
+LoadTracker::deserialize(Deserializer &d)
+{
+    setHalfLife(d.getDouble());
+    load = d.getDouble();
 }
 
 } // namespace biglittle

@@ -20,6 +20,9 @@
 namespace biglittle
 {
 
+class Serializer;
+class Deserializer;
+
 /** Decaying average of per-millisecond runnable load. */
 class LoadTracker
 {
@@ -70,6 +73,12 @@ class LoadTracker
 
     /** Reset to zero history. */
     void reset();
+
+    /** Write half-life and current load. */
+    void serialize(Serializer &s) const;
+
+    /** Restore state written by serialize(). */
+    void deserialize(Deserializer &d);
 
   private:
     double halfLifeMs;

@@ -1,6 +1,8 @@
 #include "sched/task.hh"
 
 #include "base/logging.hh"
+#include "base/serialize.hh"
+#include "platform/core.hh"
 #include "sched/hmp.hh"
 
 namespace biglittle
@@ -93,6 +95,57 @@ Task::noteSleeping(Tick now)
     taskState = TaskState::sleeping;
     curCore = nullptr;
     sleepStart = now;
+}
+
+void
+Task::serialize(Serializer &s) const
+{
+    s.putString(taskName);
+    s.putU8(static_cast<std::uint8_t>(taskState));
+    s.putU32(curCore != nullptr ? curCore->id() : invalidCoreId);
+    s.putDouble(pending);
+    s.putDouble(retired);
+    s.putU64(migrations);
+    s.putU64(runnableStart);
+    s.putU64(sleepStart);
+    s.putU64(loadStamp);
+    s.putU64(littleRuntime);
+    s.putU64(bigRuntime);
+    s.putU32(lastCore);
+    load.serialize(s);
+}
+
+void
+Task::deserialize(Deserializer &d)
+{
+    const std::string name = d.getString();
+    const auto state = static_cast<TaskState>(d.getU8());
+    const CoreId core_id = d.getU32();
+    const double pending_in = d.getDouble();
+    const double retired_in = d.getDouble();
+    const std::uint64_t migrations_in = d.getU64();
+    const Tick runnable_start = d.getU64();
+    const Tick sleep_start = d.getU64();
+    const Tick load_stamp = d.getU64();
+    const Tick little_rt = d.getU64();
+    const Tick big_rt = d.getU64();
+    const CoreId last_core = d.getU32();
+    load.deserialize(d);
+    if (!d.ok())
+        return;
+    BL_ASSERT(name == taskName);
+    taskState = state;
+    curCore = core_id == invalidCoreId
+        ? nullptr : &sched.platform().core(core_id);
+    pending = pending_in;
+    retired = retired_in;
+    migrations = migrations_in;
+    runnableStart = runnable_start;
+    sleepStart = sleep_start;
+    loadStamp = load_stamp;
+    littleRuntime = little_rt;
+    bigRuntime = big_rt;
+    lastCore = last_core;
 }
 
 } // namespace biglittle

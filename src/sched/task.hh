@@ -26,6 +26,8 @@ namespace biglittle
 
 class Core;
 class HmpScheduler;
+class Serializer;
+class Deserializer;
 class Task;
 
 /** Observer a workload installs to drive a task's phase machine. */
@@ -152,6 +154,17 @@ class Task
      * runnable slivers are never lost.
      */
     void accrueLoad(Tick now, double freq_scale);
+
+    /**
+     * Write the task's mutable state (lifecycle state, backlog,
+     * accounting, load tracker).  The current core is recorded by id;
+     * restore resolves it against the owning scheduler's platform, so
+     * topology must match.
+     */
+    void serialize(Serializer &s) const;
+
+    /** Restore state written by serialize(). */
+    void deserialize(Deserializer &d);
 
   private:
     HmpScheduler &sched;

@@ -74,6 +74,15 @@ class Event
     /** Same-tick ordering class. */
     EventPriority priority() const { return prio; }
 
+    /**
+     * Monotonic insertion number assigned by the queue at schedule
+     * time; same-tick same-priority events fire in this order, which
+     * makes run order independent of heap/container internals.  Valid
+     * while scheduled; exposed so traces and checkpoints can record
+     * the exact total order.
+     */
+    std::uint64_t sequenceNumber() const { return sequence; }
+
   private:
     friend class EventQueue;
 

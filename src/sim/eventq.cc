@@ -1,8 +1,10 @@
 #include "sim/eventq.hh"
 
+#include <utility>
 #include <vector>
 
 #include "base/logging.hh"
+#include "base/serialize.hh"
 
 namespace biglittle
 {
@@ -70,8 +72,55 @@ EventQueue::serviceOne()
     BL_ASSERT(event->whenTick >= curTick);
     curTick = event->whenTick;
     ++serviced;
+    if (serviceHook || recentCap > 0) {
+        ServicedEvent info{event->whenTick,
+                           static_cast<std::int32_t>(event->prio),
+                           event->sequence, event->name()};
+        if (recentCap > 0) {
+            if (recent.size() >= recentCap)
+                recent.pop_front();
+            recent.push_back(info);
+        }
+        if (serviceHook)
+            serviceHook(info);
+    }
     event->process();
     return true;
+}
+
+void
+EventQueue::setServiceHook(ServiceHook hook)
+{
+    serviceHook = std::move(hook);
+}
+
+void
+EventQueue::enableRecentLog(std::size_t n)
+{
+    recentCap = n;
+    while (recent.size() > recentCap)
+        recent.pop_front();
+}
+
+void
+EventQueue::serialize(Serializer &s) const
+{
+    s.putU64(curTick);
+    s.putU64(nextSequence);
+    s.putU64(serviced);
+    s.putU64(queue.size());
+    // Pending events in firing order, folded into one digest: the
+    // identity of what remains to run is part of the state contract
+    // even though the closures behind it cannot be serialized.
+    Serializer pending;
+    for (const Event *e : queue) {
+        pending.putU64(e->when());
+        pending.putU64(static_cast<std::uint64_t>(
+            static_cast<std::int32_t>(e->priority())));
+        pending.putU64(e->sequenceNumber());
+        pending.putU64(fnv1a64(e->name()));
+    }
+    s.putU64(pending.digest());
 }
 
 void

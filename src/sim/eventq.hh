@@ -10,7 +10,10 @@
 #define BIGLITTLE_SIM_EVENTQ_HH
 
 #include <cstdint>
+#include <deque>
+#include <functional>
 #include <set>
+#include <string>
 
 #include "base/types.hh"
 #include "sim/event.hh"
@@ -18,10 +21,24 @@
 namespace biglittle
 {
 
+class Serializer;
+
+/** A serviced event as seen by hooks and the recent-event log. */
+struct ServicedEvent
+{
+    Tick when = 0;
+    std::int32_t priority = 0;
+    std::uint64_t sequence = 0;
+    std::string name;
+};
+
 /** Deterministic priority queue of events. */
 class EventQueue
 {
   public:
+    /** Called for every serviced event, just before it processes. */
+    using ServiceHook = std::function<void(const ServicedEvent &)>;
+
     EventQueue() = default;
 
     EventQueue(const EventQueue &) = delete;
@@ -69,6 +86,37 @@ class EventQueue
     /** Total events serviced since construction. */
     std::uint64_t eventsServiced() const { return serviced; }
 
+    /** Sequence number the next schedule() will hand out. */
+    std::uint64_t nextSequenceValue() const { return nextSequence; }
+
+    /**
+     * Install (or clear, with nullptr) the single service hook used
+     * by trace recording and replay comparison.  The hook fires for
+     * every serviced event with its (when, priority, sequence, name)
+     * identity, before process() runs.
+     */
+    void setServiceHook(ServiceHook hook);
+
+    /**
+     * Keep a ring buffer of the identities of the last @p n serviced
+     * events (0 disables).  The watchdog dumps this ring when a run
+     * stalls, so the report shows what the simulation was doing.
+     */
+    void enableRecentLog(std::size_t n);
+
+    /** The recent-event ring, oldest first. */
+    const std::deque<ServicedEvent> &recentLog() const { return recent; }
+
+    /**
+     * Serialize the queue's externally observable state: clock,
+     * counters, and a digest of every pending event's (when,
+     * priority, sequence, name-hash) in firing order.  Two runs with
+     * identical behavior produce identical bytes; the digest form is
+     * used because pending events (closures) cannot themselves be
+     * reconstructed from bytes.
+     */
+    void serialize(Serializer &s) const;
+
   private:
     struct Cmp
     {
@@ -87,6 +135,10 @@ class EventQueue
     Tick curTick = 0;
     std::uint64_t nextSequence = 0;
     std::uint64_t serviced = 0;
+
+    ServiceHook serviceHook;
+    std::deque<ServicedEvent> recent;
+    std::size_t recentCap = 0;
 };
 
 } // namespace biglittle

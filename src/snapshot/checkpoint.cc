@@ -1,0 +1,180 @@
+#include "snapshot/checkpoint.hh"
+
+#include <cstdio>
+#include <fstream>
+
+#include "base/serialize.hh"
+#include "base/strutil.hh"
+
+namespace biglittle
+{
+
+void
+Checkpoint::add(std::string name, std::vector<std::uint8_t> payload)
+{
+    sections.push_back({std::move(name), std::move(payload)});
+}
+
+const CheckpointSection *
+Checkpoint::find(const std::string &name) const
+{
+    for (const CheckpointSection &sec : sections) {
+        if (sec.name == name)
+            return &sec;
+    }
+    return nullptr;
+}
+
+std::size_t
+Checkpoint::byteSize() const
+{
+    return encode().size();
+}
+
+std::vector<std::uint8_t>
+Checkpoint::encode() const
+{
+    Serializer s;
+    s.putU32(checkpointMagic);
+    s.putU32(checkpointVersion);
+    s.putString(app);
+    s.putString(label);
+    s.putU64(masterSeed);
+    s.putU64(tick);
+    s.putU64(eventsServiced);
+    s.putU64(nextSequence);
+    s.putU64(sections.size());
+    for (const CheckpointSection &sec : sections) {
+        s.putString(sec.name);
+        s.putBytes(sec.payload.data(), sec.payload.size());
+    }
+    const std::uint64_t checksum = s.digest();
+    s.putU64(checksum);
+    return s.takeBytes();
+}
+
+Result<Checkpoint>
+Checkpoint::decode(const std::vector<std::uint8_t> &bytes)
+{
+    if (bytes.size() < 8)
+        return invalidArgument("checkpoint truncated");
+    // The checksum covers every byte before its own 8.
+    const std::size_t body = bytes.size() - 8;
+    Deserializer tail(bytes.data() + body, 8);
+    const std::uint64_t want = tail.getU64();
+    const std::uint64_t have = fnv1a64(bytes.data(), body);
+    if (want != have) {
+        return invalidArgument(format(
+            "checkpoint checksum mismatch: stored %016llx, computed "
+            "%016llx (file damaged or truncated)",
+            static_cast<unsigned long long>(want),
+            static_cast<unsigned long long>(have)));
+    }
+
+    Deserializer d(bytes.data(), body);
+    if (d.getU32() != checkpointMagic)
+        return invalidArgument("not a checkpoint file (bad magic)");
+    const std::uint32_t version = d.getU32();
+    if (version != checkpointVersion) {
+        return invalidArgument(format(
+            "unsupported checkpoint version %u (this build reads %u)",
+            version, checkpointVersion));
+    }
+
+    Checkpoint ckpt;
+    ckpt.app = d.getString();
+    ckpt.label = d.getString();
+    ckpt.masterSeed = d.getU64();
+    ckpt.tick = d.getU64();
+    ckpt.eventsServiced = d.getU64();
+    ckpt.nextSequence = d.getU64();
+    const std::uint64_t count = d.getU64();
+    for (std::uint64_t i = 0; i < count && d.ok(); ++i) {
+        CheckpointSection sec;
+        sec.name = d.getString();
+        sec.payload = d.getBytes();
+        ckpt.sections.push_back(std::move(sec));
+    }
+    if (!d.ok())
+        return invalidArgument("checkpoint body truncated");
+    return ckpt;
+}
+
+Status
+Checkpoint::writeFile(const std::string &path) const
+{
+    return writeBytes(path, encode());
+}
+
+Status
+Checkpoint::writeBytes(const std::string &path,
+                       const std::vector<std::uint8_t> &bytes)
+{
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        if (!out)
+            return unavailable("cannot open '" + tmp + "' for writing");
+        out.write(reinterpret_cast<const char *>(bytes.data()),
+                  static_cast<std::streamsize>(bytes.size()));
+        if (!out)
+            return unavailable("short write to '" + tmp + "'");
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        return unavailable("cannot rename '" + tmp + "' to '" + path +
+                           "'");
+    }
+    return okStatus();
+}
+
+Result<Checkpoint>
+Checkpoint::readFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return notFound("cannot open checkpoint '" + path + "'");
+    std::vector<std::uint8_t> bytes(
+        (std::istreambuf_iterator<char>(in)),
+        std::istreambuf_iterator<char>());
+    return decode(bytes);
+}
+
+Status
+compareCheckpoints(const Checkpoint &expected, const Checkpoint &actual)
+{
+    if (expected.tick != actual.tick) {
+        return internalError(format(
+            "checkpoint tick mismatch: expected %llu, got %llu",
+            static_cast<unsigned long long>(expected.tick),
+            static_cast<unsigned long long>(actual.tick)));
+    }
+    for (const CheckpointSection &want : expected.sections) {
+        const CheckpointSection *have = actual.find(want.name);
+        if (have == nullptr) {
+            return internalError("section '" + want.name +
+                                 "' missing from live state");
+        }
+        if (have->payload != want.payload) {
+            return internalError(format(
+                "state diverged in section '%s': checkpoint digest "
+                "%016llx (%zu bytes), live digest %016llx (%zu bytes)",
+                want.name.c_str(),
+                static_cast<unsigned long long>(fnv1a64(
+                    want.payload.data(), want.payload.size())),
+                want.payload.size(),
+                static_cast<unsigned long long>(fnv1a64(
+                    have->payload.data(), have->payload.size())),
+                have->payload.size()));
+        }
+    }
+    for (const CheckpointSection &have : actual.sections) {
+        if (expected.find(have.name) == nullptr) {
+            return internalError("live state has extra section '" +
+                                 have.name + "'");
+        }
+    }
+    return okStatus();
+}
+
+} // namespace biglittle

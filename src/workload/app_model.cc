@@ -1,6 +1,7 @@
 #include "workload/app_model.hh"
 
 #include "base/logging.hh"
+#include "base/serialize.hh"
 
 namespace biglittle
 {
@@ -82,6 +83,37 @@ std::size_t
 AppInstance::actionsCompleted() const
 {
     return driver ? driver->actionsCompleted() : 0;
+}
+
+void
+AppInstance::serialize(Serializer &s) const
+{
+    s.putString(appSpec.name);
+    s.putU64(behaviors.size());
+    for (const auto &b : behaviors)
+        b->serializeState(s);
+    renderStats.serialize(s);
+    s.putBool(driver != nullptr);
+    if (driver)
+        driver->serialize(s);
+}
+
+void
+AppInstance::deserialize(Deserializer &d)
+{
+    const std::string name = d.getString();
+    const std::uint64_t n = d.getU64();
+    if (!d.ok())
+        return;
+    BL_ASSERT(name == appSpec.name);
+    BL_ASSERT(n == behaviors.size());
+    for (auto &b : behaviors)
+        b->deserializeState(d);
+    renderStats.deserialize(d);
+    const bool has_driver = d.getBool();
+    BL_ASSERT(has_driver == (driver != nullptr));
+    if (driver)
+        driver->deserialize(d);
 }
 
 } // namespace biglittle

@@ -122,6 +122,15 @@ class AppInstance
     /** Actions completed (latency apps; 0 otherwise). */
     std::size_t actionsCompleted() const;
 
+    /**
+     * Write all behaviors' phase machines, the render FrameStats,
+     * and the workflow driver (latency apps), in creation order.
+     */
+    void serialize(Serializer &s) const;
+
+    /** Restore state written by serialize(). */
+    void deserialize(Deserializer &d);
+
   private:
     Simulation &sim;
     HmpScheduler &sched;

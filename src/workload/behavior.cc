@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "base/logging.hh"
+#include "base/serialize.hh"
 
 namespace biglittle
 {
@@ -18,6 +19,18 @@ Behavior::~Behavior()
 {
     if (taskRef.client() == this)
         taskRef.setClient(nullptr);
+}
+
+void
+Behavior::serializeState(Serializer &s) const
+{
+    rng.serialize(s);
+}
+
+void
+Behavior::deserializeState(Deserializer &d)
+{
+    rng.deserialize(d);
 }
 
 ContinuousBehavior::ContinuousBehavior(
@@ -43,6 +56,24 @@ ContinuousBehavior::onWorkDrained(Task &)
     finishTick = sim.now();
     if (onComplete)
         onComplete(finishTick);
+}
+
+void
+ContinuousBehavior::serializeState(Serializer &s) const
+{
+    Behavior::serializeState(s);
+    s.putDouble(budget);
+    s.putBool(completed);
+    s.putU64(finishTick);
+}
+
+void
+ContinuousBehavior::deserializeState(Deserializer &d)
+{
+    Behavior::deserializeState(d);
+    budget = d.getDouble();
+    completed = d.getBool();
+    finishTick = d.getU64();
 }
 
 PeriodicBehavior::PeriodicBehavior(Simulation &sim_in, Task &task_in,
@@ -110,6 +141,22 @@ PeriodicBehavior::onWorkDrained(Task &)
     }
 }
 
+void
+PeriodicBehavior::serializeState(Serializer &s) const
+{
+    Behavior::serializeState(s);
+    s.putU64(nextRelease);
+    s.putU64(frames);
+}
+
+void
+PeriodicBehavior::deserializeState(Deserializer &d)
+{
+    Behavior::deserializeState(d);
+    nextRelease = d.getU64();
+    frames = d.getU64();
+}
+
 BurstBehavior::BurstBehavior(Simulation &sim_in, Task &task_in,
                              Rng rng_in, double chunk_instructions,
                              Tick chunk_gap)
@@ -166,6 +213,22 @@ BurstBehavior::onWorkDrained(Task &)
         drainListener(*this, sim.now());
 }
 
+void
+BurstBehavior::serializeState(Serializer &s) const
+{
+    Behavior::serializeState(s);
+    s.putDouble(backlog);
+    s.putU64(bursts);
+}
+
+void
+BurstBehavior::deserializeState(Deserializer &d)
+{
+    Behavior::deserializeState(d);
+    backlog = d.getDouble();
+    bursts = d.getU64();
+}
+
 DutyCycleBehavior::DutyCycleBehavior(Simulation &sim_in, Task &task_in,
                                      Rng rng_in,
                                      double target_utilization,
@@ -204,6 +267,20 @@ DutyCycleBehavior::onWorkDrained(Task &)
                   taskRef.submitWork(chunk);
               },
               EventPriority::taskState, taskRef.name() + ".duty");
+}
+
+void
+DutyCycleBehavior::serializeState(Serializer &s) const
+{
+    Behavior::serializeState(s);
+    s.putU64(chunkStart);
+}
+
+void
+DutyCycleBehavior::deserializeState(Deserializer &d)
+{
+    Behavior::deserializeState(d);
+    chunkStart = d.getU64();
 }
 
 } // namespace biglittle

@@ -30,6 +30,9 @@
 namespace biglittle
 {
 
+class Serializer;
+class Deserializer;
+
 /** Base class binding a task to its phase machine. */
 class Behavior : public TaskClient
 {
@@ -43,6 +46,17 @@ class Behavior : public TaskClient
 
     /** Begin generating work. */
     virtual void start() = 0;
+
+    /**
+     * Write the phase machine's mutable state (private rng plus the
+     * subclass's progress fields).  Pending self-rescheduling events
+     * are not written - restore is only valid via deterministic
+     * re-execution, which recreates them (see docs/DETERMINISM.md).
+     */
+    virtual void serializeState(Serializer &s) const;
+
+    /** Restore state written by serializeState(). */
+    virtual void deserializeState(Deserializer &d);
 
     Task &task() { return taskRef; }
     const Task &task() const { return taskRef; }
@@ -67,6 +81,8 @@ class ContinuousBehavior : public Behavior
 
     void start() override;
     void onWorkDrained(Task &task) override;
+    void serializeState(Serializer &s) const override;
+    void deserializeState(Deserializer &d) override;
 
     bool complete() const { return completed; }
     Tick completionTick() const { return finishTick; }
@@ -119,6 +135,8 @@ class PeriodicBehavior : public Behavior
 
     void start() override;
     void onWorkDrained(Task &task) override;
+    void serializeState(Serializer &s) const override;
+    void deserializeState(Deserializer &d) override;
 
     const PeriodicSpec &spec() const { return periodicSpec; }
 
@@ -153,6 +171,8 @@ class BurstBehavior : public Behavior
 
     void start() override;
     void onWorkDrained(Task &task) override;
+    void serializeState(Serializer &s) const override;
+    void deserializeState(Deserializer &d) override;
 
     /** Add @p instructions of burst work now. */
     void injectBurst(double instructions);
@@ -187,6 +207,8 @@ class DutyCycleBehavior : public Behavior
 
     void start() override;
     void onWorkDrained(Task &task) override;
+    void serializeState(Serializer &s) const override;
+    void deserializeState(Deserializer &d) override;
 
     double targetUtilization() const { return target; }
 

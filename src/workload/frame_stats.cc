@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "base/logging.hh"
+#include "base/serialize.hh"
 
 namespace biglittle
 {
@@ -55,6 +56,24 @@ FrameStats::minFps(Tick window) const
         win_start = win_end;
     }
     return min_fps < 0.0 ? averageFps() : min_fps;
+}
+
+void
+FrameStats::serialize(Serializer &s) const
+{
+    s.putU64(completions.size());
+    for (const Tick t : completions)
+        s.putU64(t);
+}
+
+void
+FrameStats::deserialize(Deserializer &d)
+{
+    const std::uint64_t n = d.getU64();
+    completions.clear();
+    completions.reserve(n);
+    for (std::uint64_t i = 0; i < n && d.ok(); ++i)
+        completions.push_back(d.getU64());
 }
 
 SampleSeries

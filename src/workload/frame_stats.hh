@@ -18,6 +18,9 @@
 namespace biglittle
 {
 
+class Serializer;
+class Deserializer;
+
 /** Collects frame-completion timestamps from a render thread. */
 class FrameStats
 {
@@ -50,6 +53,12 @@ class FrameStats
     {
         return completions;
     }
+
+    /** Write the completion record. */
+    void serialize(Serializer &s) const;
+
+    /** Restore state written by serialize(). */
+    void deserialize(Deserializer &d);
 
   private:
     std::vector<Tick> completions;

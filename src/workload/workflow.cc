@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "base/logging.hh"
+#include "base/serialize.hh"
 
 namespace biglittle
 {
@@ -95,6 +96,30 @@ WorkflowDriver::latency() const
 {
     BL_ASSERT(finished);
     return endTick - startTick;
+}
+
+void
+WorkflowDriver::serialize(Serializer &s) const
+{
+    rng.serialize(s);
+    s.putU64(startTick);
+    s.putU64(endTick);
+    s.putU64(nextAction);
+    s.putU64(completedActions);
+    s.putU32(outstanding);
+    s.putBool(finished);
+}
+
+void
+WorkflowDriver::deserialize(Deserializer &d)
+{
+    rng.deserialize(d);
+    startTick = d.getU64();
+    endTick = d.getU64();
+    nextAction = d.getU64();
+    completedActions = d.getU64();
+    outstanding = d.getU32();
+    finished = d.getBool();
 }
 
 } // namespace biglittle

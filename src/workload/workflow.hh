@@ -25,6 +25,9 @@
 namespace biglittle
 {
 
+class Serializer;
+class Deserializer;
+
 /** One scripted user action. */
 struct ActionSpec
 {
@@ -71,6 +74,12 @@ class WorkflowDriver
 
     /** Start -> last-completion time (valid once done()). */
     Tick latency() const;
+
+    /** Write the script-progress state and private rng. */
+    void serialize(Serializer &s) const;
+
+    /** Restore state written by serialize(). */
+    void deserialize(Deserializer &d);
 
   private:
     Simulation &sim;

@@ -246,3 +246,82 @@ TEST(ConfigIo, GovernorNamesRoundTrip)
         EXPECT_EQ(governorKindFromName(governorKindName(kind)), kind);
     }
 }
+
+TEST(ConfigIo, ParsesSnapshotAndWatchdogKeys)
+{
+    const ExperimentConfig cfg = parseExperimentConfig(R"(
+seed = 777
+snapshot.checkpoint_every_ms = 250
+snapshot.checkpoint_dir = /tmp/ckpts
+snapshot.resume = /tmp/ckpts/run.ckpt
+snapshot.record_trace = /tmp/run.trace
+watchdog.enabled = true
+watchdog.stall_limit_sec = 12.5
+watchdog.runaway_limit_sec = 3600
+watchdog.report = /tmp/watchdog.txt
+watchdog.ring_depth = 128
+)");
+    EXPECT_EQ(cfg.masterSeed, 777u);
+    EXPECT_EQ(cfg.snapshot.checkpointEvery, msToTicks(250));
+    EXPECT_EQ(cfg.snapshot.checkpointDir, "/tmp/ckpts");
+    EXPECT_EQ(cfg.snapshot.resumePath, "/tmp/ckpts/run.ckpt");
+    EXPECT_EQ(cfg.snapshot.recordTracePath, "/tmp/run.trace");
+    EXPECT_TRUE(cfg.watchdog.enabled);
+    EXPECT_DOUBLE_EQ(cfg.watchdog.stallLimitSec, 12.5);
+    EXPECT_DOUBLE_EQ(cfg.watchdog.runawayLimitSec, 3600.0);
+    EXPECT_EQ(cfg.watchdog.reportPath, "/tmp/watchdog.txt");
+    EXPECT_EQ(cfg.watchdog.ringDepth, 128u);
+}
+
+TEST(ConfigIo, ParsesReplayTraceKey)
+{
+    const ExperimentConfig cfg =
+        parseExperimentConfig("snapshot.replay_trace = /tmp/ref.trace");
+    EXPECT_EQ(cfg.snapshot.replayTracePath, "/tmp/ref.trace");
+}
+
+TEST(ConfigIo, SnapshotAndWatchdogKeysRoundTrip)
+{
+    ExperimentConfig cfg;
+    cfg.masterSeed = 424242;
+    cfg.snapshot.checkpointEvery = msToTicks(500);
+    cfg.snapshot.checkpointDir = "/var/ckpt";
+    cfg.snapshot.resumePath = "/var/ckpt/app.default.5.ckpt";
+    cfg.snapshot.recordTracePath = "/var/ckpt/app.trace";
+    cfg.watchdog.enabled = true;
+    cfg.watchdog.stallLimitSec = 45.0;
+    cfg.watchdog.runawayLimitSec = 900.0;
+    cfg.watchdog.reportPath = "/var/ckpt/dog.txt";
+    cfg.watchdog.ringDepth = 32;
+
+    const ExperimentConfig back =
+        parseExperimentConfig(saveExperimentConfig(cfg));
+    EXPECT_EQ(back.masterSeed, cfg.masterSeed);
+    EXPECT_EQ(back.snapshot.checkpointEvery,
+              cfg.snapshot.checkpointEvery);
+    EXPECT_EQ(back.snapshot.checkpointDir, cfg.snapshot.checkpointDir);
+    EXPECT_EQ(back.snapshot.resumePath, cfg.snapshot.resumePath);
+    EXPECT_EQ(back.snapshot.recordTracePath,
+              cfg.snapshot.recordTracePath);
+    EXPECT_EQ(back.watchdog.enabled, cfg.watchdog.enabled);
+    EXPECT_DOUBLE_EQ(back.watchdog.stallLimitSec,
+                     cfg.watchdog.stallLimitSec);
+    EXPECT_DOUBLE_EQ(back.watchdog.runawayLimitSec,
+                     cfg.watchdog.runawayLimitSec);
+    EXPECT_EQ(back.watchdog.reportPath, cfg.watchdog.reportPath);
+    EXPECT_EQ(back.watchdog.ringDepth, cfg.watchdog.ringDepth);
+}
+
+TEST(ConfigIo, DefaultSnapshotConfigRoundTripsWithEmptyPaths)
+{
+    // Empty path values are omitted on save (the parser rejects a
+    // key with no value), so defaults must survive a round trip.
+    const ExperimentConfig back =
+        parseExperimentConfig(saveExperimentConfig(ExperimentConfig{}));
+    EXPECT_EQ(back.masterSeed, 0u);
+    EXPECT_EQ(back.snapshot.checkpointEvery, 0u);
+    EXPECT_TRUE(back.snapshot.resumePath.empty());
+    EXPECT_TRUE(back.snapshot.recordTracePath.empty());
+    EXPECT_TRUE(back.snapshot.replayTracePath.empty());
+    EXPECT_FALSE(back.watchdog.enabled);
+}

@@ -6,8 +6,10 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <vector>
 
+#include "base/serialize.hh"
 #include "sim/eventq.hh"
 
 using namespace biglittle;
@@ -260,4 +262,142 @@ TEST(CallbackEvent, RunsFunctionAndReportsName)
     q.runUntil(10);
     EXPECT_EQ(runs, 1);
     EXPECT_FALSE(e.scheduled());
+}
+
+TEST(EventQueue, SameTickSamePriorityFiresInScheduleOrder)
+{
+    // The monotonic sequence number is the final tie-breaker: ties
+    // resolve in schedule order, never in pointer or hash order.
+    EventQueue q;
+    std::vector<int> log;
+    std::vector<std::unique_ptr<LogEvent>> events;
+    for (int i = 0; i < 32; ++i)
+        events.push_back(std::make_unique<LogEvent>(log, i));
+    // Schedule in reverse creation order to catch any accidental
+    // dependence on construction/address order.
+    for (int i = 31; i >= 0; --i)
+        q.schedule(*events[i], 100);
+    q.runUntil(100);
+
+    std::vector<int> want;
+    for (int i = 31; i >= 0; --i)
+        want.push_back(i);
+    EXPECT_EQ(log, want);
+}
+
+TEST(EventQueue, SequenceNumbersAreMonotonic)
+{
+    EventQueue q;
+    std::vector<int> log;
+    LogEvent a(log, 1), b(log, 2);
+    EXPECT_EQ(q.nextSequenceValue(), 0u);
+    q.schedule(a, 10);
+    EXPECT_EQ(q.nextSequenceValue(), 1u);
+    q.schedule(b, 20);
+    EXPECT_EQ(q.nextSequenceValue(), 2u);
+    q.runUntil(20);
+    // Servicing never reuses sequence numbers.
+    LogEvent c(log, 3);
+    q.schedule(c, 30);
+    EXPECT_EQ(q.nextSequenceValue(), 3u);
+}
+
+TEST(EventQueue, CountsServicedEvents)
+{
+    EventQueue q;
+    std::vector<int> log;
+    LogEvent a(log, 1), b(log, 2);
+    q.schedule(a, 10);
+    q.schedule(b, 20);
+    EXPECT_EQ(q.eventsServiced(), 0u);
+    q.runUntil(15);
+    EXPECT_EQ(q.eventsServiced(), 1u);
+    q.runUntil(25);
+    EXPECT_EQ(q.eventsServiced(), 2u);
+}
+
+TEST(EventQueue, ServiceHookSeesEveryEventIdentity)
+{
+    EventQueue q;
+    std::vector<int> log;
+    std::vector<ServicedEvent> seen;
+    q.setServiceHook(
+        [&](const ServicedEvent &ev) { seen.push_back(ev); });
+    LogEvent a(log, 1), b(log, 2);
+    q.schedule(a, 10); // sequence 0
+    q.schedule(b, 5); // sequence 1
+    q.runUntil(20);
+
+    ASSERT_EQ(seen.size(), 2u);
+    EXPECT_EQ(seen[0].when, 5u);
+    EXPECT_EQ(seen[0].sequence, 1u);
+    EXPECT_EQ(seen[1].when, 10u);
+    EXPECT_EQ(seen[1].sequence, 0u);
+
+    // Clearing the hook stops delivery.
+    q.setServiceHook(nullptr);
+    LogEvent c(log, 3);
+    q.schedule(c, 30);
+    q.runUntil(30);
+    EXPECT_EQ(seen.size(), 2u);
+}
+
+TEST(EventQueue, RecentLogKeepsOnlyLastN)
+{
+    EventQueue q;
+    q.enableRecentLog(3);
+    std::vector<int> log;
+    std::vector<std::unique_ptr<LogEvent>> events;
+    for (int i = 0; i < 5; ++i) {
+        events.push_back(std::make_unique<LogEvent>(log, i));
+        q.schedule(*events.back(), (i + 1) * 10);
+    }
+    q.runUntil(100);
+
+    ASSERT_EQ(q.recentLog().size(), 3u);
+    EXPECT_EQ(q.recentLog().front().when, 30u); // oldest kept
+    EXPECT_EQ(q.recentLog().back().when, 50u); // newest
+}
+
+TEST(EventQueue, SerializeIsDeterministicAcrossIdenticalRuns)
+{
+    const auto run = [](Serializer &s) {
+        EventQueue q;
+        std::vector<int> log;
+        LogEvent a(log, 1), b(log, 2), c(log, 3);
+        q.schedule(a, 10);
+        q.schedule(b, 50);
+        q.schedule(c, 90);
+        q.runUntil(40); // a fired; b and c still pending
+        q.serialize(s);
+    };
+    Serializer s1, s2;
+    run(s1);
+    run(s2);
+    EXPECT_FALSE(s1.bytes().empty());
+    EXPECT_EQ(s1.bytes(), s2.bytes());
+}
+
+TEST(EventQueue, SerializeReflectsPendingEvents)
+{
+    // A queue with a different pending set must serialize different
+    // bytes - the digest covers the events still in flight.
+    EventQueue q1;
+    std::vector<int> log;
+    LogEvent a1(log, 1), b1(log, 2);
+    q1.schedule(a1, 10);
+    q1.schedule(b1, 50);
+    q1.runUntil(20);
+    Serializer s1;
+    q1.serialize(s1);
+
+    EventQueue q2;
+    LogEvent a2(log, 1), b2(log, 2);
+    q2.schedule(a2, 10);
+    q2.schedule(b2, 70); // pending event at a different tick
+    q2.runUntil(20);
+    Serializer s2;
+    q2.serialize(s2);
+
+    EXPECT_NE(s1.bytes(), s2.bytes());
 }
