@@ -49,9 +49,12 @@ class [[nodiscard]] Status
     {
     }
 
-    bool ok() const { return statusCode == StatusCode::ok; }
-    StatusCode code() const { return statusCode; }
-    const std::string &message() const { return msg; }
+    [[nodiscard]] bool ok() const
+    {
+        return statusCode == StatusCode::ok;
+    }
+    [[nodiscard]] StatusCode code() const { return statusCode; }
+    [[nodiscard]] const std::string &message() const { return msg; }
 
     /** "ok" or "<code-name>: <message>". */
     std::string toString() const;
@@ -126,8 +129,8 @@ class [[nodiscard]] Result
         BL_ASSERT(!st.ok());
     }
 
-    bool ok() const { return st.ok(); }
-    const Status &status() const { return st; }
+    [[nodiscard]] bool ok() const { return st.ok(); }
+    [[nodiscard]] const Status &status() const { return st; }
 
     T &
     value()
@@ -144,7 +147,7 @@ class [[nodiscard]] Result
     }
 
     /** The value, or @p fallback when this Result holds an error. */
-    T
+    [[nodiscard]] T
     valueOr(T fallback) const
     {
         return val.has_value() ? *val : std::move(fallback);

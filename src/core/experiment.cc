@@ -306,6 +306,10 @@ Experiment::runApp(const AppSpec &app)
         }
         if (next_ckpt > 0 && rig.sim.now() >= next_ckpt) {
             if (resume_verified) {
+                // Host time measures checkpoint-write overhead for
+                // the stats report; it never feeds back into
+                // simulated behavior.
+                // ablint:allow(wall-clock): overhead metric only
                 const auto t0 = std::chrono::steady_clock::now();
                 const Checkpoint ckpt =
                     collectCheckpoint(rig, instance, cfg, app.name);
@@ -316,6 +320,7 @@ Experiment::runApp(const AppSpec &app)
                            static_cast<unsigned long long>(ckpt.tick));
                 const Status written =
                     Checkpoint::writeBytes(path, bytes);
+                // ablint:allow(wall-clock): overhead metric only
                 const auto t1 = std::chrono::steady_clock::now();
                 if (!written.ok()) {
                     warn("checkpoint write failed: %s",
@@ -397,8 +402,10 @@ Experiment::runApp(const AppSpec &app)
     if (rig.injector != nullptr)
         result.faults = rig.injector->stats();
     if (rig.checker != nullptr) {
-        (void)rig.checker->checkNow();
+        const Status final_sweep = rig.checker->checkNow();
         result.invariantViolations = rig.checker->violationCount();
+        if (!final_sweep.ok())
+            result.invariantSummary = final_sweep.toString();
     }
     return result;
 }

@@ -195,6 +195,9 @@ struct AppRunResult
     // robustness (populated when cfg.fault.enabled)
     FaultStats faults;
     std::uint64_t invariantViolations = 0;
+    /** Final invariant sweep's summary; empty when the run is
+     *  invariant-clean. */
+    std::string invariantSummary;
 
     // determinism / recovery (populated when cfg.snapshot used)
     CheckpointStats checkpoints;

@@ -41,7 +41,8 @@ InvariantChecker::start()
     }
     if (sweepTask == nullptr) {
         sweepTask = &sim.addPeriodic(
-            ip.checkPeriod, [this](Tick) { (void)checkNow(); },
+            ip.checkPeriod,
+            [this](Tick) { lastSweep = checkNow(); },
             EventPriority::stats, "invariant-sweep");
     }
     sweepTask->start();
@@ -147,6 +148,10 @@ InvariantChecker::checkRunqueues()
         return;
 
     // How many run queues each task appears on (running or waiting).
+    // Keyed by pointer, so sorted iteration would not be any more
+    // deterministic; safe because it is a counting map that is only
+    // ever *read* below, in deterministic task-creation order.
+    // ablint:allow(unordered-iter): lookup-only counting map
     std::unordered_map<const Task *, std::uint32_t> queuedOn;
     for (const Core *core : plat.cores()) {
         const CoreRunner &runner = sched->runner(core->id());

@@ -83,7 +83,7 @@ class InvariantChecker : public SchedObserver
      * Run a full sweep now.  Returns ok() when every invariant
      * holds, otherwise internalError() with the first violation.
      */
-    Status checkNow();
+    [[nodiscard]] Status checkNow();
 
     /** Forward observer callbacks to @p next after checking. */
     void setNext(SchedObserver *next) { nextObserver = next; }
@@ -93,6 +93,13 @@ class InvariantChecker : public SchedObserver
 
     /** Total violations detected (recorded or not). */
     std::uint64_t violationCount() const { return violationTotal; }
+
+    /**
+     * Outcome of the most recent periodic sweep: ok() while the
+     * simulation is healthy, otherwise the last sweep's violation
+     * summary.  Lets callers poll sweep health without rescanning.
+     */
+    const Status &lastSweepStatus() const { return lastSweep; }
 
     /** First maxRecorded violations, in detection order. */
     const std::vector<InvariantViolation> &violations() const
@@ -125,6 +132,7 @@ class InvariantChecker : public SchedObserver
     std::uint64_t checkCount = 0;
     std::uint64_t violationTotal = 0;
     std::vector<InvariantViolation> recorded;
+    Status lastSweep;
 
     /** Count + record + warn about one violation. */
     void violate(std::string what);

@@ -89,7 +89,7 @@ class FreqDomain
      * transition; the domain then stays at its current (valid) OPP
      * and the caller is expected to retry on its next sample.
      */
-    Status requestFreq(FreqKHz target);
+    [[nodiscard]] Status requestFreq(FreqKHz target);
 
     /** Apply a frequency immediately (hotplug/test/reset paths). */
     void setFreqNow(FreqKHz target);

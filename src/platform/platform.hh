@@ -82,14 +82,14 @@ class AsymmetricPlatform
      * Exynos 5422 rule, while enforceBootCore holds), and a busy
      * core must be evacuated before it can be unplugged.
      */
-    Status hotplugAllowed(CoreId id, bool online) const;
+    [[nodiscard]] Status hotplugAllowed(CoreId id, bool online) const;
 
     /**
      * Hotplug a core.  Returns the hotplugAllowed() error - leaving
      * the platform untouched - instead of crashing, so fault
      * injection and runtime policies can degrade gracefully.
      */
-    Status setCoreOnline(CoreId id, bool online);
+    [[nodiscard]] Status setCoreOnline(CoreId id, bool online);
 
     /** Platform-wide id of the boot (always-alive) core. */
     CoreId bootCore() const { return bootCoreId; }

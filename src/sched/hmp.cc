@@ -285,8 +285,13 @@ HmpScheduler::boostBigCluster(Core &target)
     FreqDomain &domain = target.freqDomain();
     if (domain.currentFreq() < schedParams.upMigrationBoostFreq) {
         // The boost is opportunistic; a denied transition just means
-        // the governor raises the frequency on its next sample.
-        (void)domain.requestFreq(schedParams.upMigrationBoostFreq);
+        // the governor raises the frequency on its next sample.  A
+        // denial is still worth counting: a run dominated by denied
+        // boosts migrates tasks onto a slow big cluster.
+        const Status boosted =
+            domain.requestFreq(schedParams.upMigrationBoostFreq);
+        if (!boosted.ok())
+            ++schedStats.boostsDenied;
     }
 }
 
@@ -351,6 +356,7 @@ HmpScheduler::serialize(Serializer &s) const
     s.putU64(schedStats.wakeups);
     s.putU64(schedStats.ticks);
     s.putU64(schedStats.affinityBreaks);
+    s.putU64(schedStats.boostsDenied);
     s.putU64(nextTaskId);
     s.putU64(rrCursor);
     s.putU64(taskList.size());
@@ -367,6 +373,7 @@ HmpScheduler::deserialize(Deserializer &d)
     schedStats.wakeups = d.getU64();
     schedStats.ticks = d.getU64();
     schedStats.affinityBreaks = d.getU64();
+    schedStats.boostsDenied = d.getU64();
     nextTaskId = d.getU64();
     rrCursor = static_cast<std::size_t>(d.getU64());
     const std::uint64_t count = d.getU64();

@@ -51,6 +51,15 @@ struct SchedStats
      * hotplug faults; 0 in a healthy run).
      */
     std::uint64_t affinityBreaks = 0;
+
+    /**
+     * Up-migration frequency boosts the frequency domain refused
+     * (DVFS-deny faults, thermal ceiling).  The boost is
+     * opportunistic, so a denial is survivable — the governor
+     * re-raises on its next sample — but a large count explains a
+     * sluggish post-migration ramp.
+     */
+    std::uint64_t boostsDenied = 0;
 };
 
 /** The utilization-based asymmetric scheduler. */
@@ -117,7 +126,7 @@ class HmpScheduler
      * their (valid) new cores either way.
      * @return number of tasks moved
      */
-    Result<std::size_t> evacuateCore(CoreId id);
+    [[nodiscard]] Result<std::size_t> evacuateCore(CoreId id);
 
     /**
      * Write scheduler counters plus every task's state, in creation

@@ -113,8 +113,11 @@ class EventQueue
      * priority, sequence, name-hash) in firing order.  Two runs with
      * identical behavior produce identical bytes; the digest form is
      * used because pending events (closures) cannot themselves be
-     * reconstructed from bytes.
+     * reconstructed from bytes.  There is deliberately no
+     * deserialize(): restore re-executes to the checkpoint tick and
+     * byte-compares this digest instead (docs/DETERMINISM.md).
      */
+    // ablint:allow(serialize-pair): digest-only, restore by replay
     void serialize(Serializer &s) const;
 
   private:

@@ -75,17 +75,20 @@ struct Checkpoint
     std::vector<std::uint8_t> encode() const;
 
     /** Decode; rejects bad magic/version/checksum/truncation. */
-    static Result<Checkpoint> decode(const std::vector<std::uint8_t> &bytes);
+    [[nodiscard]] static Result<Checkpoint>
+    decode(const std::vector<std::uint8_t> &bytes);
 
     /** Atomically write to @p path (tmp file + rename). */
-    Status writeFile(const std::string &path) const;
+    [[nodiscard]] Status writeFile(const std::string &path) const;
 
     /** Read and decode @p path. */
-    static Result<Checkpoint> readFile(const std::string &path);
+    [[nodiscard]] static Result<Checkpoint>
+    readFile(const std::string &path);
 
     /** Atomically write pre-encoded bytes (tmp file + rename). */
-    static Status writeBytes(const std::string &path,
-                             const std::vector<std::uint8_t> &bytes);
+    [[nodiscard]] static Status
+    writeBytes(const std::string &path,
+               const std::vector<std::uint8_t> &bytes);
 };
 
 /**
@@ -95,8 +98,8 @@ struct Checkpoint
  * attributes nondeterminism to a component instead of a vague
  * "results differ".
  */
-Status compareCheckpoints(const Checkpoint &expected,
-                          const Checkpoint &actual);
+[[nodiscard]] Status compareCheckpoints(const Checkpoint &expected,
+                                        const Checkpoint &actual);
 
 } // namespace biglittle
 

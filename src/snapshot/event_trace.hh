@@ -61,14 +61,15 @@ struct EventTrace
     std::vector<std::uint8_t> encode() const;
 
     /** Decode; rejects bad magic/version/checksum. */
-    static Result<EventTrace> decode(
-        const std::vector<std::uint8_t> &bytes);
+    [[nodiscard]] static Result<EventTrace>
+    decode(const std::vector<std::uint8_t> &bytes);
 
     /** Atomically write to @p path. */
-    Status writeFile(const std::string &path) const;
+    [[nodiscard]] Status writeFile(const std::string &path) const;
 
     /** Read and decode @p path. */
-    static Result<EventTrace> readFile(const std::string &path);
+    [[nodiscard]] static Result<EventTrace>
+    readFile(const std::string &path);
 };
 
 /** Where and how two event streams first differ. */
@@ -156,8 +157,8 @@ class EventTraceComparer
 };
 
 /** Offline comparison of two recorded traces. */
-std::optional<Divergence> compareTraces(const EventTrace &expected,
-                                        const EventTrace &actual);
+[[nodiscard]] std::optional<Divergence>
+compareTraces(const EventTrace &expected, const EventTrace &actual);
 
 } // namespace biglittle
 

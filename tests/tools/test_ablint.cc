@@ -1,0 +1,286 @@
+/**
+ * @file
+ * ablint's own test suite: every rule gets a known-bad snippet
+ * (positive), a suppressed variant, and an allowlisted/clean
+ * variant; the baseline machinery is exercised for both suppression
+ * and staleness; and a meta-test locks the real repo to lint-clean
+ * with a baseline that only references live lines.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "ablint/ablint.hh"
+
+namespace ablint = biglittle::ablint;
+
+namespace
+{
+
+/** Findings of @p rule in the rule pass over in-memory files. */
+std::vector<ablint::Finding>
+lint(const std::vector<std::pair<std::string, std::string>> &files,
+     const std::string &docsText = "",
+     const std::string &registryText = "")
+{
+    ablint::ScanInput in;
+    for (const auto &[path, text] : files)
+        in.files.push_back(ablint::lexString(path, text));
+    in.docsText = docsText;
+    in.registryText = registryText;
+    return ablint::runRules(in);
+}
+
+std::size_t
+countRule(const std::vector<ablint::Finding> &findings,
+          const std::string &rule)
+{
+    std::size_t n = 0;
+    for (const auto &f : findings)
+        if (f.rule == rule)
+            ++n;
+    return n;
+}
+
+TEST(AblintLexer, TokenizesAndTracksLines)
+{
+    const auto f = ablint::lexString(
+        "src/x.cc", "int a = 1;\n// comment\nfoo(\"lit\");\n");
+    ASSERT_GE(f.tokens.size(), 8u);
+    EXPECT_EQ(f.tokens[0].text, "int");
+    EXPECT_EQ(f.tokens[0].line, 1);
+    bool sawLit = false;
+    for (const auto &t : f.tokens)
+        if (t.kind == ablint::TokKind::str && t.text == "lit" &&
+            t.line == 3)
+            sawLit = true;
+    EXPECT_TRUE(sawLit);
+}
+
+TEST(AblintLexer, AllowDirectiveCoversOwnAndNextLine)
+{
+    const auto f = ablint::lexString(
+        "src/x.cc",
+        "// ablint:allow(wall-clock): why\nint t = rand();\n");
+    ASSERT_EQ(f.allows.count(1), 1u);
+    ASSERT_EQ(f.allows.count(2), 1u);
+    EXPECT_EQ(f.allows.at(2).count("wall-clock"), 1u);
+}
+
+TEST(AblintWallClock, FlagsEntropyAndClockCalls)
+{
+    const auto findings = lint(
+        {{"src/a.cc",
+          "int x = rand();\n"
+          "auto t = std::chrono::steady_clock::now();\n"
+          "std::random_device rd;\n"}});
+    EXPECT_EQ(countRule(findings, "wall-clock"), 3u);
+}
+
+TEST(AblintWallClock, CallFormNamesNeedParens)
+{
+    // `timeout` and a member named `time` without a call must not
+    // trip the short banned names.
+    const auto findings =
+        lint({{"src/a.cc",
+               "int timeout = 5;\nint v = obj.time;\n"
+               "auto t0 = time(nullptr);\n"}});
+    ASSERT_EQ(countRule(findings, "wall-clock"), 1u);
+    EXPECT_EQ(findings[0].line, 3);
+}
+
+TEST(AblintWallClock, InlineAllowSuppresses)
+{
+    const auto findings = lint(
+        {{"src/a.cc",
+          "// ablint:allow(wall-clock): test fixture\n"
+          "int x = rand();\n"}});
+    EXPECT_EQ(countRule(findings, "wall-clock"), 0u);
+}
+
+TEST(AblintWallClock, WatchdogModuleIsAllowlisted)
+{
+    const auto findings = lint(
+        {{"src/snapshot/watchdog.cc",
+          "using clock = std::chrono::steady_clock;\n"}});
+    EXPECT_EQ(countRule(findings, "wall-clock"), 0u);
+}
+
+TEST(AblintUnordered, FlagsDeclarationAndIteration)
+{
+    const auto findings = lint(
+        {{"src/a.cc",
+          "std::unordered_map<int, int> seen;\n"
+          "for (const auto &kv : seen) { use(kv); }\n"
+          "auto it = seen.begin();\n"}});
+    EXPECT_EQ(countRule(findings, "unordered-iter"), 3u);
+}
+
+TEST(AblintUnordered, SuppressedAndTestScopedVariants)
+{
+    const auto suppressed = lint(
+        {{"src/a.cc",
+          "// ablint:allow(unordered-iter): lookup-only\n"
+          "std::unordered_map<int, int> seen;\n"}});
+    EXPECT_EQ(countRule(suppressed, "unordered-iter"), 0u);
+    // The rule is scoped to stateful sim code (src/), not tests.
+    const auto inTest = lint(
+        {{"tests/a.cc", "std::unordered_set<int> ids;\n"}});
+    EXPECT_EQ(countRule(inTest, "unordered-iter"), 0u);
+}
+
+TEST(AblintStaticMutable, FlagsMutableSkipsConstAndFunctions)
+{
+    const auto findings = lint(
+        {{"src/a.cc",
+          "void f() {\n"
+          "    static int counter = 0;\n"
+          "    static const int limit = 3;\n"
+          "}\n"
+          "static void helper();\n"
+          "static constexpr double pi = 3.14;\n"}});
+    ASSERT_EQ(countRule(findings, "static-mutable"), 1u);
+    EXPECT_EQ(findings[0].line, 2);
+}
+
+TEST(AblintStaticMutable, InlineAllowSuppresses)
+{
+    const auto findings = lint(
+        {{"src/a.cc",
+          "// ablint:allow(static-mutable): intern table\n"
+          "static int counter = 0;\n"}});
+    EXPECT_EQ(countRule(findings, "static-mutable"), 0u);
+}
+
+TEST(AblintVoidDiscard, FlagsCastsOfCallsOnly)
+{
+    const auto findings = lint(
+        {{"src/a.cc",
+          "void f(int unused) {\n"
+          "    (void)unused;\n" // unused-parameter idiom: fine
+          "    (void)doWork();\n" // discarded call: flagged
+          "    static_cast<void>(doWork());\n" // flagged
+          "}\n"
+          "int g(void);\n"}}); // (void) parameter list: fine
+    EXPECT_EQ(countRule(findings, "void-discard"), 2u);
+}
+
+TEST(AblintVoidDiscard, TestsMayDiscardIntentionally)
+{
+    const auto findings =
+        lint({{"tests/a.cc", "(void)d.requestFreq(0);\n"}});
+    EXPECT_EQ(countRule(findings, "void-discard"), 0u);
+}
+
+TEST(AblintSerialize, PairAndRegistryEnforced)
+{
+    const std::string header =
+        "class Widget {\n"
+        "  public:\n"
+        "    void serialize(Serializer &s) const;\n"
+        "};\n";
+    // Unregistered and unpaired: both rules fire.
+    const auto bad = lint({{"src/w.hh", header}});
+    EXPECT_EQ(countRule(bad, "serialize-pair"), 1u);
+    EXPECT_EQ(countRule(bad, "serialize-registry"), 1u);
+
+    // Paired and registered against a live section literal: clean.
+    const std::string good =
+        "class Widget {\n"
+        "  public:\n"
+        "    void serialize(Serializer &s) const;\n"
+        "    void deserialize(Deserializer &d);\n"
+        "};\n";
+    const auto clean =
+        lint({{"src/w.hh", good},
+              {"src/rig.cc", "section(\"widget\", fill);\n"}},
+             "", "Widget widget\n");
+    EXPECT_EQ(countRule(clean, "serialize-pair"), 0u);
+    EXPECT_EQ(countRule(clean, "serialize-registry"), 0u);
+}
+
+TEST(AblintSerialize, RegistryStalenessIsReported)
+{
+    // Entry names a class that does not exist, with a cover string
+    // that is also nowhere in src: two registry findings.
+    const auto findings =
+        lint({{"src/empty.cc", "int x;\n"}}, "",
+             "Ghost missing-section\n");
+    EXPECT_EQ(countRule(findings, "serialize-registry"), 2u);
+}
+
+TEST(AblintSerialize, DigestOnlyNeedsInlineAllow)
+{
+    const std::string digestOnly =
+        "class Queue {\n"
+        "    // ablint:allow(serialize-pair): digest only\n"
+        "    void serialize(Serializer &s) const;\n"
+        "};\n";
+    const auto findings =
+        lint({{"src/q.hh", digestOnly}}, "", "Queue q\n");
+    EXPECT_EQ(countRule(findings, "serialize-pair"), 0u);
+}
+
+TEST(AblintConfigKey, UndocumentedKeyFlagged)
+{
+    const std::string parser =
+        "if (key == \"snapshot.shiny_new_knob\") { }\n";
+    const auto undocumented = lint({{"src/c.cc", parser}}, "docs");
+    EXPECT_EQ(countRule(undocumented, "config-key"), 1u);
+    const auto documented = lint(
+        {{"src/c.cc", parser}},
+        "| `snapshot.shiny_new_knob` | 0 | a knob |\n");
+    EXPECT_EQ(countRule(documented, "config-key"), 0u);
+}
+
+TEST(AblintBaseline, SuppressesAndDetectsStaleEntries)
+{
+    ablint::ScanInput in;
+    in.files.push_back(
+        ablint::lexString("src/a.cc", "int x = rand();\n"));
+    const auto raw = ablint::runRules(in);
+    ASSERT_EQ(raw.size(), 1u);
+
+    // A matching entry suppresses the finding.
+    const auto clean = ablint::applyBaseline(
+        raw, "src/a.cc:1:wall-clock\n", "tools/ablint/baseline.txt",
+        in);
+    EXPECT_TRUE(clean.empty());
+
+    // Entries for fixed code, out-of-range lines, and unknown files
+    // all surface as stale-baseline.
+    const auto stale = ablint::applyBaseline(
+        raw,
+        "src/a.cc:1:wall-clock\n"
+        "src/a.cc:2:wall-clock\n" // no finding on that line
+        "src/a.cc:99:wall-clock\n" // past end of file
+        "src/gone.cc:1:wall-clock\n", // file not scanned
+        "tools/ablint/baseline.txt", in);
+    EXPECT_EQ(countRule(stale, "stale-baseline"), 3u);
+}
+
+TEST(AblintFinding, FormatIsFileLineRuleMessage)
+{
+    const ablint::Finding f{"src/a.cc", 7, "wall-clock", "nope"};
+    EXPECT_EQ(f.format(), "src/a.cc:7: error: [wall-clock] nope");
+}
+
+#ifdef ABLINT_REPO_ROOT
+/**
+ * Meta-test: the checked-in tree is lint-clean and the shipped
+ * baseline only references lines that still exist (stale entries
+ * come back as stale-baseline findings and fail here).
+ */
+TEST(AblintRepo, TreeIsCleanAndBaselineIsLive)
+{
+    const auto findings =
+        ablint::runOnRepo(ABLINT_REPO_ROOT, "", "", {});
+    for (const auto &f : findings)
+        ADD_FAILURE() << f.format();
+    EXPECT_TRUE(findings.empty());
+}
+#endif
+
+} // namespace

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * ablint: the repo's determinism & error-discipline linter.
+ *
+ * A deliberately small static-analysis pass over src/ and tests/
+ * that moves the guarantees PR 2 established at runtime (bit-exact
+ * replay, attributable snapshots) to lint time:
+ *
+ *  - wall-clock      no rand()/random_device/time()/argless chrono
+ *                    clocks outside the allowlisted wall-clock
+ *                    module (snapshot/watchdog) and inline-justified
+ *                    sites;
+ *  - unordered-iter  no unordered_map/unordered_set in stateful sim
+ *                    code (src/), where iteration order can leak
+ *                    into event ordering;
+ *  - static-mutable  no mutable `static` state in sim code;
+ *  - void-discard    no `(void)` / static_cast<void> laundering of
+ *                    a call's return value in src/ (Status/Result
+ *                    are [[nodiscard]]; handle them for real);
+ *  - serialize-pair  every class declaring serialize()/
+ *                    serializePolicy()/serializeState() declares the
+ *                    matching deserialize flavor;
+ *  - serialize-registry  every serializable class is registered in
+ *                    tools/ablint/serialized_state.txt against the
+ *                    checkpoint section (or covering parent) that
+ *                    captures it, so new state cannot silently
+ *                    escape snapshots;
+ *  - config-key      every config key string compared against `key`
+ *                    in src/ is documented in EXPERIMENTS.md or a
+ *                    markdown file under docs/.
+ *
+ * Suppression: `// ablint:allow(rule[,rule]): why` on the violating
+ * line or the line directly above it, or a checked-in baseline file
+ * (tools/ablint/baseline.txt) of `path:line:rule` entries.  Baseline
+ * entries that no longer match anything (moved line, fixed code,
+ * deleted file) are themselves reported as `stale-baseline`, so the
+ * baseline can only shrink.
+ *
+ * The tool is standalone (no dependency on the simulation libraries)
+ * so it can never be broken by the code it checks.
+ */
+
+#ifndef BIGLITTLE_TOOLS_ABLINT_HH
+#define BIGLITTLE_TOOLS_ABLINT_HH
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace biglittle::ablint
+{
+
+/** Lexical class of one token. */
+enum class TokKind
+{
+    identifier,
+    number,
+    str, ///< string literal, text is the (unescaped) raw body
+    chr, ///< character literal
+    punct, ///< single punctuation character
+};
+
+/** One token with its 1-based source line. */
+struct Token
+{
+    TokKind kind;
+    std::string text;
+    int line = 0;
+};
+
+/** A lexed translation unit plus its suppression directives. */
+struct LexedFile
+{
+    /** Repo-relative path with forward slashes. */
+    std::string path;
+
+    std::vector<Token> tokens;
+
+    /**
+     * Rules allowed per line: an `ablint:allow(r1,r2)` comment on
+     * line N grants {r1,r2} on lines N and N+1 (so the directive
+     * can sit above the violating statement).
+     */
+    std::map<int, std::set<std::string>> allows;
+
+    /** Total number of source lines (for baseline staleness). */
+    int lineCount = 0;
+
+    /** True for files under tests/ (some rules are src-only). */
+    bool isTest = false;
+};
+
+/** Lex @p text as file @p path (no filesystem access). */
+LexedFile lexString(const std::string &path, const std::string &text);
+
+/** One rule violation. */
+struct Finding
+{
+    std::string file;
+    int line = 0;
+    std::string rule;
+    std::string message;
+
+    /** "file:line: error: [rule] message" */
+    std::string format() const;
+};
+
+/** Everything the rule pass needs, filesystem-free for testing. */
+struct ScanInput
+{
+    std::vector<LexedFile> files;
+
+    /** Concatenated EXPERIMENTS.md + docs markdown (config-key). */
+    std::string docsText;
+
+    /** tools/ablint/serialized_state.txt contents. */
+    std::string registryText;
+};
+
+/** Run every rule; findings already filtered by inline allows. */
+std::vector<Finding> runRules(const ScanInput &in);
+
+/**
+ * Apply the baseline: drop findings matched by a `path:line:rule`
+ * entry; append a `stale-baseline` finding for every entry that
+ * matched nothing or references a line past the end of its file.
+ */
+std::vector<Finding> applyBaseline(const std::vector<Finding> &raw,
+                                   const std::string &baselineText,
+                                   const std::string &baselinePath,
+                                   const ScanInput &in);
+
+/** Names of all rules, for --list-rules and directive validation. */
+const std::vector<std::string> &ruleNames();
+
+/**
+ * Scan a repo checkout: lexes src/ and tests/ (plus @p extraPaths),
+ * loads docs and the registry, runs rules and baseline.  Returns the
+ * final findings; I/O failures throw std::runtime_error.
+ */
+std::vector<Finding> runOnRepo(const std::string &repoRoot,
+                               const std::string &baselinePath,
+                               const std::string &registryPath,
+                               const std::vector<std::string> &extraPaths);
+
+} // namespace biglittle::ablint
+
+#endif // BIGLITTLE_TOOLS_ABLINT_HH

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * ablint CLI.
+ *
+ *   ablint --repo <root> [--baseline F] [--registry F]
+ *          [--write-baseline F] [--list-rules] [extra paths...]
+ *
+ * Exit codes: 0 clean, 1 findings, 2 usage or I/O error.
+ */
+
+#include "ablint.hh"
+
+#include <cstdio>
+#include <exception>
+#include <fstream>
+#include <string>
+#include <vector>
+
+int
+main(int argc, char **argv)
+{
+    using namespace biglittle::ablint;
+
+    std::string repo = ".";
+    std::string baseline;
+    std::string registry;
+    std::string writeBaseline;
+    std::vector<std::string> extras;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto value = [&]() -> std::string {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr,
+                             "ablint: %s needs a value\n",
+                             arg.c_str());
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--repo") {
+            repo = value();
+        } else if (arg == "--baseline") {
+            baseline = value();
+        } else if (arg == "--registry") {
+            registry = value();
+        } else if (arg == "--write-baseline") {
+            writeBaseline = value();
+        } else if (arg == "--list-rules") {
+            for (const auto &name : ruleNames())
+                std::printf("%s\n", name.c_str());
+            return 0;
+        } else if (arg == "--help" || arg == "-h") {
+            std::printf(
+                "usage: ablint [--repo ROOT] [--baseline FILE]\n"
+                "              [--registry FILE] [--write-baseline "
+                "FILE]\n"
+                "              [--list-rules] [extra paths...]\n"
+                "\n"
+                "Determinism & error-discipline lint over src/ and\n"
+                "tests/.  See docs/STATIC_ANALYSIS.md.\n");
+            return 0;
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::fprintf(stderr, "ablint: unknown option '%s'\n",
+                         arg.c_str());
+            return 2;
+        } else {
+            extras.push_back(arg);
+        }
+    }
+
+    std::vector<Finding> findings;
+    try {
+        findings = runOnRepo(repo, baseline, registry, extras);
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return 2;
+    }
+
+    if (!writeBaseline.empty()) {
+        std::ofstream out(writeBaseline);
+        if (!out) {
+            std::fprintf(stderr,
+                         "ablint: cannot write baseline '%s'\n",
+                         writeBaseline.c_str());
+            return 2;
+        }
+        out << "# ablint suppression baseline: path:line:rule\n"
+            << "# regenerate with: ablint --repo . "
+               "--write-baseline tools/ablint/baseline.txt\n";
+        for (const auto &f : findings) {
+            if (f.rule == "stale-baseline")
+                continue;
+            out << f.file << ":" << f.line << ":" << f.rule << "\n";
+        }
+        std::printf("ablint: wrote %zu baseline entr%s to %s\n",
+                    findings.size(),
+                    findings.size() == 1 ? "y" : "ies",
+                    writeBaseline.c_str());
+        return 0;
+    }
+
+    for (const auto &f : findings)
+        std::printf("%s\n", f.format().c_str());
+    if (findings.empty()) {
+        std::printf("ablint: clean\n");
+        return 0;
+    }
+    std::printf("ablint: %zu finding(s)\n", findings.size());
+    return 1;
+}

@@ -1,0 +1,645 @@
+/**
+ * @file
+ * The ablint rule scanners.  Each rule walks the token stream of the
+ * lexed files; none of them try to be a real C++ front end — they
+ * are tuned to this codebase's idiom and documented (with their
+ * blind spots) in docs/STATIC_ANALYSIS.md.
+ */
+
+#include "ablint.hh"
+
+#include <algorithm>
+#include <sstream>
+
+namespace biglittle::ablint
+{
+
+namespace
+{
+
+bool
+isIdent(const Token &t, const char *text)
+{
+    return t.kind == TokKind::identifier && t.text == text;
+}
+
+bool
+isPunct(const Token &t, char c)
+{
+    return t.kind == TokKind::punct && t.text.size() == 1 &&
+           t.text[0] == c;
+}
+
+bool
+lineAllows(const LexedFile &f, int line, const std::string &rule)
+{
+    const auto it = f.allows.find(line);
+    return it != f.allows.end() && it->second.count(rule) > 0;
+}
+
+struct Sink
+{
+    std::vector<Finding> &out;
+
+    void
+    add(const LexedFile &f, int line, std::string rule,
+        std::string message)
+    {
+        if (lineAllows(f, line, rule))
+            return;
+        out.push_back(
+            {f.path, line, std::move(rule), std::move(message)});
+    }
+};
+
+// ---- wall-clock ----------------------------------------------------
+
+/** Files allowed to read the host clock (the wall-clock module). */
+bool
+wallClockAllowlisted(const std::string &path)
+{
+    return path.find("snapshot/watchdog.") != std::string::npos;
+}
+
+void
+wallClockRule(const LexedFile &f, Sink &sink)
+{
+    if (wallClockAllowlisted(f.path))
+        return;
+    static const std::set<std::string> bannedAlways = {
+        "srand",       "random_device", "gettimeofday",
+        "localtime",   "gmtime",        "mktime",
+        "steady_clock", "system_clock", "high_resolution_clock",
+    };
+    // Short names that only count when used as a call.
+    static const std::set<std::string> bannedCalls = {"rand", "time",
+                                                      "clock"};
+    const auto &toks = f.tokens;
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+        if (toks[i].kind != TokKind::identifier)
+            continue;
+        const std::string &name = toks[i].text;
+        const bool call = i + 1 < toks.size() &&
+                          isPunct(toks[i + 1], '(');
+        if (bannedAlways.count(name) ||
+            (call && bannedCalls.count(name))) {
+            sink.add(f, toks[i].line, "wall-clock",
+                     "'" + name +
+                         "' reads host entropy/time; sim code must "
+                         "stay deterministic (use seeded Rng / "
+                         "sim.now(); wall-clock lives in "
+                         "snapshot/watchdog)");
+        }
+    }
+}
+
+// ---- unordered-iter ------------------------------------------------
+
+void
+unorderedIterRule(const LexedFile &f, Sink &sink)
+{
+    if (f.isTest)
+        return;
+    const auto &toks = f.tokens;
+    std::set<std::string> unorderedVars;
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+        if (!isIdent(toks[i], "unordered_map") &&
+            !isIdent(toks[i], "unordered_set"))
+            continue;
+        // Declaration form: unordered_xxx < ... > varName
+        if (i + 1 >= toks.size() || !isPunct(toks[i + 1], '<'))
+            continue;
+        int angle = 0;
+        std::size_t j = i + 1;
+        for (; j < toks.size() && j < i + 200; ++j) {
+            if (isPunct(toks[j], '<'))
+                ++angle;
+            else if (isPunct(toks[j], '>') && --angle == 0)
+                break;
+            else if (isPunct(toks[j], ';'))
+                break;
+        }
+        if (j >= toks.size() || !isPunct(toks[j], '>'))
+            continue;
+        if (j + 1 < toks.size() &&
+            toks[j + 1].kind == TokKind::identifier) {
+            unorderedVars.insert(toks[j + 1].text);
+            sink.add(f, toks[i].line, "unordered-iter",
+                     "'" + toks[j + 1].text + "' is an " +
+                         toks[i].text +
+                         ": hash-order iteration can leak into "
+                         "event ordering; use std::map / sorted "
+                         "iteration or justify with an inline "
+                         "allow");
+        }
+    }
+    if (unorderedVars.empty())
+        return;
+    // Iteration sites over those variables (range-for or .begin()).
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+        if (toks[i].kind != TokKind::identifier ||
+            unorderedVars.count(toks[i].text) == 0)
+            continue;
+        const bool begins = i + 2 < toks.size() &&
+                            isPunct(toks[i + 1], '.') &&
+                            (isIdent(toks[i + 2], "begin") ||
+                             isIdent(toks[i + 2], "cbegin"));
+        bool rangeFor = false;
+        if (i >= 2) {
+            // look back for `for ( ... :` preceding this use
+            for (std::size_t k = i; k-- > 0 && i - k < 24;) {
+                if (isPunct(toks[k], ';') || isPunct(toks[k], '{') ||
+                    isPunct(toks[k], '}'))
+                    break;
+                if (isIdent(toks[k], "for")) {
+                    for (std::size_t m = k + 1; m < i; ++m) {
+                        if (isPunct(toks[m], ':') &&
+                            !isPunct(toks[m - 1], ':') &&
+                            (m + 1 >= toks.size() ||
+                             !isPunct(toks[m + 1], ':'))) {
+                            rangeFor = true;
+                            break;
+                        }
+                    }
+                    break;
+                }
+            }
+        }
+        if (begins || rangeFor) {
+            sink.add(f, toks[i].line, "unordered-iter",
+                     "iteration over unordered container '" +
+                         toks[i].text +
+                         "': order is hash-dependent and "
+                         "nondeterministic across "
+                         "implementations");
+        }
+    }
+}
+
+// ---- static-mutable ------------------------------------------------
+
+void
+staticMutableRule(const LexedFile &f, Sink &sink)
+{
+    if (f.isTest)
+        return;
+    const auto &toks = f.tokens;
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+        if (!isIdent(toks[i], "static"))
+            continue;
+        if (i + 1 >= toks.size())
+            break;
+        const Token &next = toks[i + 1];
+        if (isIdent(next, "const") || isIdent(next, "constexpr") ||
+            isIdent(next, "constinit") || isIdent(next, "assert"))
+            continue;
+        // Walk to the first structural token: '(' first means a
+        // function declaration, '=' / ';' / '{' first means a
+        // mutable static object.
+        int angle = 0;
+        bool flagged = false;
+        for (std::size_t j = i + 1;
+             j < toks.size() && j < i + 100; ++j) {
+            const Token &t = toks[j];
+            if (isPunct(t, '<'))
+                ++angle;
+            else if (isPunct(t, '>'))
+                angle = std::max(0, angle - 1);
+            if (angle > 0)
+                continue;
+            if (isPunct(t, '('))
+                break; // function (or ctor-init: a blind spot)
+            if (isPunct(t, '=') || isPunct(t, ';') ||
+                isPunct(t, '{')) {
+                flagged = true;
+                break;
+            }
+        }
+        if (flagged) {
+            sink.add(f, toks[i].line, "static-mutable",
+                     "mutable 'static' state in sim code breaks "
+                         "run isolation and checkpoint coverage; "
+                         "make it a member, const, or justify with "
+                         "an inline allow");
+        }
+    }
+}
+
+// ---- void-discard --------------------------------------------------
+
+void
+voidDiscardRule(const LexedFile &f, Sink &sink)
+{
+    if (f.isTest)
+        return;
+    const auto &toks = f.tokens;
+    for (std::size_t i = 0; i + 2 < toks.size(); ++i) {
+        // static_cast<void>(...)
+        if (isIdent(toks[i], "static_cast") &&
+            isPunct(toks[i + 1], '<') &&
+            isIdent(toks[i + 2], "void")) {
+            sink.add(f, toks[i].line, "void-discard",
+                     "static_cast<void> launders a [[nodiscard]] "
+                     "result; handle the Status/Result instead");
+            continue;
+        }
+        // ( void ) <expr containing a call> ;
+        if (!(isPunct(toks[i], '(') && isIdent(toks[i + 1], "void") &&
+              isPunct(toks[i + 2], ')')))
+            continue;
+        if (i + 3 >= toks.size() ||
+            toks[i + 3].kind != TokKind::identifier)
+            continue; // parameter list `(void)` or cast of nothing
+        bool hasCall = false;
+        for (std::size_t j = i + 3;
+             j < toks.size() && j < i + 300; ++j) {
+            if (isPunct(toks[j], ';'))
+                break;
+            if (isPunct(toks[j], '(')) {
+                hasCall = true;
+                break;
+            }
+        }
+        if (hasCall) {
+            sink.add(f, toks[i].line, "void-discard",
+                     "'(void)' cast discards a call's return "
+                     "value; Status/Result are [[nodiscard]] so "
+                     "handle the outcome (count it, log it, or "
+                     "propagate it)");
+        }
+    }
+}
+
+// ---- serialize-pair / serialize-registry ---------------------------
+
+struct SerializerFlavor
+{
+    const char *ser;
+    const char *deser;
+};
+
+constexpr SerializerFlavor serializerFlavors[] = {
+    {"serialize", "deserialize"},
+    {"serializePolicy", "deserializePolicy"},
+    {"serializeState", "deserializeState"},
+};
+
+struct ClassRecord
+{
+    std::string name;
+    const LexedFile *file = nullptr;
+    int line = 0; ///< class declaration line
+    std::map<std::string, int> serLines; ///< flavor.ser -> decl line
+    std::set<std::string> desers;
+};
+
+/** Extract class records (with serializer methods) from one file. */
+void
+collectClasses(const LexedFile &f, std::vector<ClassRecord> &out)
+{
+    const auto &toks = f.tokens;
+    struct Frame
+    {
+        ClassRecord rec;
+        int openDepth = 0;
+        bool isClass = false;
+    };
+    std::vector<Frame> stack;
+    int depth = 0;
+    bool enumPending = false;
+    // Class frames awaiting their opening brace.
+    std::vector<Frame> pending;
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+        const Token &t = toks[i];
+        if (isIdent(t, "enum")) {
+            enumPending = true;
+            continue;
+        }
+        if (isIdent(t, "class") || isIdent(t, "struct")) {
+            if (enumPending) {
+                enumPending = false;
+                continue;
+            }
+            std::size_t j = i + 1;
+            // skip [[attributes]] such as class [[nodiscard]] Foo
+            if (j + 1 < toks.size() && isPunct(toks[j], '[') &&
+                isPunct(toks[j + 1], '[')) {
+                j += 2;
+                while (j < toks.size() && !isPunct(toks[j], ']'))
+                    ++j;
+                while (j < toks.size() && isPunct(toks[j], ']'))
+                    ++j;
+            }
+            if (j >= toks.size() ||
+                toks[j].kind != TokKind::identifier)
+                continue;
+            Frame fr;
+            fr.rec.name = toks[j].text;
+            fr.rec.file = &f;
+            fr.rec.line = toks[j].line;
+            fr.isClass = true;
+            // Find whether a body follows (skip base list).
+            for (std::size_t k = j + 1;
+                 k < toks.size() && k < j + 200; ++k) {
+                if (isPunct(toks[k], ';'))
+                    break; // forward declaration
+                if (isPunct(toks[k], '{')) {
+                    pending.push_back(fr);
+                    break;
+                }
+            }
+            continue;
+        }
+        if (t.kind == TokKind::punct && t.text == "{") {
+            ++depth;
+            if (!pending.empty()) {
+                Frame fr = pending.back();
+                pending.pop_back();
+                fr.openDepth = depth;
+                stack.push_back(std::move(fr));
+            }
+            continue;
+        }
+        if (t.kind == TokKind::punct && t.text == "}") {
+            if (!stack.empty() && stack.back().openDepth == depth) {
+                out.push_back(std::move(stack.back().rec));
+                stack.pop_back();
+            }
+            --depth;
+            continue;
+        }
+        if (t.kind == TokKind::identifier && !stack.empty() &&
+            i + 1 < toks.size() && isPunct(toks[i + 1], '(')) {
+            for (const auto &flavor : serializerFlavors) {
+                if (t.text == flavor.ser)
+                    stack.back().rec.serLines.emplace(flavor.ser,
+                                                      t.line);
+                if (t.text == flavor.deser)
+                    stack.back().rec.desers.insert(flavor.deser);
+            }
+        }
+    }
+    while (!stack.empty()) {
+        out.push_back(std::move(stack.back().rec));
+        stack.pop_back();
+    }
+}
+
+/** One parsed line of serialized_state.txt. */
+struct RegistryEntry
+{
+    std::string className;
+    std::string cover;
+    int line = 0;
+};
+
+std::vector<RegistryEntry>
+parseRegistry(const std::string &text)
+{
+    std::vector<RegistryEntry> entries;
+    std::istringstream in(text);
+    std::string line;
+    int line_no = 0;
+    while (std::getline(in, line)) {
+        ++line_no;
+        const auto hash = line.find('#');
+        if (hash != std::string::npos)
+            line = line.substr(0, hash);
+        std::istringstream fields(line);
+        RegistryEntry e;
+        e.line = line_no;
+        if (fields >> e.className >> e.cover)
+            entries.push_back(std::move(e));
+    }
+    return entries;
+}
+
+void
+serializeRules(const ScanInput &in, Sink &sink,
+               std::vector<Finding> &registryFindings)
+{
+    std::vector<ClassRecord> classes;
+    std::set<std::string> srcLiterals;
+    for (const auto &f : in.files) {
+        if (f.isTest)
+            continue;
+        collectClasses(f, classes);
+        for (const auto &t : f.tokens)
+            if (t.kind == TokKind::str)
+                srcLiterals.insert(t.text);
+    }
+
+    const auto entries = parseRegistry(in.registryText);
+    std::set<std::string> registered;
+    for (const auto &e : entries)
+        registered.insert(e.className);
+
+    std::set<std::string> serializableNames;
+    for (const auto &rec : classes) {
+        if (rec.serLines.empty())
+            continue;
+        serializableNames.insert(rec.name);
+        for (const auto &flavor : serializerFlavors) {
+            const auto it = rec.serLines.find(flavor.ser);
+            if (it == rec.serLines.end())
+                continue;
+            if (rec.desers.count(flavor.deser) == 0) {
+                sink.add(*rec.file, it->second, "serialize-pair",
+                         "class '" + rec.name + "' declares " +
+                             flavor.ser + "() without " +
+                             flavor.deser +
+                             "(): state would be captured but not "
+                             "restorable");
+            }
+        }
+        if (registered.count(rec.name) == 0) {
+            sink.add(*rec.file, rec.serLines.begin()->second,
+                     "serialize-registry",
+                     "serializable class '" + rec.name +
+                         "' is not registered in "
+                         "tools/ablint/serialized_state.txt; map "
+                         "it to its checkpoint section (or the "
+                         "registered component that serializes "
+                         "it)");
+        }
+    }
+
+    const std::string regPath = "tools/ablint/serialized_state.txt";
+    for (const auto &e : entries) {
+        if (serializableNames.count(e.className) == 0) {
+            registryFindings.push_back(
+                {regPath, e.line, "serialize-registry",
+                 "registry entry '" + e.className +
+                     "' matches no serializable class in src/ "
+                     "(renamed or removed?)"});
+        }
+        if (registered.count(e.cover) == 0 &&
+            srcLiterals.count(e.cover) == 0) {
+            registryFindings.push_back(
+                {regPath, e.line, "serialize-registry",
+                 "cover '" + e.cover + "' of '" + e.className +
+                     "' is neither a registered class nor a "
+                     "checkpoint section string literal in src/"});
+        }
+    }
+}
+
+// ---- config-key ----------------------------------------------------
+
+void
+configKeyRule(const ScanInput &in, Sink &sink)
+{
+    for (const auto &f : in.files) {
+        if (f.isTest)
+            continue;
+        const auto &toks = f.tokens;
+        for (std::size_t i = 0; i + 3 < toks.size(); ++i) {
+            if (!isIdent(toks[i], "key") ||
+                !isPunct(toks[i + 1], '=') ||
+                !isPunct(toks[i + 2], '='))
+                continue;
+            if (toks[i + 3].kind != TokKind::str)
+                continue;
+            const std::string &lit = toks[i + 3].text;
+            if (in.docsText.find(lit) == std::string::npos) {
+                sink.add(f, toks[i + 3].line, "config-key",
+                         "config key '" + lit +
+                             "' is not documented in "
+                             "EXPERIMENTS.md or docs/ (add it to "
+                             "the config reference, docs/"
+                             "CONFIG.md)");
+            }
+        }
+    }
+}
+
+} // namespace
+
+const std::vector<std::string> &
+ruleNames()
+{
+    static const std::vector<std::string> names = {
+        "wall-clock",     "unordered-iter",     "static-mutable",
+        "void-discard",   "serialize-pair",     "serialize-registry",
+        "config-key",     "stale-baseline",
+    };
+    return names;
+}
+
+std::vector<Finding>
+runRules(const ScanInput &in)
+{
+    std::vector<Finding> findings;
+    Sink sink{findings};
+    for (const auto &f : in.files) {
+        wallClockRule(f, sink);
+        unorderedIterRule(f, sink);
+        staticMutableRule(f, sink);
+        voidDiscardRule(f, sink);
+    }
+    std::vector<Finding> registryFindings;
+    serializeRules(in, sink, registryFindings);
+    configKeyRule(in, sink);
+    findings.insert(findings.end(), registryFindings.begin(),
+                    registryFindings.end());
+    std::sort(findings.begin(), findings.end(),
+              [](const Finding &a, const Finding &b) {
+                  if (a.file != b.file)
+                      return a.file < b.file;
+                  if (a.line != b.line)
+                      return a.line < b.line;
+                  return a.rule < b.rule;
+              });
+    return findings;
+}
+
+std::vector<Finding>
+applyBaseline(const std::vector<Finding> &raw,
+              const std::string &baselineText,
+              const std::string &baselinePath, const ScanInput &in)
+{
+    struct Entry
+    {
+        std::string file;
+        int line = 0;
+        std::string rule;
+        int srcLine = 0; ///< line in the baseline file
+        bool matched = false;
+    };
+    std::vector<Entry> entries;
+    {
+        std::istringstream stream(baselineText);
+        std::string line;
+        int line_no = 0;
+        while (std::getline(stream, line)) {
+            ++line_no;
+            const auto hash = line.find('#');
+            if (hash != std::string::npos)
+                line = line.substr(0, hash);
+            while (!line.empty() &&
+                   (line.back() == ' ' || line.back() == '\r' ||
+                    line.back() == '\t'))
+                line.pop_back();
+            if (line.empty())
+                continue;
+            const auto c2 = line.rfind(':');
+            const auto c1 =
+                c2 == std::string::npos
+                    ? std::string::npos
+                    : line.rfind(':', c2 - 1);
+            if (c1 == std::string::npos) {
+                entries.push_back({line, 0, "", line_no, false});
+                continue;
+            }
+            Entry e;
+            e.file = line.substr(0, c1);
+            e.line = std::atoi(line.substr(c1 + 1, c2 - c1 - 1).c_str());
+            e.rule = line.substr(c2 + 1);
+            e.srcLine = line_no;
+            entries.push_back(std::move(e));
+        }
+    }
+
+    std::vector<Finding> kept;
+    for (const auto &f : raw) {
+        bool suppressed = false;
+        for (auto &e : entries) {
+            if (e.file == f.file && e.line == f.line &&
+                e.rule == f.rule) {
+                e.matched = true;
+                suppressed = true;
+            }
+        }
+        if (!suppressed)
+            kept.push_back(f);
+    }
+
+    for (const auto &e : entries) {
+        if (e.matched)
+            continue;
+        std::string why = "matches no current finding";
+        bool fileKnown = false;
+        for (const auto &lf : in.files) {
+            if (lf.path == e.file) {
+                fileKnown = true;
+                if (e.line > lf.lineCount)
+                    why = "references line " +
+                          std::to_string(e.line) + " past the end "
+                          "of the file (" +
+                          std::to_string(lf.lineCount) + " lines)";
+                break;
+            }
+        }
+        if (!fileKnown)
+            why = "references a file that is no longer scanned";
+        kept.push_back({baselinePath, e.srcLine, "stale-baseline",
+                        "baseline entry '" + e.file + ":" +
+                            std::to_string(e.line) + ":" + e.rule +
+                            "' " + why +
+                            "; delete it (the baseline only "
+                            "shrinks)"});
+    }
+    return kept;
+}
+
+} // namespace biglittle::ablint

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Filesystem side of ablint: walk the repo, lex every C++ file under
+ * src/ and tests/, load the docs corpus, the serialization registry
+ * and the baseline, and run the rules.
+ */
+
+#include "ablint.hh"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace fs = std::filesystem;
+
+namespace biglittle::ablint
+{
+
+namespace
+{
+
+std::string
+readFile(const fs::path &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        throw std::runtime_error("ablint: cannot read '" +
+                                 path.string() + "'");
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+bool
+isCppFile(const fs::path &p)
+{
+    const std::string ext = p.extension().string();
+    return ext == ".cc" || ext == ".hh" || ext == ".h" ||
+           ext == ".cpp" || ext == ".hpp";
+}
+
+/** Path relative to @p root when under it, generic separators. */
+std::string
+repoRelative(const fs::path &root, const fs::path &p)
+{
+    std::error_code ec;
+    const fs::path rel = fs::relative(p, root, ec);
+    if (ec || rel.empty() || rel.native()[0] == '.')
+        return p.generic_string();
+    return rel.generic_string();
+}
+
+void
+collectDir(const fs::path &root, const fs::path &dir,
+           std::vector<fs::path> &files)
+{
+    if (!fs::exists(dir))
+        return;
+    for (const auto &entry : fs::recursive_directory_iterator(dir)) {
+        if (entry.is_regular_file() && isCppFile(entry.path()))
+            files.push_back(entry.path());
+    }
+    (void)root;
+}
+
+} // namespace
+
+std::vector<Finding>
+runOnRepo(const std::string &repoRoot, const std::string &baselinePath,
+          const std::string &registryPath,
+          const std::vector<std::string> &extraPaths)
+{
+    const fs::path root(repoRoot);
+    if (!fs::exists(root / "src"))
+        throw std::runtime_error(
+            "ablint: '" + repoRoot +
+            "' does not look like the repo root (no src/)");
+
+    std::vector<fs::path> files;
+    collectDir(root, root / "src", files);
+    collectDir(root, root / "tests", files);
+    for (const auto &extra : extraPaths) {
+        const fs::path p(extra);
+        if (fs::is_directory(p))
+            collectDir(root, p, files);
+        else if (fs::is_regular_file(p))
+            files.push_back(p);
+        else
+            throw std::runtime_error("ablint: no such path '" +
+                                     extra + "'");
+    }
+    // The linter itself must be deterministic: directory iteration
+    // order is filesystem-dependent, so sort by repo-relative path.
+    std::sort(files.begin(), files.end(),
+              [&](const fs::path &a, const fs::path &b) {
+                  return repoRelative(root, a) < repoRelative(root, b);
+              });
+    files.erase(std::unique(files.begin(), files.end()),
+                files.end());
+
+    ScanInput in;
+    for (const auto &p : files)
+        in.files.push_back(
+            lexString(repoRelative(root, p), readFile(p)));
+
+    if (fs::exists(root / "EXPERIMENTS.md"))
+        in.docsText += readFile(root / "EXPERIMENTS.md");
+    if (fs::exists(root / "docs")) {
+        std::vector<fs::path> docs;
+        for (const auto &entry :
+             fs::directory_iterator(root / "docs")) {
+            if (entry.is_regular_file() &&
+                entry.path().extension() == ".md")
+                docs.push_back(entry.path());
+        }
+        std::sort(docs.begin(), docs.end());
+        for (const auto &d : docs)
+            in.docsText += readFile(d);
+    }
+
+    const fs::path registry =
+        registryPath.empty()
+            ? root / "tools" / "ablint" / "serialized_state.txt"
+            : fs::path(registryPath);
+    if (fs::exists(registry))
+        in.registryText = readFile(registry);
+
+    const std::vector<Finding> raw = runRules(in);
+
+    const fs::path baseline =
+        baselinePath.empty()
+            ? root / "tools" / "ablint" / "baseline.txt"
+            : fs::path(baselinePath);
+    const std::string baselineText =
+        fs::exists(baseline) ? readFile(baseline) : std::string();
+    return applyBaseline(raw, baselineText,
+                         repoRelative(root, baseline), in);
+}
+
+} // namespace biglittle::ablint
