@@ -21,13 +21,20 @@ main(int argc, char **argv)
     ArgParser args("bench_fig09_little_freq_dist",
                    "Fig. 9: little-core frequency distribution");
     args.addString("csv", "", "mirror rows into this CSV file");
+    addRaceOptions(args);
     args.parse(argc, argv);
 
     std::unique_ptr<CsvWriter> csv;
     if (!args.getString("csv").empty())
         csv = std::make_unique<CsvWriter>(args.getString("csv"));
 
-    const auto results = runApps(baselineConfig(), allApps());
+    ExperimentConfig cfg = baselineConfig();
+    applyRaceOptions(args, cfg);
+    RaceGate gate(args);
+
+    const auto apps = allApps();
+    const auto results = runApps(cfg, apps);
+    gate.check(cfg, apps, results);
     printFreqResidencyTable(results, /*big=*/false, csv.get());
-    return 0;
+    return gate.exitCode();
 }

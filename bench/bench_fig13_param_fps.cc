@@ -24,6 +24,7 @@ main(int argc, char **argv)
     ArgParser args("bench_fig13_param_fps",
                    "Fig. 13: FPS change of 8 configs");
     args.addString("csv", "", "mirror rows into this CSV file");
+    addRaceOptions(args);
     args.parse(argc, argv);
 
     std::unique_ptr<CsvWriter> csv;
@@ -33,8 +34,12 @@ main(int argc, char **argv)
                      "fps_change_pct"});
     }
 
+    RaceGate gate(args);
     const auto apps = fpsApps();
-    const auto baseline = runApps(baselineConfig(), apps);
+    ExperimentConfig baseline_cfg = baselineConfig();
+    applyRaceOptions(args, baseline_cfg);
+    const auto baseline = runApps(baseline_cfg, apps);
+    gate.check(baseline_cfg, apps, baseline);
 
     std::printf("%s\n",
                 (padRight("config", 20) + padLeft("avg %", 9) +
@@ -43,7 +48,10 @@ main(int argc, char **argv)
     std::puts("  (average-FPS change vs baseline; negative = worse)");
 
     for (const SweepPoint &point : parameterSweep()) {
-        const auto results = runApps(point.config, apps);
+        ExperimentConfig sweep_cfg = point.config;
+        applyRaceOptions(args, sweep_cfg);
+        const auto results = runApps(sweep_cfg, apps);
+        gate.check(sweep_cfg, apps, results);
         double sum = 0.0, mn = 1e9, mx = -1e9;
         for (std::size_t a = 0; a < apps.size(); ++a) {
             const double change =
@@ -64,5 +72,5 @@ main(int argc, char **argv)
                     padRight(point.label, 20).c_str(),
                     sum / static_cast<double>(apps.size()), mn, mx);
     }
-    return 0;
+    return gate.exitCode();
 }

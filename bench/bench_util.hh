@@ -143,6 +143,103 @@ applySnapshotOptions(const ArgParser &args, ExperimentConfig &cfg)
         static_cast<std::uint64_t>(args.getInt("seed"));
 }
 
+/** Declare the abrace determinism options on @p args. */
+inline void
+addRaceOptions(ArgParser &args)
+{
+    args.addFlag("race-detect",
+                 "attach the abrace same-tick race detector; "
+                 "conflicts print TSan-style and fail the bench");
+    args.addFlag("permute-ties",
+                 "rerun every condition under lifo and seeded-shuffle "
+                 "tie-breaks and byte-compare end-state digests "
+                 "(implies --race-detect)");
+    args.addString("race-baseline", "",
+                   "abrace suppression baseline, e.g. "
+                   "tools/abrace/baseline.txt");
+}
+
+/** Apply the addRaceOptions() values onto @p cfg. */
+inline void
+applyRaceOptions(const ArgParser &args, ExperimentConfig &cfg)
+{
+    cfg.race.detect =
+        args.getFlag("race-detect") || args.getFlag("permute-ties");
+    cfg.race.baselinePath = args.getString("race-baseline");
+}
+
+/**
+ * Per-bench --race-detect / --permute-ties verdict.  After each
+ * runApps() batch, check() reports abrace conflicts and (under
+ * --permute-ties) reruns every app with lifo and seeded-shuffle
+ * tie-breaks, byte-comparing end-state digests against the fifo run.
+ * exitCode() turns any failure into a nonzero bench exit.
+ */
+class RaceGate
+{
+  public:
+    explicit RaceGate(const ArgParser &args)
+        : detect(args.getFlag("race-detect") ||
+                 args.getFlag("permute-ties")),
+          permute(args.getFlag("permute-ties"))
+    {
+    }
+
+    void
+    check(const ExperimentConfig &cfg,
+          const std::vector<AppSpec> &apps,
+          const std::vector<AppRunResult> &results)
+    {
+        if (!detect)
+            return;
+        BL_ASSERT(apps.size() == results.size());
+        for (std::size_t i = 0; i < results.size(); ++i) {
+            const AppRunResult &r = results[i];
+            if (r.raceConflicts > 0) {
+                ++failures;
+                std::fprintf(stderr, "%s", r.raceReport.c_str());
+            }
+            if (permute)
+                checkPermuted(cfg, apps[i], r);
+        }
+    }
+
+    int exitCode() const { return failures == 0 ? 0 : 1; }
+
+  private:
+    void
+    checkPermuted(const ExperimentConfig &cfg, const AppSpec &app,
+                  const AppRunResult &fifo)
+    {
+        for (const TieBreak mode :
+             {TieBreak::lifo, TieBreak::shuffle}) {
+            ExperimentConfig rerun_cfg = cfg;
+            rerun_cfg.race.tieBreak = mode;
+            Experiment experiment(rerun_cfg);
+            const AppRunResult rerun = experiment.runApp(app);
+            const Status st = compareStateDigests(fifo, rerun);
+            const char *name =
+                mode == TieBreak::lifo ? "lifo" : "shuffle";
+            if (!st.ok()) {
+                ++failures;
+                std::fprintf(stderr,
+                             "  [%s] %s: %s tie-break DIVERGED: %s\n",
+                             cfg.label.c_str(), app.name.c_str(),
+                             name, st.message().c_str());
+            } else {
+                std::fprintf(stderr,
+                             "  [%s] %s: %s tie-break digests match\n",
+                             cfg.label.c_str(), app.name.c_str(),
+                             name);
+            }
+        }
+    }
+
+    bool detect;
+    bool permute;
+    std::size_t failures = 0;
+};
+
 /** One stderr line of checkpoint overhead, when any were written. */
 inline void
 reportCheckpointOverhead(const AppRunResult &r)

@@ -10,6 +10,7 @@
 #include "base/strutil.hh"
 #include "governor/simple_governors.hh"
 #include "sched/hmp.hh"
+#include "sim/abrace.hh"
 #include "sim/simulation.hh"
 #include "snapshot/event_trace.hh"
 #include "workload/behavior.hh"
@@ -47,6 +48,38 @@ AppRunResult::performanceValue() const
         return static_cast<double>(latency) /
                static_cast<double>(oneMs);
     return avgFps;
+}
+
+Status
+compareStateDigests(const AppRunResult &a, const AppRunResult &b)
+{
+    if (a.stateDigests.size() != b.stateDigests.size()) {
+        return internalError(format(
+            "state digest section counts differ: %zu vs %zu",
+            a.stateDigests.size(), b.stateDigests.size()));
+    }
+    for (std::size_t i = 0; i < a.stateDigests.size(); ++i) {
+        const auto &[nameA, digestA] = a.stateDigests[i];
+        const auto &[nameB, digestB] = b.stateDigests[i];
+        if (nameA != nameB) {
+            return internalError(format(
+                "state digest section %zu named '%s' vs '%s'", i,
+                nameA.c_str(), nameB.c_str()));
+        }
+        // The eventq digest folds in per-event sequence numbers,
+        // which legitimately differ under a permuted tie-break.
+        if (nameA == "eventq")
+            continue;
+        if (digestA != digestB) {
+            return internalError(format(
+                "state digests diverge in section '%s': "
+                "%016llx vs %016llx",
+                nameA.c_str(),
+                static_cast<unsigned long long>(digestA),
+                static_cast<unsigned long long>(digestB)));
+        }
+    }
+    return okStatus();
 }
 
 namespace
@@ -208,6 +241,25 @@ Experiment::runApp(const AppSpec &app)
     }
 
     Rig rig(cfg);
+
+    // abrace: attach the race detector / permuted tie-break before
+    // any event is scheduled so provenance covers the whole run.
+    std::unique_ptr<RaceDetector> race;
+    if (cfg.race.detect) {
+        race = std::make_unique<RaceDetector>();
+        if (!cfg.race.baselinePath.empty()) {
+            const Status loaded =
+                race->loadBaseline(cfg.race.baselinePath);
+            if (!loaded.ok())
+                fatal("abrace: %s", loaded.toString().c_str());
+        }
+        rig.sim.eventQueue().setRaceDetector(race.get());
+    }
+    if (cfg.race.tieBreak != TieBreak::fifo) {
+        rig.sim.eventQueue().setTieBreak(cfg.race.tieBreak,
+                                         cfg.race.shuffleSeed);
+    }
+
     StateSampler sampler(rig.sim, rig.platform, cfg.sampleWindow);
     EfficiencyAnalyzer efficiency(rig.sim, rig.platform,
                                   cfg.sampleWindow);
@@ -341,6 +393,21 @@ Experiment::runApp(const AppSpec &app)
     }
 
     watchdog.stop();
+    // abrace: close the last open batch, harvest, and detach before
+    // teardown (component destructors deschedule events, and the
+    // detector is destroyed before the rig is).
+    if (race != nullptr) {
+        race->finish();
+        rig.sim.eventQueue().setRaceDetector(nullptr);
+        result.raceConflicts = race->conflicts().size();
+        result.raceSuppressed = race->suppressedCount();
+        result.raceReport = race->report();
+        if (result.raceConflicts > 0) {
+            warn("abrace: %llu conflict(s) in app '%s':\n%s",
+                 static_cast<unsigned long long>(result.raceConflicts),
+                 app.name.c_str(), result.raceReport.c_str());
+        }
+    }
     if (comparer != nullptr) {
         comparer->detach();
         comparer->finish();
@@ -406,6 +473,17 @@ Experiment::runApp(const AppSpec &app)
         result.invariantViolations = rig.checker->violationCount();
         if (!final_sweep.ok())
             result.invariantSummary = final_sweep.toString();
+    }
+
+    // End-state fingerprint: one digest per checkpoint section, so
+    // two runs of the same config can be compared for bit-identity
+    // without writing checkpoint files (compareStateDigests).
+    const Checkpoint final_state =
+        collectCheckpoint(rig, instance, cfg, app.name);
+    result.stateDigests.reserve(final_state.sections.size());
+    for (const CheckpointSection &sec : final_state.sections) {
+        result.stateDigests.emplace_back(
+            sec.name, fnv1a64(sec.payload.data(), sec.payload.size()));
     }
     return result;
 }

@@ -26,6 +26,7 @@
 #include "platform/power.hh"
 #include "platform/thermal.hh"
 #include "sched/sched_params.hh"
+#include "sim/eventq.hh"
 #include "snapshot/checkpoint.hh"
 #include "snapshot/watchdog.hh"
 #include "workload/app_model.hh"
@@ -76,6 +77,38 @@ struct SnapshotParams
      * with recordTracePath (both use the queue's one service hook).
      */
     std::string replayTracePath;
+};
+
+/**
+ * abrace race detection and permuted tie-break controls of one run
+ * (sim/abrace.hh, docs/DETERMINISM.md).
+ */
+struct RaceParams
+{
+    /**
+     * Attach a RaceDetector to the run's event queue: every
+     * instrumented handler's noteRead/noteWrite calls are recorded
+     * and same-(tick, priority) access conflicts between unordered
+     * events are reported in AppRunResult::raceReport.
+     */
+    bool detect = false;
+
+    /**
+     * Service order within each same-(tick, priority) batch.  `fifo`
+     * is the production order; `lifo`/`shuffle` rerun the simulation
+     * under a different-but-valid order so end-state digests can be
+     * compared (compareStateDigests) to prove order independence.
+     */
+    TieBreak tieBreak = TieBreak::fifo;
+
+    /** Seed of the `shuffle` tie-break's private generator. */
+    std::uint64_t shuffleSeed = 1;
+
+    /**
+     * abrace suppression baseline to load (empty = none).  The
+     * checked-in tools/abrace/baseline.txt is empty and stays so.
+     */
+    std::string baselinePath;
 };
 
 /** Checkpoint overhead of one run. */
@@ -141,6 +174,9 @@ struct ExperimentConfig
     /** Wall-clock stall/runaway monitor. */
     WatchdogParams watchdog;
 
+    /** abrace race detection / permuted tie-break controls. */
+    RaceParams race;
+
     std::string label = "default";
 };
 
@@ -205,9 +241,34 @@ struct AppRunResult
     bool traceDiverged = false;
     std::string divergenceReport; ///< first-diverging-event details
 
+    // abrace (populated when cfg.race.detect)
+    std::uint64_t raceConflicts = 0; ///< distinct unsuppressed conflicts
+    std::uint64_t raceSuppressed = 0; ///< occurrences suppressed
+    std::string raceReport; ///< TSan-style details, empty when clean
+
+    /**
+     * Per-section fnv1a64 digest of the final full-state checkpoint,
+     * in section order ("eventq", "cluster.N", ..., "app").  Always
+     * populated; the permuted tie-break replay byte-compares these
+     * between a fifo run and a lifo/shuffle rerun via
+     * compareStateDigests().
+     */
+    std::vector<std::pair<std::string, std::uint64_t>> stateDigests;
+
     /** Headline performance number: ms latency or average FPS. */
     double performanceValue() const;
 };
+
+/**
+ * Compare the end-state digests of two runs of the same config.
+ * Matches section by section but skips "eventq": its digest folds in
+ * per-event sequence numbers, which legitimately differ under a
+ * permuted tie-break even when the runs are otherwise bit-identical
+ * (docs/DETERMINISM.md lists this as a known blind spot).  Returns
+ * ok on match, otherwise names the first differing section.
+ */
+[[nodiscard]] Status compareStateDigests(const AppRunResult &a,
+                                         const AppRunResult &b);
 
 /** Metrics of one single-core fixed-frequency kernel run. */
 struct KernelRunResult

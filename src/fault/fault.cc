@@ -57,6 +57,12 @@ FaultInjector::addThermal(ThermalThrottle *throttle)
 DvfsFaultAction
 FaultInjector::gateDecision()
 {
+    // Called from inside whatever event requested the frequency: the
+    // draw advances the injector's shared rng, so two same-batch
+    // requesters would consume each other's numbers.  This is how
+    // abrace caught the per-cluster governor samplers sharing a slot
+    // (docs/DETERMINISM.md).
+    sim.noteWrite("fault", "rng");
     const double u = rng.uniform();
     if (u < fp.dvfsDenyProb) {
         ++faultStats.dvfsDenied;
@@ -106,6 +112,10 @@ FaultInjector::stop()
 void
 FaultInjector::draw(Tick)
 {
+    // The draw consumes the injector's rng and may mutate topology,
+    // thermal state, or task backlogs; any same-priority peer event
+    // touching those cells would race with it.
+    sim.noteWrite("fault", "rng");
     const double dt = ticksToSeconds(fp.drawPeriod);
     if (rng.chance(fp.hotplugRatePerSec * dt))
         injectHotplug();
@@ -138,6 +148,7 @@ FaultInjector::injectHotplug()
         ++faultStats.hotplugRejected;
         return;
     }
+    sim.noteWrite(plat.core(id).name(), "online");
     const Status off = plat.setCoreOnline(id, false);
     if (!off.ok()) {
         ++faultStats.hotplugRejected;
@@ -148,9 +159,10 @@ FaultInjector::injectHotplug()
              static_cast<unsigned long long>(
                  ticksToMs(fp.hotplugDownTime)));
     sim.after(fp.hotplugDownTime, [this, id] {
+        sim.noteWrite(plat.core(id).name(), "online");
         if (plat.setCoreOnline(id, true).ok())
             ++faultStats.hotplugOn;
-    }, EventPriority::deferred, "fault.replug");
+    }, EventPriority::faultReplug, "fault.replug");
 }
 
 void

@@ -69,6 +69,10 @@ InvariantChecker::violate(std::string what)
 Status
 InvariantChecker::checkNow()
 {
+    // A pure observer: declare representative reads so abrace can
+    // prove the sweep commutes with the samplers sharing its
+    // priority (read-read pairs are never reported).
+    sim.noteRead("sched", "rrCursor");
     const std::uint64_t before = violationTotal;
     checkTime();
     checkTopology();

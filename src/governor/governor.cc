@@ -33,7 +33,8 @@ Governor::start()
     if (samplerTask == nullptr) {
         samplerTask = &sim.addPeriodic(
             samplingPeriod(), [this](Tick now) { onSample(now); },
-            EventPriority::governor,
+            offsetPriority(EventPriority::governor,
+                           clusterRef.core(0).id(), clusterSlots),
             clusterRef.name() + "." + governorName + ".sample");
     }
     samplerTask->setPeriod(samplingPeriod());
@@ -50,6 +51,8 @@ Governor::stop()
 void
 Governor::onSample(Tick now)
 {
+    sim.noteRead(clusterRef.name(), "busy");
+    sim.noteWrite(clusterRef.name() + "." + governorName, "policy");
     ++sampleCount;
     sample(now);
 }

@@ -15,7 +15,7 @@ FreqDomain::FreqDomain(Simulation &sim_in, std::string name_in,
       table(std::move(opps_in)), latency(transition_latency),
       ceilingIndex(table.empty() ? 0 : table.size() - 1),
       pendingIndex(table.size()),
-      applyEvent([this] { applyPending(); }, EventPriority::taskState,
+      applyEvent([this] { applyPending(); }, EventPriority::dvfsApply,
                  domainName + ".dvfs-apply")
 {
     BL_ASSERT(!table.empty());
@@ -42,6 +42,7 @@ FreqDomain::indexFor(FreqKHz target) const
 void
 FreqDomain::setCeiling(FreqKHz ceiling)
 {
+    sim.noteWrite(domainName, "ceiling");
     std::size_t index = 0;
     for (std::size_t i = 0; i < table.size(); ++i) {
         if (table[i].freq <= ceiling)
@@ -57,6 +58,7 @@ FreqDomain::setCeiling(FreqKHz ceiling)
 Status
 FreqDomain::requestFreq(FreqKHz target)
 {
+    sim.noteWrite(domainName, "pending");
     const std::size_t index = indexFor(target);
     if (index == curIndex) {
         // Cancel any pending change that would move us away.
@@ -112,6 +114,7 @@ FreqDomain::setFreqNow(FreqKHz target)
 void
 FreqDomain::applyPending()
 {
+    sim.noteWrite(domainName, "pending");
     if (pendingIndex >= table.size())
         return;
     const std::size_t index = pendingIndex;
@@ -122,8 +125,10 @@ FreqDomain::applyPending()
 void
 FreqDomain::applyIndex(std::size_t index)
 {
+    sim.noteRead(domainName, "freq");
     if (index == curIndex)
         return;
+    sim.noteWrite(domainName, "freq");
     const Opp old = table[curIndex];
     const Opp next = table[index];
     for (const auto &listener : listeners)

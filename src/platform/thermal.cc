@@ -35,7 +35,8 @@ ThermalThrottle::start()
     if (evalTask == nullptr) {
         evalTask = &sim.addPeriodic(
             tp.evalPeriod, [this](Tick now) { evaluate(now); },
-            EventPriority::governor,
+            offsetPriority(EventPriority::thermal,
+                           clusterRef.core(0).id(), clusterSlots),
             clusterRef.name() + ".thermal");
     }
     evalTask->start();
@@ -66,6 +67,7 @@ ThermalThrottle::clampTemperature()
 void
 ThermalThrottle::injectTemperature(double delta_c)
 {
+    sim.noteWrite(clusterRef.name(), "temp");
     ++spikes;
     temp += delta_c;
     clampTemperature();
@@ -74,6 +76,9 @@ ThermalThrottle::injectTemperature(double delta_c)
 void
 ThermalThrottle::evaluate(Tick now)
 {
+    const std::string &cluster_name = clusterRef.name();
+    sim.noteRead(cluster_name, "power");
+    sim.noteWrite(cluster_name, "temp");
     const double dt = ticksToSeconds(now - lastEval);
     lastEval = now;
     const double power_w =

@@ -77,6 +77,7 @@ HmpScheduler::freqScale(const Core &core) const
 void
 HmpScheduler::wakeup(Task &task)
 {
+    sim.noteWrite(task.name(), "state");
     ++schedStats.wakeups;
     // Catch-up decay: the load history is frozen while the task
     // sleeps and the elapsed sleep is accounted here, as PELT does.
@@ -152,6 +153,12 @@ Core *
 HmpScheduler::pickTargetCore(CoreType type, const Task &task)
 {
     (void)task;
+    // The rotating cursor and the depth scan make placement depend
+    // on every earlier same-tick wakeup: declare both so abrace can
+    // pair concurrent wakeups that contend for cores.
+    sim.noteWrite("sched", "rrCursor");
+    for (const auto &runner_ptr : runners)
+        sim.noteRead(runner_ptr->core().name(), "rq");
     // Rotate the starting point so same-depth ties do not funnel
     // every placement onto the lowest-numbered core; independent
     // light threads then spread across the cluster the way wakeup
@@ -211,6 +218,13 @@ HmpScheduler::evacuateCore(CoreId id)
 void
 HmpScheduler::tick(Tick now)
 {
+    // The scheduler tick reads and rewrites every run queue; its
+    // distinct EventPriority::schedTick keeps it out of the
+    // task-state batches, so these accesses only pair against other
+    // schedTick events.
+    sim.noteWrite("sched", "rrCursor");
+    for (const auto &runner_ptr : runners)
+        sim.noteWrite(runner_ptr->core().name(), "rq");
     ++schedStats.ticks;
     updateLoads(now);
     migrationPass();

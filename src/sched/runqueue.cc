@@ -13,7 +13,9 @@ namespace biglittle
 CoreRunner::CoreRunner(Simulation &sim_in, Core &core_in,
                        HmpScheduler &sched_in, const SchedParams &params_in)
     : sim(sim_in), coreRef(core_in), sched(sched_in), params(params_in),
-      sliceEvent([this] { onSliceEvent(); }, EventPriority::taskState,
+      sliceEvent([this] { onSliceEvent(); },
+                 offsetPriority(EventPriority::sliceEnd, core_in.id(),
+                                sliceSlots),
                  core_in.name() + ".slice")
 {
     coreRef.freqDomain().addListener(
@@ -40,6 +42,8 @@ CoreRunner::loadSum() const
 void
 CoreRunner::enqueue(Task &task)
 {
+    sim.noteWrite(coreRef.name(), "rq");
+    sim.noteWrite(task.name(), "state");
     BL_ASSERT(coreRef.online());
     BL_ASSERT(!task.drained());
     task.noteQueued(coreRef, sim.now());
@@ -55,6 +59,8 @@ CoreRunner::enqueue(Task &task)
 void
 CoreRunner::remove(Task &task)
 {
+    sim.noteWrite(coreRef.name(), "rq");
+    sim.noteWrite(task.name(), "state");
     if (cur == &task) {
         chargeRunning();
         task.accrueLoad(sim.now(), sched.freqScale(coreRef));
@@ -128,6 +134,8 @@ void
 CoreRunner::onSliceEvent()
 {
     BL_ASSERT(cur != nullptr);
+    sim.noteWrite(coreRef.name(), "rq");
+    sim.noteWrite(cur->name(), "state");
     // Charge elapsed progress (and runtime attribution) first; at a
     // planned completion point, clear any floating-point residue so
     // the task actually drains.
@@ -163,6 +171,10 @@ CoreRunner::onFreqChange(FreqKHz new_freq)
 {
     if (cur == nullptr)
         return;
+    // Fired from the domain's dvfs-apply handler: the running slice
+    // is re-planned at the new speed, which contends with this
+    // core's own slice event when both land on one tick.
+    sim.noteWrite(coreRef.name(), "rq");
     chargeRunning();
     if (cur->drained()) {
         // Rounding placed completion a hair after the change; let the

@@ -27,15 +27,69 @@ class EventQueue;
  * first.  The ordering mirrors what a real kernel does in one tick:
  * task state changes settle before the scheduler looks at loads, the
  * governor samples after scheduling, and statistics observe last.
+ *
+ * Within the task-state band every *actor* owns a distinct slot
+ * (per-core slice events, the DVFS apply, input sources, the workflow
+ * driver, per-behavior work submission), because their handlers all
+ * funnel into HmpScheduler::wakeup and contend for the same run
+ * queues and placement cursor.  Sharing one slot would leave their
+ * same-tick order to the arbitrary schedule-order tie-break - the
+ * exact nondeterminism class abrace exists to catch (sim/abrace.hh).
+ * The full priority table with the rationale for each slot lives in
+ * docs/DETERMINISM.md.
  */
 enum class EventPriority : std::int32_t
 {
-    taskState = 0, ///< wakeups, completions, sleep transitions
-    schedTick = 10, ///< scheduler load update + migration
-    governor = 20, ///< DVFS governor sampling
-    stats = 30, ///< state samplers, meters
-    deferred = 40, ///< everything else
+    /** Base of the per-core slice-event slots: slot = sliceEnd +
+     *  core id, capped to `sliceSlots` cores.  Completions and
+     *  quantum expiries settle in core-id order. */
+    sliceEnd = 0,
+    taskState = 0, ///< legacy alias: generic task-state events
+    dvfsApply = 16, ///< frequency-domain apply (after work settles)
+    inputPump = 17, ///< input sources delivering user bursts
+    workflowStep = 18, ///< workflow driver think/act steps
+    /** Base of the per-behavior work-submission slots: slot =
+     *  workSubmit + behavior index, capped to `workSlots`. */
+    workSubmit = 20,
+    schedTick = 40, ///< scheduler load update + migration
+    /** Base of the per-cluster thermal-evaluation slots: slot =
+     *  thermal + the cluster's first core id, capped to
+     *  `clusterSlots`.  Ceiling updates settle before the governors
+     *  sample, so a request always sees the fresh ceiling. */
+    thermal = 44,
+    /** Base of the per-cluster governor-sampling slots, keyed like
+     *  `thermal`.  Distinct slots keep the two clusters' samplers -
+     *  which share the fault injector's DVFS-gate rng - out of one
+     *  tie-break batch. */
+    governor = 60,
+    stats = 80, ///< state samplers, meters
+    faultReplug = 88, ///< hotplug capacity restoration
+    deferred = 90, ///< everything else
 };
+
+/** Width of the per-core slice-event priority band. */
+constexpr std::size_t sliceSlots = 16;
+
+/** Width of the per-behavior work-submission priority band. */
+constexpr std::size_t workSlots = 16;
+
+/** Width of the per-cluster thermal/governor priority bands. */
+constexpr std::size_t clusterSlots = 16;
+
+/**
+ * The @p slot'th priority of the band starting at @p base.  Slots at
+ * or beyond @p width share the band's last value - they stay inside
+ * the band (no collision with the next one), and abrace still
+ * watches whatever ends up sharing a slot.
+ */
+constexpr EventPriority
+offsetPriority(EventPriority base, std::size_t slot, std::size_t width)
+{
+    const std::size_t capped = slot < width ? slot : width - 1;
+    return static_cast<EventPriority>(
+        static_cast<std::int32_t>(base) +
+        static_cast<std::int32_t>(capped));
+}
 
 /**
  * Base class for schedulable events.  Subclasses implement process().

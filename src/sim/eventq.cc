@@ -1,10 +1,12 @@
 #include "sim/eventq.hh"
 
+#include <iterator>
 #include <utility>
 #include <vector>
 
 #include "base/logging.hh"
 #include "base/serialize.hh"
+#include "sim/abrace.hh"
 
 namespace biglittle
 {
@@ -36,6 +38,8 @@ EventQueue::schedule(Event &event, Tick when)
     event.queue = this;
     const bool inserted = queue.insert(&event).second;
     BL_ASSERT(inserted);
+    if (race)
+        race->onScheduled(event, curTick);
 }
 
 void
@@ -45,6 +49,8 @@ EventQueue::deschedule(Event &event)
     const std::size_t erased = queue.erase(&event);
     BL_ASSERT(erased == 1);
     event.queue = nullptr;
+    if (race)
+        race->onDescheduled(event);
 }
 
 void
@@ -66,13 +72,38 @@ EventQueue::serviceOne()
 {
     if (queue.empty())
         return false;
-    Event *event = *queue.begin();
-    queue.erase(queue.begin());
+    auto head = queue.begin();
+    Event *event = *head;
+    if (tieMode != TieBreak::fifo) {
+        // Permuted tie-break: pick a different member of the head's
+        // same-(when, priority) batch.  Any pick is causally valid -
+        // an event scheduled during this batch still fires after its
+        // parent because it can only be picked on a later service.
+        auto it = head;
+        auto last = head;
+        std::size_t n = 0;
+        while (it != queue.end() && (*it)->whenTick == event->whenTick
+               && (*it)->prio == event->prio) {
+            last = it;
+            ++it;
+            ++n;
+        }
+        if (n > 1) {
+            if (tieMode == TieBreak::lifo) {
+                head = last;
+            } else {
+                head = queue.begin();
+                std::advance(head, tieRng.uniformInt(0, n - 1));
+            }
+            event = *head;
+        }
+    }
+    queue.erase(head);
     event->queue = nullptr;
     BL_ASSERT(event->whenTick >= curTick);
     curTick = event->whenTick;
     ++serviced;
-    if (serviceHook || recentCap > 0) {
+    if (serviceHook || recentCap > 0 || race) {
         ServicedEvent info{event->whenTick,
                            static_cast<std::int32_t>(event->prio),
                            event->sequence, event->name()};
@@ -83,9 +114,22 @@ EventQueue::serviceOne()
         }
         if (serviceHook)
             serviceHook(info);
+        if (race) {
+            race->beginEvent(info);
+            event->process();
+            race->endEvent();
+            return true;
+        }
     }
     event->process();
     return true;
+}
+
+void
+EventQueue::setTieBreak(TieBreak mode, std::uint64_t seed)
+{
+    tieMode = mode;
+    tieRng.seed(seed);
 }
 
 void

@@ -15,13 +15,30 @@
 #include <set>
 #include <string>
 
+#include "base/random.hh"
 #include "base/types.hh"
 #include "sim/event.hh"
 
 namespace biglittle
 {
 
+class RaceDetector;
 class Serializer;
+
+/**
+ * How the queue orders events that share a (when, priority) key.
+ * `fifo` (schedule order) is the production semantic; `lifo` and
+ * `shuffle` are deterministic but *different* valid orders used by
+ * the permuted tie-break replay harness to prove that no handler
+ * depends on the arbitrary part of the total order
+ * (docs/DETERMINISM.md).
+ */
+enum class TieBreak
+{
+    fifo, ///< schedule order (the production default)
+    lifo, ///< reverse schedule order within each batch
+    shuffle, ///< seeded-random order within each batch
+};
 
 /** A serviced event as seen by hooks and the recent-event log. */
 struct ServicedEvent
@@ -58,7 +75,17 @@ class EventQueue
     /** Remove a scheduled event (must currently be scheduled). */
     void deschedule(Event &event);
 
-    /** Move a scheduled event to a new tick (deschedule+schedule). */
+    /**
+     * Move an event to a new tick (deschedule-if-scheduled +
+     * schedule).  Same-tick semantic: because the event is
+     * re-inserted through schedule(), it always receives a *fresh*
+     * sequence number — rescheduling to the current tick (or back to
+     * its own tick) re-enters the event at the BACK of its
+     * (when, priority) batch, behind every already-pending peer.
+     * "Reschedule to now" therefore never jumps ahead of events that
+     * were queued first, and repeated reschedule churn cannot
+     * perturb the relative order of untouched events.
+     */
     void reschedule(Event &event, Tick when);
 
     /** True when no events are pending. */
@@ -108,6 +135,32 @@ class EventQueue
     const std::deque<ServicedEvent> &recentLog() const { return recent; }
 
     /**
+     * Select the same-(when, priority) tie-break order (see TieBreak).
+     * @p seed feeds the `shuffle` mode's private generator; `fifo`
+     * and `lifo` ignore it.  Call before running; switching modes
+     * mid-run is legal but makes the run incomparable to either
+     * pure order.
+     */
+    void setTieBreak(TieBreak mode, std::uint64_t seed = 1);
+
+    /** The active tie-break mode. */
+    TieBreak tieBreak() const { return tieMode; }
+
+    /**
+     * Attach (or detach, with nullptr) the abrace race detector.
+     * While attached it observes every schedule/deschedule for
+     * provenance and brackets every serviced event so state accesses
+     * recorded via noteRead/noteWrite are charged to the right event
+     * (sim/abrace.hh).  The detector must outlive its attachment;
+     * detach before tearing down components whose destructors
+     * deschedule events.
+     */
+    void setRaceDetector(RaceDetector *detector) { race = detector; }
+
+    /** The attached race detector (nullptr when detached). */
+    RaceDetector *raceDetector() const { return race; }
+
+    /**
      * Serialize the queue's externally observable state: clock,
      * counters, and a digest of every pending event's (when,
      * priority, sequence, name-hash) in firing order.  Two runs with
@@ -134,6 +187,7 @@ class EventQueue
         }
     };
 
+    // ablint:allow(pointer-key): Cmp orders by stable fields
     std::set<Event *, Cmp> queue;
     Tick curTick = 0;
     std::uint64_t nextSequence = 0;
@@ -142,6 +196,10 @@ class EventQueue
     ServiceHook serviceHook;
     std::deque<ServicedEvent> recent;
     std::size_t recentCap = 0;
+
+    TieBreak tieMode = TieBreak::fifo;
+    Rng tieRng{1};
+    RaceDetector *race = nullptr;
 };
 
 } // namespace biglittle

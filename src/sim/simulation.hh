@@ -11,6 +11,7 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "base/types.hh"
@@ -19,6 +20,8 @@
 
 namespace biglittle
 {
+
+class RaceDetector;
 
 /**
  * A repeating event: fires every @p period ticks and invokes a
@@ -94,6 +97,21 @@ class Simulation
 
     /** Advance by @p delta ticks. */
     void runFor(Tick delta);
+
+    /**
+     * abrace access tracking (sim/abrace.hh).  Event handlers call
+     * these to declare which state cell they touch; the calls are
+     * near-free no-ops unless a RaceDetector is attached to the
+     * event queue.  @p component is a stable instance name ("cpu0",
+     * "big.domain"), @p field the logical member ("rq", "freq").
+     */
+    void noteRead(std::string_view component, std::string_view field);
+
+    /** Declare a write of @p component's @p field.  @see noteRead */
+    void noteWrite(std::string_view component, std::string_view field);
+
+    /** The attached race detector, nullptr when detection is off. */
+    RaceDetector *race() const { return queue.raceDetector(); }
 
   private:
     /** One-shot event that deletes itself after firing. */

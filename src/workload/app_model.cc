@@ -53,6 +53,15 @@ AppInstance::AppInstance(Simulation &sim_in, HmpScheduler &sched_in,
             sim, *uiBehavior, workerBehaviors, appSpec.actions,
             root.fork(), appSpec.burstJitterSigma);
     }
+
+    // One priority slot per thread: same-tick submissions from
+    // different threads settle in thread order instead of schedule
+    // order, keeping them out of each other's tie-break batches
+    // (docs/DETERMINISM.md).
+    for (std::size_t i = 0; i < behaviors.size(); ++i) {
+        behaviors[i]->setWorkPriority(
+            offsetPriority(EventPriority::workSubmit, i, workSlots));
+    }
 }
 
 AppInstance::~AppInstance() = default;

@@ -94,20 +94,20 @@ PeriodicBehavior::start()
         submitFrame();
     } else {
         sim.at(nextRelease, [this] { submitFrame(); },
-               EventPriority::taskState, taskRef.name() + ".frame");
+               workPrio, taskRef.name() + ".frame");
     }
 }
 
 void
 PeriodicBehavior::submitFrame()
 {
+    sim.noteWrite(taskRef.name(), "work");
     if (periodicSpec.pauseCycle > 0) {
         const Tick phase = sim.now() % periodicSpec.pauseCycle;
         if (phase < periodicSpec.pauseLength) {
             // Scene pause: resume at the end of the pause window.
             sim.at(sim.now() + (periodicSpec.pauseLength - phase),
-                   [this] { submitFrame(); },
-                   EventPriority::taskState,
+                   [this] { submitFrame(); }, workPrio,
                    taskRef.name() + ".frame");
             return;
         }
@@ -117,7 +117,7 @@ PeriodicBehavior::submitFrame()
         !rng.chance(periodicSpec.activeProbability)) {
         // Nothing dirty this period; wake again at the next vsync.
         sim.at(nextRelease, [this] { submitFrame(); },
-               EventPriority::taskState, taskRef.name() + ".frame");
+               workPrio, taskRef.name() + ".frame");
         return;
     }
     const double cost = rng.logNormal(periodicSpec.instPerPeriod,
@@ -128,6 +128,7 @@ PeriodicBehavior::submitFrame()
 void
 PeriodicBehavior::onWorkDrained(Task &)
 {
+    sim.noteWrite(taskRef.name(), "work");
     ++frames;
     if (stats != nullptr)
         stats->recordFrame(sim.now());
@@ -137,7 +138,7 @@ PeriodicBehavior::onWorkDrained(Task &)
         submitFrame();
     } else {
         sim.at(nextRelease, [this] { submitFrame(); },
-               EventPriority::taskState, taskRef.name() + ".frame");
+               workPrio, taskRef.name() + ".frame");
     }
 }
 
@@ -174,6 +175,7 @@ BurstBehavior::start()
 void
 BurstBehavior::injectBurst(double instructions)
 {
+    sim.noteWrite(taskRef.name(), "work");
     BL_ASSERT(instructions > 0.0);
     if (chunkInstructions <= 0.0) {
         taskRef.submitWork(instructions);
@@ -186,6 +188,7 @@ BurstBehavior::injectBurst(double instructions)
 void
 BurstBehavior::submitNextChunk()
 {
+    sim.noteWrite(taskRef.name(), "work");
     BL_ASSERT(backlog > 0.0);
     const double chunk = std::min(backlog, chunkInstructions);
     backlog -= chunk;
@@ -203,8 +206,7 @@ BurstBehavior::onWorkDrained(Task &)
 {
     if (backlog > 0.0) {
         // Micro-stall, then the next chunk of the same burst.
-        sim.after(chunkGap, [this] { submitNextChunk(); },
-                  EventPriority::taskState,
+        sim.after(chunkGap, [this] { submitNextChunk(); }, workPrio,
                   taskRef.name() + ".chunk");
         return;
     }
@@ -250,6 +252,7 @@ DutyCycleBehavior::start()
 void
 DutyCycleBehavior::onWorkDrained(Task &)
 {
+    sim.noteWrite(taskRef.name(), "work");
     const Tick busy = sim.now() - chunkStart;
     // Pause long enough that busy/(busy+pause) == target, exactly as
     // the paper's microbenchmark throttles itself.
@@ -263,10 +266,11 @@ DutyCycleBehavior::onWorkDrained(Task &)
     }
     sim.after(pause,
               [this] {
+                  sim.noteWrite(taskRef.name(), "work");
                   chunkStart = sim.now();
                   taskRef.submitWork(chunk);
               },
-              EventPriority::taskState, taskRef.name() + ".duty");
+              workPrio, taskRef.name() + ".duty");
 }
 
 void

@@ -61,10 +61,24 @@ class Behavior : public TaskClient
     Task &task() { return taskRef; }
     const Task &task() const { return taskRef; }
 
+    /**
+     * Same-tick priority slot of this behavior's self-scheduled
+     * events (.frame/.chunk/.duty).  AppInstance assigns each
+     * behavior its own slot in the workSubmit band so same-tick
+     * submissions from different threads never share a batch and
+     * therefore settle in thread order, not schedule order
+     * (docs/DETERMINISM.md).  Set before start().
+     */
+    void setWorkPriority(EventPriority prio) { workPrio = prio; }
+
+    /** The slot assigned by setWorkPriority(). */
+    EventPriority workPriority() const { return workPrio; }
+
   protected:
     Simulation &sim;
     Task &taskRef;
     Rng rng;
+    EventPriority workPrio = EventPriority::workSubmit;
 };
 
 /** Executes an instruction budget back to back. */

@@ -12,7 +12,7 @@ ScriptedInputSource::ScriptedInputSource(Simulation &sim_in,
                                          BurstBehavior &target_in,
                                          std::vector<InputEvent> events_in)
     : sim(sim_in), target(target_in), events(std::move(events_in)),
-      fireEvent([this] { fireDue(); }, EventPriority::taskState,
+      fireEvent([this] { fireDue(); }, EventPriority::inputPump,
                 "input-event")
 {
     for (std::size_t i = 1; i < events.size(); ++i)
@@ -53,7 +53,7 @@ PoissonInputSource::PoissonInputSource(Simulation &sim_in,
                                        const PoissonInputParams &params,
                                        Rng rng_in)
     : sim(sim_in), target(target_in), inputParams(params), rng(rng_in),
-      fireEvent([this] { fire(); }, EventPriority::taskState,
+      fireEvent([this] { fire(); }, EventPriority::inputPump,
                 "poisson-input")
 {
     BL_ASSERT(inputParams.meanInterArrival > 0);

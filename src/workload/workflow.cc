@@ -87,7 +87,7 @@ WorkflowDriver::threadDrained(Tick now)
         issueNext();
     } else {
         sim.after(think, [this] { issueNext(); },
-                  EventPriority::taskState, "workflow.think");
+                  EventPriority::workflowStep, "workflow.think");
     }
 }
 

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
 #include <vector>
 
@@ -400,4 +401,161 @@ TEST(EventQueue, SerializeReflectsPendingEvents)
     q2.serialize(s2);
 
     EXPECT_NE(s1.bytes(), s2.bytes());
+}
+
+TEST(EventQueue, RescheduleToSameTickGoesToBackOfBatch)
+{
+    // Documented same-tick semantic: reschedule() re-inserts through
+    // schedule(), so the event gets a fresh sequence number and
+    // re-enters at the BACK of its (when, priority) batch.
+    EventQueue q;
+    std::vector<int> log;
+    LogEvent a(log, 1), b(log, 2), c(log, 3);
+    q.schedule(a, 10);
+    q.schedule(b, 10);
+    q.schedule(c, 10);
+    q.reschedule(a, 10); // same tick: a moves behind b and c
+    while (q.serviceOne()) {
+    }
+    EXPECT_EQ(log, (std::vector<int>{2, 3, 1}));
+}
+
+TEST(EventQueue, RescheduleToNowNeverJumpsAhead)
+{
+    EventQueue q;
+    std::vector<int> log;
+    LogEvent a(log, 1), b(log, 2);
+    LogEvent mover(log, 9);
+    q.schedule(mover, 5);
+    CallbackEvent driver([&] {
+        // Fires at tick 10 before a and b (lower sequence).  Pulling
+        // `mover` to "now" must place it behind the already-pending
+        // same-tick peers, not ahead of them.
+        log.push_back(0);
+        q.reschedule(mover, q.now());
+    });
+    q.serviceOne(); // fire mover's original activation at 5
+    q.schedule(driver, 10);
+    q.schedule(a, 10);
+    q.schedule(b, 10);
+    while (q.serviceOne()) {
+    }
+    EXPECT_EQ(log, (std::vector<int>{9, 0, 1, 2, 9}));
+}
+
+TEST(EventQueue, ChurnDoesNotPerturbUntouchedEvents)
+{
+    // Heavy schedule/deschedule/reschedule churn on some events must
+    // never change the relative order of the events left alone.
+    EventQueue q;
+    std::vector<int> log;
+    std::vector<std::unique_ptr<LogEvent>> stable;
+    for (int i = 0; i < 8; ++i) {
+        stable.push_back(std::make_unique<LogEvent>(log, i));
+        q.schedule(*stable.back(), 100);
+    }
+    LogEvent churn1(log, 100), churn2(log, 200);
+    q.schedule(churn1, 100);
+    q.deschedule(churn1);
+    q.schedule(churn1, 50);
+    q.reschedule(churn1, 100); // back of the tick-100 batch
+    q.schedule(churn2, 70);
+    q.reschedule(churn2, 100);
+    q.reschedule(churn2, 100); // twice: still behind churn1
+    while (q.serviceOne()) {
+    }
+    const std::vector<int> want{0, 1, 2, 3, 4, 5, 6, 7, 100, 200};
+    EXPECT_EQ(log, want);
+}
+
+TEST(EventQueue, ServiceHookSeesSameTickBatchInTotalOrder)
+{
+    // Within one tick the hook must observe (priority, sequence)
+    // order - the exact order process() runs in.
+    EventQueue q;
+    std::vector<ServicedEvent> seen;
+    q.setServiceHook(
+        [&](const ServicedEvent &ev) { seen.push_back(ev); });
+    std::vector<int> log;
+    LogEvent gov(log, 0, EventPriority::governor);
+    LogEvent task1(log, 1, EventPriority::taskState);
+    LogEvent task2(log, 2, EventPriority::taskState);
+    LogEvent sched(log, 3, EventPriority::schedTick);
+    q.schedule(gov, 40);
+    q.schedule(task1, 40);
+    q.schedule(task2, 40);
+    q.schedule(sched, 40);
+    q.runUntil(40);
+
+    ASSERT_EQ(seen.size(), 4u);
+    for (std::size_t i = 1; i < seen.size(); ++i) {
+        const bool ordered =
+            seen[i - 1].priority < seen[i].priority ||
+            (seen[i - 1].priority == seen[i].priority &&
+             seen[i - 1].sequence < seen[i].sequence);
+        EXPECT_TRUE(ordered) << "hook order broken at " << i;
+    }
+    EXPECT_EQ(log, (std::vector<int>{1, 2, 3, 0}));
+    q.setServiceHook(nullptr);
+}
+
+TEST(EventQueue, LifoTieBreakReversesBatchOnly)
+{
+    EventQueue q;
+    q.setTieBreak(TieBreak::lifo);
+    std::vector<int> log;
+    LogEvent a(log, 1), b(log, 2), c(log, 3);
+    LogEvent later(log, 4);
+    q.schedule(a, 10);
+    q.schedule(b, 10);
+    q.schedule(c, 10);
+    q.schedule(later, 20); // different tick: unaffected by tie-break
+    while (q.serviceOne()) {
+    }
+    EXPECT_EQ(log, (std::vector<int>{3, 2, 1, 4}));
+}
+
+TEST(EventQueue, LifoRespectsPriorityBoundaries)
+{
+    // The tie-break only permutes within a (when, priority) batch;
+    // priority order across batches is inviolable.
+    EventQueue q;
+    q.setTieBreak(TieBreak::lifo);
+    std::vector<int> log;
+    LogEvent t1(log, 1, EventPriority::taskState);
+    LogEvent t2(log, 2, EventPriority::taskState);
+    LogEvent s1(log, 3, EventPriority::stats);
+    LogEvent s2(log, 4, EventPriority::stats);
+    q.schedule(t1, 10);
+    q.schedule(t2, 10);
+    q.schedule(s1, 10);
+    q.schedule(s2, 10);
+    while (q.serviceOne()) {
+    }
+    EXPECT_EQ(log, (std::vector<int>{2, 1, 4, 3}));
+}
+
+TEST(EventQueue, ShuffleTieBreakIsSeedDeterministic)
+{
+    const auto run = [](std::uint64_t seed) {
+        EventQueue q;
+        q.setTieBreak(TieBreak::shuffle, seed);
+        std::vector<int> log;
+        std::vector<std::unique_ptr<LogEvent>> events;
+        for (int i = 0; i < 16; ++i) {
+            events.push_back(std::make_unique<LogEvent>(log, i));
+            q.schedule(*events.back(), 10);
+        }
+        while (q.serviceOne()) {
+        }
+        return log;
+    };
+    const auto first = run(7);
+    EXPECT_EQ(first, run(7)); // same seed: identical order
+    std::vector<int> sorted = first;
+    std::sort(sorted.begin(), sorted.end());
+    std::vector<int> want;
+    for (int i = 0; i < 16; ++i)
+        want.push_back(i);
+    EXPECT_EQ(sorted, want); // a permutation: nothing lost or duped
 }

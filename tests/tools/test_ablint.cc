@@ -131,6 +131,53 @@ TEST(AblintUnordered, SuppressedAndTestScopedVariants)
     EXPECT_EQ(countRule(inTest, "unordered-iter"), 0u);
 }
 
+TEST(AblintPointerKey, FlagsOrderedContainersKeyedByPointer)
+{
+    const auto findings = lint(
+        {{"src/a.cc",
+          "std::set<Task *> waiters;\n"
+          "std::map<Core *, int> depth;\n"
+          "std::multiset<Event *> pend;\n"
+          "std::map<std::pair<Task *, int>, int> byPair;\n"}});
+    EXPECT_EQ(countRule(findings, "pointer-key"), 4u);
+}
+
+TEST(AblintPointerKey, ValuePointersAndUnorderedAreFine)
+{
+    // Pointer *values* are harmless (iteration order still follows
+    // the key); unordered containers are unordered-iter's business.
+    const auto findings = lint(
+        {{"src/a.cc",
+          "std::map<int, Task *> byId;\n"
+          "std::set<std::string> names;\n"
+          "std::unordered_map<const Task *, int> seen;\n"}});
+    EXPECT_EQ(countRule(findings, "pointer-key"), 0u);
+}
+
+TEST(AblintPointerKey, SuppressedTestScopedAndBaselinedVariants)
+{
+    const auto suppressed = lint(
+        {{"src/a.cc",
+          "// ablint:allow(pointer-key): cmp orders by fields\n"
+          "std::set<Event *, Cmp> queue;\n"}});
+    EXPECT_EQ(countRule(suppressed, "pointer-key"), 0u);
+
+    const auto inTest =
+        lint({{"tests/a.cc", "std::set<Task *> waiters;\n"}});
+    EXPECT_EQ(countRule(inTest, "pointer-key"), 0u);
+
+    // Baseline machinery covers the rule like any other.
+    ablint::ScanInput in;
+    in.files.push_back(
+        ablint::lexString("src/a.cc", "std::set<Task *> w;\n"));
+    const auto raw = ablint::runRules(in);
+    ASSERT_EQ(countRule(raw, "pointer-key"), 1u);
+    const auto clean = ablint::applyBaseline(
+        raw, "src/a.cc:1:pointer-key\n", "tools/ablint/baseline.txt",
+        in);
+    EXPECT_TRUE(clean.empty());
+}
+
 TEST(AblintStaticMutable, FlagsMutableSkipsConstAndFunctions)
 {
     const auto findings = lint(

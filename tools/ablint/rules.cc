@@ -176,6 +176,68 @@ unorderedIterRule(const LexedFile &f, Sink &sink)
     }
 }
 
+// ---- pointer-key ---------------------------------------------------
+
+/**
+ * Ordered containers keyed by raw pointers (`std::set<T *>`,
+ * `std::map<T *, ...>`, their multi variants) iterate in *address*
+ * order, which varies run to run with the allocator - the same
+ * hidden-ordering hazard as unordered-iter, wearing a deterministic
+ * costume.  A custom comparator over stable fields makes such a
+ * container legitimate (the event queue's (when, priority, sequence)
+ * set is the canonical example); those cases carry an inline allow
+ * naming the comparator.
+ */
+void
+pointerKeyRule(const LexedFile &f, Sink &sink)
+{
+    if (f.isTest)
+        return;
+    static const std::set<std::string> orderedContainers = {
+        "set", "map", "multiset", "multimap"};
+    const auto &toks = f.tokens;
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+        if (toks[i].kind != TokKind::identifier ||
+            orderedContainers.count(toks[i].text) == 0)
+            continue;
+        if (i + 1 >= toks.size() || !isPunct(toks[i + 1], '<'))
+            continue;
+        // Scan the first template argument (the key type): depth-1
+        // tokens up to the first ',' or the closing '>'.
+        int angle = 1;
+        bool keyHasPointer = false;
+        bool closed = false;
+        for (std::size_t j = i + 2;
+             j < toks.size() && j < i + 200; ++j) {
+            const Token &t = toks[j];
+            if (isPunct(t, '<')) {
+                ++angle;
+            } else if (isPunct(t, '>')) {
+                if (--angle == 0) {
+                    closed = true;
+                    break;
+                }
+            } else if (isPunct(t, ';')) {
+                break; // not a template-argument list after all
+            } else if (angle == 1 && isPunct(t, ',')) {
+                closed = true;
+                break; // end of the key type
+            } else if (isPunct(t, '*')) {
+                keyHasPointer = true;
+            }
+        }
+        if (closed && keyHasPointer) {
+            sink.add(f, toks[i].line, "pointer-key",
+                     "ordered '" + toks[i].text +
+                         "' keyed by a raw pointer iterates in "
+                         "address order, which varies run to run; "
+                         "key by a stable id/value, or justify a "
+                         "deterministic custom comparator with an "
+                         "inline allow");
+        }
+    }
+}
+
 // ---- static-mutable ------------------------------------------------
 
 void
@@ -519,9 +581,9 @@ const std::vector<std::string> &
 ruleNames()
 {
     static const std::vector<std::string> names = {
-        "wall-clock",     "unordered-iter",     "static-mutable",
-        "void-discard",   "serialize-pair",     "serialize-registry",
-        "config-key",     "stale-baseline",
+        "wall-clock",     "unordered-iter",     "pointer-key",
+        "static-mutable", "void-discard",       "serialize-pair",
+        "serialize-registry", "config-key",     "stale-baseline",
     };
     return names;
 }
@@ -534,6 +596,7 @@ runRules(const ScanInput &in)
     for (const auto &f : in.files) {
         wallClockRule(f, sink);
         unorderedIterRule(f, sink);
+        pointerKeyRule(f, sink);
         staticMutableRule(f, sink);
         voidDiscardRule(f, sink);
     }
