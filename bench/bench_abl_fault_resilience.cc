@@ -31,9 +31,8 @@ main(int argc, char **argv)
     args.addInt("duration_ms", 4000, "FPS-app run length");
     args.parse(argc, argv);
 
-    std::unique_ptr<CsvWriter> csv;
-    if (!args.getString("csv").empty()) {
-        csv = std::make_unique<CsvWriter>(args.getString("csv"));
+    std::unique_ptr<CsvWriter> csv = openCsvOrExit(args);
+    if (csv) {
         csv->header({"fault_rate", "avg_fps", "min_fps", "latency_ms",
                      "injected", "hotplug_off", "dvfs_denied",
                      "thermal_spikes", "task_stalls", "violations"});

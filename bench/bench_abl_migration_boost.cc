@@ -26,9 +26,8 @@ main(int argc, char **argv)
     args.addString("csv", "", "mirror rows into this CSV file");
     args.parse(argc, argv);
 
-    std::unique_ptr<CsvWriter> csv;
-    if (!args.getString("csv").empty()) {
-        csv = std::make_unique<CsvWriter>(args.getString("csv"));
+    std::unique_ptr<CsvWriter> csv = openCsvOrExit(args);
+    if (csv) {
         csv->header({"app", "latency_boost_ms", "latency_noboost_ms",
                      "latency_cost_pct", "power_boost_mw",
                      "power_noboost_mw"});

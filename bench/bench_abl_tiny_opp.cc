@@ -49,9 +49,8 @@ main(int argc, char **argv)
     args.addString("csv", "", "mirror rows into this CSV file");
     args.parse(argc, argv);
 
-    std::unique_ptr<CsvWriter> csv;
-    if (!args.getString("csv").empty()) {
-        csv = std::make_unique<CsvWriter>(args.getString("csv"));
+    std::unique_ptr<CsvWriter> csv = openCsvOrExit(args);
+    if (csv) {
         csv->header({"app", "power_base_mw", "power_tiny_mw",
                      "power_saving_pct", "perf_change_pct",
                      "min_state_base_pct", "min_state_tiny_pct"});

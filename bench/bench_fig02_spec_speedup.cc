@@ -14,6 +14,7 @@
 #include "base/argparse.hh"
 #include "base/csv.hh"
 #include "base/strutil.hh"
+#include "bench_util.hh"
 #include "core/experiment.hh"
 #include "workload/spec.hh"
 
@@ -27,9 +28,8 @@ main(int argc, char **argv)
     args.addString("csv", "", "mirror rows into this CSV file");
     args.parse(argc, argv);
 
-    std::unique_ptr<CsvWriter> csv;
-    if (!args.getString("csv").empty()) {
-        csv = std::make_unique<CsvWriter>(args.getString("csv"));
+    std::unique_ptr<CsvWriter> csv = openCsvOrExit(args);
+    if (csv) {
         csv->header({"kernel", "big_1.9GHz", "big_1.3GHz",
                      "big_0.8GHz"});
     }

@@ -25,9 +25,8 @@ main(int argc, char **argv)
     args.addString("csv", "", "mirror rows into this CSV file");
     args.parse(argc, argv);
 
-    std::unique_ptr<CsvWriter> csv;
-    if (!args.getString("csv").empty()) {
-        csv = std::make_unique<CsvWriter>(args.getString("csv"));
+    std::unique_ptr<CsvWriter> csv = openCsvOrExit(args);
+    if (csv) {
         csv->header({"app", "latency_little_ms", "latency_big_ms",
                      "latency_reduction_pct", "power_little_mw",
                      "power_big_mw", "power_increase_pct"});

@@ -27,9 +27,8 @@ main(int argc, char **argv)
     addSnapshotOptions(args);
     args.parse(argc, argv);
 
-    std::unique_ptr<CsvWriter> csv;
-    if (!args.getString("csv").empty()) {
-        csv = std::make_unique<CsvWriter>(args.getString("csv"));
+    std::unique_ptr<CsvWriter> csv = openCsvOrExit(args);
+    if (csv) {
         csv->header({"app", "avg_fps_little", "avg_fps_big",
                      "avg_fps_improve_pct", "min_fps_little",
                      "min_fps_big", "min_fps_improve_pct",

@@ -14,6 +14,7 @@
 #include "base/argparse.hh"
 #include "base/csv.hh"
 #include "base/strutil.hh"
+#include "bench_util.hh"
 #include "core/experiment.hh"
 
 using namespace biglittle;
@@ -64,9 +65,8 @@ main(int argc, char **argv)
     args.addInt("duration-ms", 2000, "length of each point");
     args.parse(argc, argv);
 
-    std::unique_ptr<CsvWriter> csv;
-    if (!args.getString("csv").empty()) {
-        csv = std::make_unique<CsvWriter>(args.getString("csv"));
+    std::unique_ptr<CsvWriter> csv = openCsvOrExit(args);
+    if (csv) {
         csv->header({"core_type", "freq_khz", "target_util_pct",
                      "power_mw", "achieved_util_pct"});
     }

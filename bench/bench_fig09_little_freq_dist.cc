@@ -24,9 +24,7 @@ main(int argc, char **argv)
     addRaceOptions(args);
     args.parse(argc, argv);
 
-    std::unique_ptr<CsvWriter> csv;
-    if (!args.getString("csv").empty())
-        csv = std::make_unique<CsvWriter>(args.getString("csv"));
+    std::unique_ptr<CsvWriter> csv = openCsvOrExit(args);
 
     ExperimentConfig cfg = baselineConfig();
     applyRaceOptions(args, cfg);

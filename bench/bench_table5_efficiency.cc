@@ -26,9 +26,7 @@ main(int argc, char **argv)
     args.addString("csv", "", "mirror rows into this CSV file");
     args.parse(argc, argv);
 
-    std::unique_ptr<CsvWriter> csv;
-    if (!args.getString("csv").empty())
-        csv = std::make_unique<CsvWriter>(args.getString("csv"));
+    std::unique_ptr<CsvWriter> csv = openCsvOrExit(args);
 
     const auto results = runApps(baselineConfig(), allApps());
     printEfficiencyTable(results, csv.get());

@@ -10,13 +10,18 @@
 #define BIGLITTLE_BENCH_BENCH_UTIL_HH
 
 #include <cstdio>
+#include <cstdlib>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "base/argparse.hh"
+#include "base/csv.hh"
+#include "base/exit_codes.hh"
 #include "base/logging.hh"
 #include "core/experiment.hh"
+#include "snapshot/checkpoint.hh"
 #include "workload/apps.hh"
 
 namespace biglittle
@@ -240,6 +245,26 @@ class RaceGate
     std::size_t failures = 0;
 };
 
+/**
+ * Open the --csv output when requested.  Returns nullptr when the
+ * option is unset; prints the open error and exits with exitBadFile
+ * (3) when the path cannot be created - the documented bench exit
+ * code for file problems, distinct from usage errors (2).
+ */
+inline std::unique_ptr<CsvWriter>
+openCsvOrExit(const ArgParser &args)
+{
+    if (args.getString("csv").empty())
+        return nullptr;
+    auto csv = std::make_unique<CsvWriter>();
+    const Status opened = csv->open(args.getString("csv"));
+    if (!opened.ok()) {
+        std::fprintf(stderr, "%s\n", opened.message().c_str());
+        std::exit(exitBadFile);
+    }
+    return csv;
+}
+
 /** One stderr line of checkpoint overhead, when any were written. */
 inline void
 reportCheckpointOverhead(const AppRunResult &r)
@@ -266,19 +291,20 @@ runApps(const ExperimentConfig &cfg, const std::vector<AppSpec> &apps)
     std::optional<Checkpoint> resume;
     if (!cfg.snapshot.resumePath.empty()) {
         Result<Checkpoint> loaded =
-            Checkpoint::readFile(cfg.snapshot.resumePath);
+            loadCheckpointWithFallback(cfg.snapshot.resumePath);
         if (!loaded.ok()) {
-            fatal("--resume: %s",
-                  loaded.status().toString().c_str());
+            warn("--resume: %s; running every app from scratch",
+                 loaded.status().message().c_str());
+        } else {
+            resume = std::move(loaded.value());
         }
-        resume = std::move(loaded.value());
     }
 
     std::vector<AppRunResult> results;
     for (const AppSpec &app : apps) {
         ExperimentConfig run_cfg = cfg;
-        if (resume && (resume->app != app.name ||
-                       resume->label != cfg.label)) {
+        if (!resume || resume->app != app.name ||
+            resume->label != cfg.label) {
             run_cfg.snapshot.resumePath.clear();
         }
         std::fprintf(stderr, "  [%s] running %s...\n",

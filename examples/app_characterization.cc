@@ -14,6 +14,7 @@
 #include <cstdio>
 
 #include "base/argparse.hh"
+#include "base/exit_codes.hh"
 #include "base/logging.hh"
 #include "base/strutil.hh"
 #include "core/config_io.hh"
@@ -65,11 +66,26 @@ main(int argc, char **argv)
     args.parse(argc, argv);
 
     ExperimentConfig cfg;
-    if (!args.getString("config").empty())
-        cfg = loadExperimentConfig(args.getString("config"));
-    if (args.wasSet("governor") || args.getString("config").empty())
-        cfg.governor =
+    if (!args.getString("config").empty()) {
+        Result<ExperimentConfig> loaded =
+            loadExperimentConfig(args.getString("config"));
+        if (!loaded.ok()) {
+            std::fprintf(stderr, "%s\n",
+                         loaded.status().message().c_str());
+            return exitBadFile;
+        }
+        cfg = std::move(loaded.value());
+    }
+    if (args.wasSet("governor") || args.getString("config").empty()) {
+        Result<GovernorKind> kind =
             governorKindFromName(args.getString("governor"));
+        if (!kind.ok()) {
+            std::fprintf(stderr, "%s\n",
+                         kind.status().message().c_str());
+            return exitUsage;
+        }
+        cfg.governor = kind.value();
+    }
     if (args.wasSet("sampling-ms"))
         cfg.interactive.samplingRate = msToTicks(
             static_cast<std::uint64_t>(args.getInt("sampling-ms")));

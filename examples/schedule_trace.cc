@@ -12,6 +12,7 @@
 #include <cstdio>
 
 #include "base/argparse.hh"
+#include "base/exit_codes.hh"
 #include "core/experiment.hh"
 #include "governor/interactive.hh"
 #include "platform/platform.hh"
@@ -82,7 +83,11 @@ main(int argc, char **argv)
                stdout);
 
     if (!args.getString("csv").empty()) {
-        trace.writeCsv(args.getString("csv"));
+        const Status written = trace.writeCsv(args.getString("csv"));
+        if (!written.ok()) {
+            std::fprintf(stderr, "%s\n", written.message().c_str());
+            return exitBadFile;
+        }
         std::printf("\nfull trace written to %s\n",
                     args.getString("csv").c_str());
     }

@@ -1,8 +1,10 @@
 #include "base/argparse.hh"
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 
+#include "base/exit_codes.hh"
 #include "base/logging.hh"
 #include "base/strutil.hh"
 
@@ -50,15 +52,15 @@ ArgParser::addFlag(const std::string &name, const std::string &help)
     declare(name, Kind::flag, "false", help);
 }
 
-std::vector<std::string>
-ArgParser::parse(int argc, const char *const *argv)
+Result<std::vector<std::string>>
+ArgParser::tryParse(int argc, const char *const *argv)
 {
     std::vector<std::string> positional;
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
         if (arg == "--help" || arg == "-h") {
-            std::fputs(helpText().c_str(), stdout);
-            std::exit(0);
+            sawHelp = true;
+            continue;
         }
         if (!startsWith(arg, "--")) {
             positional.push_back(arg);
@@ -75,27 +77,45 @@ ArgParser::parse(int argc, const char *const *argv)
         }
         const auto it = options.find(name);
         if (it == options.end())
-            fatal("%s: unknown option '--%s'", program.c_str(),
-                  name.c_str());
+            return invalidArgument(format("%s: unknown option '--%s'",
+                                          program.c_str(), name.c_str()));
         Option &opt = it->second;
         if (opt.kind == Kind::flag) {
             if (have_value)
-                fatal("%s: flag '--%s' does not take a value",
-                      program.c_str(), name.c_str());
+                return invalidArgument(
+                    format("%s: flag '--%s' does not take a value",
+                           program.c_str(), name.c_str()));
             opt.value = "true";
             opt.set = true;
             continue;
         }
         if (!have_value) {
             if (i + 1 >= argc)
-                fatal("%s: option '--%s' requires a value",
-                      program.c_str(), name.c_str());
+                return invalidArgument(
+                    format("%s: option '--%s' requires a value",
+                           program.c_str(), name.c_str()));
             value = argv[++i];
         }
         opt.value = value;
         opt.set = true;
     }
     return positional;
+}
+
+std::vector<std::string>
+ArgParser::parse(int argc, const char *const *argv)
+{
+    Result<std::vector<std::string>> parsed = tryParse(argc, argv);
+    if (helpRequested()) {
+        std::fputs(helpText().c_str(), stdout);
+        std::exit(exitOk);
+    }
+    if (!parsed.ok()) {
+        std::fprintf(stderr, "%s\n(run %s --help for usage)\n",
+                     parsed.status().message().c_str(), program.c_str());
+        std::exit(exitUsage);
+    }
+    return std::move(parsed.value());
 }
 
 const ArgParser::Option &
@@ -116,28 +136,55 @@ ArgParser::getString(const std::string &name) const
     return lookup(name, Kind::string).value;
 }
 
-std::int64_t
-ArgParser::getInt(const std::string &name) const
+Result<std::int64_t>
+ArgParser::tryGetInt(const std::string &name) const
 {
     const Option &opt = lookup(name, Kind::integer);
     char *end = nullptr;
+    errno = 0;
     const long long v = std::strtoll(opt.value.c_str(), &end, 10);
-    if (end == opt.value.c_str() || *end != '\0')
-        fatal("option '--%s': '%s' is not an integer", name.c_str(),
-              opt.value.c_str());
-    return v;
+    if (end == opt.value.c_str() || *end != '\0' || errno == ERANGE)
+        return invalidArgument(
+            format("option '--%s': '%s' is not an integer", name.c_str(),
+                   opt.value.c_str()));
+    return static_cast<std::int64_t>(v);
 }
 
-double
-ArgParser::getDouble(const std::string &name) const
+Result<double>
+ArgParser::tryGetDouble(const std::string &name) const
 {
     const Option &opt = lookup(name, Kind::real);
     char *end = nullptr;
     const double v = std::strtod(opt.value.c_str(), &end);
     if (end == opt.value.c_str() || *end != '\0')
-        fatal("option '--%s': '%s' is not a number", name.c_str(),
-              opt.value.c_str());
+        return invalidArgument(
+            format("option '--%s': '%s' is not a number", name.c_str(),
+                   opt.value.c_str()));
     return v;
+}
+
+std::int64_t
+ArgParser::getInt(const std::string &name) const
+{
+    Result<std::int64_t> v = tryGetInt(name);
+    if (!v.ok()) {
+        std::fprintf(stderr, "%s: %s\n", program.c_str(),
+                     v.status().message().c_str());
+        std::exit(exitUsage);
+    }
+    return v.value();
+}
+
+double
+ArgParser::getDouble(const std::string &name) const
+{
+    Result<double> v = tryGetDouble(name);
+    if (!v.ok()) {
+        std::fprintf(stderr, "%s: %s\n", program.c_str(),
+                     v.status().message().c_str());
+        std::exit(exitUsage);
+    }
+    return v.value();
 }
 
 bool

@@ -13,6 +13,8 @@
 #include <string>
 #include <vector>
 
+#include "base/status.hh"
+
 namespace biglittle
 {
 
@@ -42,16 +44,39 @@ class ArgParser
     void addFlag(const std::string &name, const std::string &help);
 
     /**
-     * Parse argv.  Unknown options are fatal().  `--help` prints the
-     * generated usage text and exits(0).
+     * Parse argv without ever exiting: unknown options, flags given
+     * values, and missing values come back as invalidArgument.
+     * `--help` sets helpRequested() instead of printing.  This is
+     * the only entry point safe to call on untrusted argv (the fuzz
+     * harness uses it directly).
+     * @return leftover positional arguments.
+     */
+    [[nodiscard]] Result<std::vector<std::string>>
+    tryParse(int argc, const char *const *argv);
+
+    /**
+     * Parse argv for a bench main: on a malformed command line prints
+     * the error plus a usage hint to stderr and exits(2); on --help
+     * prints the usage text and exits(0).
      * @return leftover positional arguments.
      */
     std::vector<std::string> parse(int argc, const char *const *argv);
+
+    /** True once tryParse() has seen `--help` / `-h`. */
+    bool helpRequested() const { return sawHelp; }
 
     std::string getString(const std::string &name) const;
     std::int64_t getInt(const std::string &name) const;
     double getDouble(const std::string &name) const;
     bool getFlag(const std::string &name) const;
+
+    /** Value parses as an integer, or invalidArgument (no exit). */
+    [[nodiscard]] Result<std::int64_t>
+    tryGetInt(const std::string &name) const;
+
+    /** Value parses as a double, or invalidArgument (no exit). */
+    [[nodiscard]] Result<double>
+    tryGetDouble(const std::string &name) const;
 
     /** True if the user supplied the option explicitly. */
     bool wasSet(const std::string &name) const;
@@ -75,6 +100,7 @@ class ArgParser
     std::string description;
     std::map<std::string, Option> options;
     std::vector<std::string> order;
+    bool sawHelp = false;
 
     const Option &lookup(const std::string &name, Kind kind) const;
     void declare(const std::string &name, Kind kind,

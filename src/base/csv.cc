@@ -7,11 +7,14 @@
 namespace biglittle
 {
 
-CsvWriter::CsvWriter(const std::string &path)
-    : out(path)
+Status
+CsvWriter::open(const std::string &path)
 {
+    BL_ASSERT(!out.is_open());
+    out.open(path);
     if (!out)
-        fatal("cannot open CSV output file '%s'", path.c_str());
+        return unavailable("cannot open CSV output file '" + path + "'");
+    return okStatus();
 }
 
 void

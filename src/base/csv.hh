@@ -14,6 +14,8 @@
 #include <string>
 #include <vector>
 
+#include "base/status.hh"
+
 namespace biglittle
 {
 
@@ -21,8 +23,16 @@ namespace biglittle
 class CsvWriter
 {
   public:
-    /** Open @p path for writing; fatal() on failure. */
-    explicit CsvWriter(const std::string &path);
+    /** Construct closed; call open() before writing. */
+    CsvWriter() = default;
+
+    /**
+     * Open @p path for writing, truncating any existing file.
+     * Returns unavailable when the file cannot be created (bad
+     * directory, permissions); bench front-ends print the message
+     * and exit(exitBadFile).
+     */
+    [[nodiscard]] Status open(const std::string &path);
 
     /** Write a header row (same quoting rules as data rows). */
     void header(const std::vector<std::string> &columns);

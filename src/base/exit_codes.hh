@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Process exit-code taxonomy for the bench binaries and tools.
+ *
+ * A bench front-end that dies should say *why* in a form scripts can
+ * branch on.  The taxonomy (documented in docs/ROBUSTNESS.md):
+ *
+ *   0  success
+ *   1  fatal(): an unusable run request (contradictory or impossible
+ *      configuration the tool refuses to guess around)
+ *   2  CLI usage error (unknown option, malformed value)
+ *   3  input/output file error (unreadable or malformed config file,
+ *      unwritable CSV)
+ *   86 watchdog: the run stalled or ran away past its wall-clock
+ *      limit (snapshot/watchdog.hh)
+ *
+ * Corrupt checkpoint / trace files deliberately have no exit code:
+ * since the hostile-input hardening pass, `--resume` and replay fall
+ * back (with a logged warning) instead of dying.
+ */
+
+#ifndef BIGLITTLE_BASE_EXIT_CODES_HH
+#define BIGLITTLE_BASE_EXIT_CODES_HH
+
+namespace biglittle
+{
+
+constexpr int exitOk = 0;
+constexpr int exitFatal = 1;
+constexpr int exitUsage = 2;
+constexpr int exitBadFile = 3;
+
+} // namespace biglittle
+
+#endif // BIGLITTLE_BASE_EXIT_CODES_HH

@@ -117,7 +117,8 @@ void
 DiscreteHistogram::deserialize(Deserializer &d)
 {
     map.clear();
-    const std::uint64_t cells = d.getU64();
+    // key u64 + weight double per cell
+    const std::uint64_t cells = d.getCount(16);
     for (std::uint64_t i = 0; i < cells && d.ok(); ++i) {
         const std::uint64_t key = d.getU64();
         map[key] = d.getDouble();

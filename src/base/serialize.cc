@@ -115,10 +115,51 @@ Deserializer::getBytes()
             st = outOfRange("deserializer: byte block past end");
         return {};
     }
+    if (!charge(len))
+        return {};
     std::vector<std::uint8_t> out(ptr, ptr + len);
     ptr += len;
     remaining -= len;
     return out;
+}
+
+std::uint64_t
+Deserializer::getCount(std::size_t elemSize)
+{
+    const std::uint64_t count = getU64();
+    if (!st.ok())
+        return 0;
+    const std::uint64_t maxCount =
+        elemSize ? remaining / elemSize : remaining;
+    if (count > maxCount) {
+        st = outOfRange("deserializer: count field exceeds remaining input");
+        return 0;
+    }
+    if (!charge(count * (elemSize ? elemSize : 1)))
+        return 0;
+    return count;
+}
+
+void
+Deserializer::limitAllocations(std::size_t multiple, std::size_t slack)
+{
+    budgeted = true;
+    allocBudget = multiple * remaining + slack;
+}
+
+bool
+Deserializer::charge(std::size_t bytes)
+{
+    if (!budgeted)
+        return true;
+    if (bytes > allocBudget) {
+        if (st.ok())
+            st = outOfRange("deserializer: allocation budget exceeded");
+        allocBudget = 0;
+        return false;
+    }
+    allocBudget -= bytes;
+    return true;
 }
 
 std::string

@@ -93,6 +93,28 @@ class Deserializer
     std::vector<std::uint8_t> getBytes();
     std::string getString();
 
+    /**
+     * Read an element count that the caller is about to trust with a
+     * reserve()/resize() of @p elemSize-byte elements.  A legitimate
+     * count can never exceed left()/elemSize (each element still has
+     * to be decoded from the remaining bytes), so anything larger is
+     * a corrupt or hostile length field: the read fails with
+     * outOfRange and returns 0, exactly like an over-read.  Use this
+     * instead of a bare getU64() wherever the value sizes an
+     * allocation; ablint's deser-bound rule enforces the habit.
+     */
+    std::uint64_t getCount(std::size_t elemSize);
+
+    /**
+     * Arm the cumulative allocation budget: after this call, bytes
+     * "admitted" by getBytes()/getString()/getCount() (count *
+     * elemSize) are charged against `multiple * left() + slack`,
+     * and the first read that would exceed the budget fails with
+     * outOfRange.  This bounds total memory a decode can commit to a
+     * small multiple of the input size even across many sections.
+     */
+    void limitAllocations(std::size_t multiple, std::size_t slack);
+
     /** True while every read so far stayed in bounds. */
     bool ok() const { return st.ok(); }
     const Status &status() const { return st; }
@@ -105,7 +127,11 @@ class Deserializer
     std::size_t remaining;
     Status st;
 
+    bool budgeted = false;
+    std::size_t allocBudget = 0;
+
     bool take(void *out, std::size_t len);
+    bool charge(std::size_t bytes);
 };
 
 } // namespace biglittle

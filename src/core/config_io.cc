@@ -9,7 +9,7 @@
 namespace biglittle
 {
 
-GovernorKind
+Result<GovernorKind>
 governorKindFromName(const std::string &name)
 {
     const std::string lower = toLower(name);
@@ -27,7 +27,8 @@ governorKindFromName(const std::string &name)
         return GovernorKind::schedutil;
     if (lower == "userspace")
         return GovernorKind::userspace;
-    fatal("unknown governor '%s'", name.c_str());
+    return invalidArgument(format("unknown governor '%s'",
+                                  name.c_str()));
 }
 
 namespace
@@ -43,19 +44,20 @@ trim(const std::string &s)
     return s.substr(begin, end - begin + 1);
 }
 
-double
+Result<double>
 parseNumber(int line_no, const std::string &key,
             const std::string &value)
 {
     char *end = nullptr;
     const double v = std::strtod(value.c_str(), &end);
     if (end == value.c_str() || *end != '\0')
-        fatal("config line %d: key '%s': '%s' is not a number",
-              line_no, key.c_str(), value.c_str());
+        return invalidArgument(
+            format("config line %d: key '%s': '%s' is not a number",
+                   line_no, key.c_str(), value.c_str()));
     return v;
 }
 
-bool
+Result<bool>
 parseBool(int line_no, const std::string &key,
           const std::string &value)
 {
@@ -66,22 +68,62 @@ parseBool(int line_no, const std::string &key,
     if (lower == "false" || lower == "0" || lower == "no" ||
         lower == "off")
         return false;
-    fatal("config line %d: key '%s': '%s' is not a boolean", line_no,
-          key.c_str(), value.c_str());
+    return invalidArgument(
+        format("config line %d: key '%s': '%s' is not a boolean",
+               line_no, key.c_str(), value.c_str()));
 }
 
-void
+Status
 applyKey(ExperimentConfig &cfg, int line_no, const std::string &key,
          const std::string &value)
 {
-    const auto num = [&] { return parseNumber(line_no, key, value); };
+    // Sticky-error accessors: the first malformed value records the
+    // Status and every later use yields a harmless zero, so each
+    // key's branch below can stay a one-liner.
+    Status st = okStatus();
+    const auto num = [&]() -> double {
+        Result<double> r = parseNumber(line_no, key, value);
+        if (!r.ok()) {
+            if (st.ok())
+                st = r.status();
+            return 0;
+        }
+        return r.value();
+    };
+    // Unsigned fields go through unum(): casting a negative or huge
+    // double straight to an unsigned type is undefined behavior, so
+    // out-of-range values must be rejected before the cast.
+    const auto unum = [&]() -> std::uint64_t {
+        const double v = num();
+        if (!st.ok())
+            return 0;
+        if (!(v >= 0.0) || v >= 18446744073709551616.0) {
+            st = invalidArgument(format(
+                "config line %d: key '%s': '%s' is out of range",
+                line_no, key.c_str(), value.c_str()));
+            return 0;
+        }
+        return static_cast<std::uint64_t>(v);
+    };
+    const auto boolean = [&]() -> bool {
+        Result<bool> r = parseBool(line_no, key, value);
+        if (!r.ok()) {
+            if (st.ok())
+                st = r.status();
+            return false;
+        }
+        return r.value();
+    };
     if (key == "governor") {
-        cfg.governor = governorKindFromName(value);
+        Result<GovernorKind> g = governorKindFromName(value);
+        if (!g.ok())
+            return invalidArgument(format("config line %d: %s", line_no,
+                                          g.status().message().c_str()));
+        cfg.governor = g.value();
     } else if (key == "label") {
         cfg.label = value;
     } else if (key == "interactive.sampling_ms") {
-        cfg.interactive.samplingRate =
-            msToTicks(static_cast<std::uint64_t>(num()));
+        cfg.interactive.samplingRate = msToTicks(unum());
     } else if (key == "interactive.target_load") {
         cfg.interactive.targetLoad = num();
     } else if (key == "interactive.go_hispeed_load") {
@@ -89,54 +131,54 @@ applyKey(ExperimentConfig &cfg, int line_no, const std::string &key,
     } else if (key == "interactive.hispeed_fraction") {
         cfg.interactive.hispeedFraction = num();
     } else if (key == "sched.up_threshold") {
-        cfg.sched.upThreshold = static_cast<std::uint32_t>(num());
+        cfg.sched.upThreshold = static_cast<std::uint32_t>(unum());
     } else if (key == "sched.down_threshold") {
-        cfg.sched.downThreshold = static_cast<std::uint32_t>(num());
+        cfg.sched.downThreshold = static_cast<std::uint32_t>(unum());
     } else if (key == "sched.half_life_ms") {
         cfg.sched.loadHalfLifeMs = num();
     } else if (key == "sched.timeslice_ms") {
         cfg.sched.timeslice =
-            msToTicks(static_cast<std::uint64_t>(num()));
+            msToTicks(unum());
     } else if (key == "sched.boost_khz") {
         cfg.sched.upMigrationBoostFreq =
-            static_cast<FreqKHz>(num());
+            static_cast<FreqKHz>(unum());
     } else if (key == "cores.little") {
         cfg.coreConfig.littleCores =
-            static_cast<std::uint32_t>(num());
+            static_cast<std::uint32_t>(unum());
     } else if (key == "cores.big") {
-        cfg.coreConfig.bigCores = static_cast<std::uint32_t>(num());
+        cfg.coreConfig.bigCores = static_cast<std::uint32_t>(unum());
     } else if (key == "thermal.enabled") {
-        cfg.thermalEnabled = parseBool(line_no, key, value);
+        cfg.thermalEnabled = boolean();
     } else if (key == "thermal.hot_trip_c") {
         cfg.thermal.hotTripC = num();
     } else if (key == "thermal.cool_trip_c") {
         cfg.thermal.coolTripC = num();
     } else if (key == "userspace.little_khz") {
-        cfg.userspaceLittleFreq = static_cast<FreqKHz>(num());
+        cfg.userspaceLittleFreq = static_cast<FreqKHz>(unum());
     } else if (key == "userspace.big_khz") {
-        cfg.userspaceBigFreq = static_cast<FreqKHz>(num());
+        cfg.userspaceBigFreq = static_cast<FreqKHz>(unum());
     } else if (key == "sample_window_ms") {
         cfg.sampleWindow =
-            msToTicks(static_cast<std::uint64_t>(num()));
+            msToTicks(unum());
     } else if (key == "fault.enabled") {
-        cfg.fault.enabled = parseBool(line_no, key, value);
+        cfg.fault.enabled = boolean();
     } else if (key == "fault.seed") {
-        cfg.fault.seed = static_cast<std::uint64_t>(num());
+        cfg.fault.seed = unum();
     } else if (key == "fault.draw_period_ms") {
         cfg.fault.drawPeriod =
-            msToTicks(static_cast<std::uint64_t>(num()));
+            msToTicks(unum());
     } else if (key == "fault.hotplug_rate_hz") {
         cfg.fault.hotplugRatePerSec = num();
     } else if (key == "fault.hotplug_downtime_ms") {
         cfg.fault.hotplugDownTime =
-            msToTicks(static_cast<std::uint64_t>(num()));
+            msToTicks(unum());
     } else if (key == "fault.dvfs_deny_prob") {
         cfg.fault.dvfsDenyProb = num();
     } else if (key == "fault.dvfs_delay_prob") {
         cfg.fault.dvfsDelayProb = num();
     } else if (key == "fault.dvfs_extra_latency_us") {
         cfg.fault.dvfsExtraLatency =
-            usToTicks(static_cast<std::uint64_t>(num()));
+            usToTicks(unum());
     } else if (key == "fault.thermal_spike_rate_hz") {
         cfg.fault.thermalSpikeRatePerSec = num();
     } else if (key == "fault.thermal_spike_c") {
@@ -146,10 +188,10 @@ applyKey(ExperimentConfig &cfg, int line_no, const std::string &key,
     } else if (key == "fault.task_stall_instructions") {
         cfg.fault.taskStallInstructions = num();
     } else if (key == "seed") {
-        cfg.masterSeed = static_cast<std::uint64_t>(num());
+        cfg.masterSeed = unum();
     } else if (key == "snapshot.checkpoint_every_ms") {
         cfg.snapshot.checkpointEvery =
-            msToTicks(static_cast<std::uint64_t>(num()));
+            msToTicks(unum());
     } else if (key == "snapshot.checkpoint_dir") {
         cfg.snapshot.checkpointDir = value;
     } else if (key == "snapshot.resume") {
@@ -159,7 +201,7 @@ applyKey(ExperimentConfig &cfg, int line_no, const std::string &key,
     } else if (key == "snapshot.replay_trace") {
         cfg.snapshot.replayTracePath = value;
     } else if (key == "watchdog.enabled") {
-        cfg.watchdog.enabled = parseBool(line_no, key, value);
+        cfg.watchdog.enabled = boolean();
     } else if (key == "watchdog.stall_limit_sec") {
         cfg.watchdog.stallLimitSec = num();
     } else if (key == "watchdog.runaway_limit_sec") {
@@ -167,16 +209,18 @@ applyKey(ExperimentConfig &cfg, int line_no, const std::string &key,
     } else if (key == "watchdog.report") {
         cfg.watchdog.reportPath = value;
     } else if (key == "watchdog.ring_depth") {
-        cfg.watchdog.ringDepth = static_cast<std::size_t>(num());
+        cfg.watchdog.ringDepth = static_cast<std::size_t>(unum());
     } else {
-        fatal("config line %d: unknown config key '%s'", line_no,
-              key.c_str());
+        return invalidArgument(
+            format("config line %d: unknown config key '%s'", line_no,
+                   key.c_str()));
     }
+    return st;
 }
 
 } // namespace
 
-ExperimentConfig
+Result<ExperimentConfig>
 parseExperimentConfig(const std::string &text)
 {
     ExperimentConfig cfg;
@@ -193,13 +237,17 @@ parseExperimentConfig(const std::string &text)
             continue;
         const auto eq = line.find('=');
         if (eq == std::string::npos)
-            fatal("config line %d: expected 'key = value', got '%s'",
-                  line_no, line.c_str());
+            return invalidArgument(format(
+                "config line %d: expected 'key = value', got '%s'",
+                line_no, line.c_str()));
         const std::string key = trim(line.substr(0, eq));
         const std::string value = trim(line.substr(eq + 1));
         if (key.empty() || value.empty())
-            fatal("config line %d: empty key or value", line_no);
-        applyKey(cfg, line_no, key, value);
+            return invalidArgument(
+                format("config line %d: empty key or value", line_no));
+        Status st = applyKey(cfg, line_no, key, value);
+        if (!st.ok())
+            return st;
     }
     // Keep the label of the core combination coherent.
     cfg.coreConfig.label = format("L%u+B%u",
@@ -208,12 +256,13 @@ parseExperimentConfig(const std::string &text)
     return cfg;
 }
 
-ExperimentConfig
+Result<ExperimentConfig>
 loadExperimentConfig(const std::string &path)
 {
     std::ifstream in(path);
     if (!in)
-        fatal("cannot open config file '%s'", path.c_str());
+        return notFound(
+            format("cannot open config file '%s'", path.c_str()));
     std::stringstream ss;
     ss << in.rdbuf();
     return parseExperimentConfig(ss.str());
@@ -321,14 +370,20 @@ saveExperimentConfig(const ExperimentConfig &cfg)
     return out;
 }
 
-void
+Status
 writeExperimentConfig(const ExperimentConfig &cfg,
                       const std::string &path)
 {
     std::ofstream out(path);
     if (!out)
-        fatal("cannot write config file '%s'", path.c_str());
+        return unavailable(
+            format("cannot write config file '%s'", path.c_str()));
     out << saveExperimentConfig(cfg);
+    out.flush();
+    if (!out)
+        return unavailable(
+            format("error writing config file '%s'", path.c_str()));
+    return okStatus();
 }
 
 } // namespace biglittle

@@ -5,8 +5,8 @@
  * and passed to the bench binaries and examples with `--config`.
  *
  * Format: one `key = value` pair per line; `#` starts a comment;
- * blank lines ignored.  Unknown keys are fatal (typos must not
- * silently change an experiment).  Example:
+ * blank lines ignored.  Unknown keys are a line-numbered parse error
+ * (typos must not silently change an experiment).  Example:
  *
  *   # Section VI-C point: 60 ms sampling
  *   governor = interactive
@@ -26,22 +26,35 @@
 
 #include <string>
 
+#include "base/status.hh"
 #include "core/experiment.hh"
 
 namespace biglittle
 {
 
-/** Parse a governor name ("interactive", "powersave", ...). */
-GovernorKind governorKindFromName(const std::string &name);
+/**
+ * Parse a governor name ("interactive", "powersave", ...).
+ * Unknown names are invalidArgument, never fatal: governor strings
+ * arrive from config files and CLI flags, both untrusted.
+ */
+[[nodiscard]] Result<GovernorKind>
+governorKindFromName(const std::string &name);
 
 /**
  * Parse a config from key=value text.  Starts from the default
- * ExperimentConfig; unknown keys or malformed values are fatal().
+ * ExperimentConfig.  Unknown keys and malformed values (typos must
+ * not silently change an experiment) come back as invalidArgument
+ * with a "config line N:" prefix locating the offender.
  */
-ExperimentConfig parseExperimentConfig(const std::string &text);
+[[nodiscard]] Result<ExperimentConfig>
+parseExperimentConfig(const std::string &text);
 
-/** Load a config file; fatal() if unreadable. */
-ExperimentConfig loadExperimentConfig(const std::string &path);
+/**
+ * Load a config file: notFound when unreadable, otherwise
+ * parseExperimentConfig() of its contents.
+ */
+[[nodiscard]] Result<ExperimentConfig>
+loadExperimentConfig(const std::string &path);
 
 /**
  * Serialize a config to the same key=value text (only keys the
@@ -50,9 +63,9 @@ ExperimentConfig loadExperimentConfig(const std::string &path);
  */
 std::string saveExperimentConfig(const ExperimentConfig &config);
 
-/** Write saveExperimentConfig() output to a file. */
-void writeExperimentConfig(const ExperimentConfig &config,
-                           const std::string &path);
+/** Write saveExperimentConfig() output; unavailable on I/O failure. */
+[[nodiscard]] Status writeExperimentConfig(const ExperimentConfig &config,
+                                           const std::string &path);
 
 } // namespace biglittle
 

@@ -250,8 +250,13 @@ Experiment::runApp(const AppSpec &app)
         if (!cfg.race.baselinePath.empty()) {
             const Status loaded =
                 race->loadBaseline(cfg.race.baselinePath);
-            if (!loaded.ok())
-                fatal("abrace: %s", loaded.toString().c_str());
+            if (!loaded.ok()) {
+                // Run without the baseline rather than dying: the
+                // conservative failure mode is *more* findings.
+                warn("abrace: ignoring baseline '%s': %s",
+                     cfg.race.baselinePath.c_str(),
+                     loaded.toString().c_str());
+            }
         }
         rig.sim.eventQueue().setRaceDetector(race.get());
     }
@@ -266,23 +271,33 @@ Experiment::runApp(const AppSpec &app)
     AppInstance instance(rig.sim, rig.sched, run_app);
 
     // Resume: load + identity-check the checkpoint before spending
-    // any simulation time on the fast-forward.
+    // any simulation time on the fast-forward.  A corrupt or
+    // mismatched newest checkpoint falls back to older candidates
+    // (rotated <path>.1, earlier periodic ticks), and when nothing
+    // is usable the run simply starts fresh - a damaged file on disk
+    // must never kill an otherwise valid experiment.
     std::optional<Checkpoint> resume;
     if (!snap.resumePath.empty()) {
+        const auto accept = [&](const Checkpoint &c) -> Status {
+            if (c.app != app.name || c.label != cfg.label ||
+                c.masterSeed != cfg.masterSeed) {
+                return failedPrecondition(format(
+                    "checkpoint is from app '%s' config '%s' seed "
+                    "%llu; this run is app '%s' config '%s' seed %llu",
+                    c.app.c_str(), c.label.c_str(),
+                    static_cast<unsigned long long>(c.masterSeed),
+                    app.name.c_str(), cfg.label.c_str(),
+                    static_cast<unsigned long long>(cfg.masterSeed)));
+            }
+            return okStatus();
+        };
         Result<Checkpoint> loaded =
-            Checkpoint::readFile(snap.resumePath);
-        if (!loaded.ok())
-            fatal("resume: %s", loaded.status().toString().c_str());
-        resume = std::move(loaded.value());
-        if (resume->app != app.name || resume->label != cfg.label ||
-            resume->masterSeed != cfg.masterSeed) {
-            fatal("resume: checkpoint is from app '%s' config '%s' "
-                  "seed %llu; this run is app '%s' config '%s' seed "
-                  "%llu",
-                  resume->app.c_str(), resume->label.c_str(),
-                  static_cast<unsigned long long>(resume->masterSeed),
-                  app.name.c_str(), cfg.label.c_str(),
-                  static_cast<unsigned long long>(cfg.masterSeed));
+            loadCheckpointWithFallback(snap.resumePath, accept);
+        if (loaded.ok()) {
+            resume = std::move(loaded.value());
+        } else {
+            warn("resume: %s; starting from a fresh run",
+                 loaded.status().message().c_str());
         }
     }
 
@@ -294,12 +309,15 @@ Experiment::runApp(const AppSpec &app)
         Result<EventTrace> reference =
             EventTrace::readFile(snap.replayTracePath);
         if (!reference.ok()) {
-            fatal("replay: %s",
-                  reference.status().toString().c_str());
+            // Run without the comparison rather than dying on a
+            // damaged reference; the warning keeps it auditable.
+            warn("replay: %s; running without trace comparison",
+                 reference.status().toString().c_str());
+        } else {
+            comparer = std::make_unique<EventTraceComparer>(
+                std::move(reference.value()));
+            comparer->attach(rig.sim.eventQueue());
         }
-        comparer = std::make_unique<EventTraceComparer>(
-            std::move(reference.value()));
-        comparer->attach(rig.sim.eventQueue());
     }
 
     Watchdog watchdog(cfg.watchdog);

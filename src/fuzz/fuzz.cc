@@ -1,0 +1,216 @@
+#include "fuzz/fuzz.hh"
+
+#include <chrono>
+#include <exception>
+
+#include "base/strutil.hh"
+
+namespace biglittle
+{
+
+const char *
+fuzzFailureKindName(FuzzFailureKind kind)
+{
+    switch (kind) {
+      case FuzzFailureKind::exception:
+        return "exception";
+      case FuzzFailureKind::hang:
+        return "hang";
+      case FuzzFailureKind::allocation:
+        return "allocation";
+    }
+    return "unknown";
+}
+
+void
+mutateBytes(Rng &rng, std::vector<std::uint8_t> &input)
+{
+    // An empty input can only grow; everything else picks among the
+    // seven strategies.  The strategy draw comes first so a given
+    // (seed, iteration) always applies the same transformation even
+    // if strategies are added at the end of the list later.
+    const std::uint64_t strategy = rng.uniformInt(0, 6);
+    if (input.empty() || strategy == 5) {
+        // Insert 1-16 random bytes at a random offset.
+        const std::size_t n =
+            static_cast<std::size_t>(rng.uniformInt(1, 16));
+        const std::size_t at = static_cast<std::size_t>(
+            rng.uniformInt(0, input.size()));
+        std::vector<std::uint8_t> bytes(n);
+        for (auto &b : bytes)
+            b = static_cast<std::uint8_t>(rng.uniformInt(0, 255));
+        input.insert(input.begin() +
+                         static_cast<std::ptrdiff_t>(at),
+                     bytes.begin(), bytes.end());
+        return;
+    }
+    switch (strategy) {
+      case 0: { // single bit flip
+        const std::size_t at = static_cast<std::size_t>(
+            rng.uniformInt(0, input.size() - 1));
+        input[at] ^= static_cast<std::uint8_t>(
+            1u << rng.uniformInt(0, 7));
+        break;
+      }
+      case 1: { // byte overwrite
+        const std::size_t at = static_cast<std::size_t>(
+            rng.uniformInt(0, input.size() - 1));
+        input[at] =
+            static_cast<std::uint8_t>(rng.uniformInt(0, 255));
+        break;
+      }
+      case 2: { // truncate at a random byte
+        input.resize(static_cast<std::size_t>(
+            rng.uniformInt(0, input.size() - 1)));
+        break;
+      }
+      case 3: { // truncate at an 8-byte boundary (field edges)
+        const std::size_t fields = input.size() / 8;
+        input.resize(8 * static_cast<std::size_t>(
+                             rng.uniformInt(0, fields)));
+        break;
+      }
+      case 4: { // inflate an aligned 8-byte LE field (length bombs)
+        if (input.size() < 8)
+            break;
+        const std::size_t slot = static_cast<std::size_t>(
+            rng.uniformInt(0, input.size() / 8 - 1));
+        // Huge but structured values: all-ones, 2^63, a large
+        // round count — the shapes length-check bugs miss.
+        static const std::uint64_t bombs[] = {
+            ~0ull, 1ull << 63, 1ull << 32, 0x00FFFFFFFFFFFFFFull};
+        const std::uint64_t v =
+            bombs[rng.uniformInt(0, 3)];
+        for (std::size_t i = 0; i < 8; ++i)
+            input[slot * 8 + i] =
+                static_cast<std::uint8_t>(v >> (8 * i));
+        break;
+      }
+      case 6: { // duplicate a random slice (repeated sections)
+        const std::size_t from = static_cast<std::size_t>(
+            rng.uniformInt(0, input.size() - 1));
+        const std::size_t len = static_cast<std::size_t>(
+            rng.uniformInt(1, input.size() - from));
+        std::vector<std::uint8_t> slice(
+            input.begin() + static_cast<std::ptrdiff_t>(from),
+            input.begin() +
+                static_cast<std::ptrdiff_t>(from + len));
+        const std::size_t at = static_cast<std::size_t>(
+            rng.uniformInt(0, input.size()));
+        input.insert(input.begin() +
+                         static_cast<std::ptrdiff_t>(at),
+                     slice.begin(), slice.end());
+        break;
+      }
+    }
+}
+
+std::vector<std::uint8_t>
+Fuzzer::inputFor(const FuzzTarget &target,
+                 std::uint64_t iteration) const
+{
+    const std::vector<std::vector<std::uint8_t>> seeds =
+        target.seedInputs();
+    // First, the corpus itself: a decoder that chokes on its own
+    // encoder's output is the cheapest bug to find.
+    if (iteration < seeds.size())
+        return seeds[iteration];
+
+    Rng rng(deriveStreamSeed(
+        opts.seed,
+        target.name() + "#" + std::to_string(iteration)));
+    std::vector<std::uint8_t> input =
+        seeds.empty()
+            ? std::vector<std::uint8_t>{}
+            : seeds[rng.uniformInt(0, seeds.size() - 1)];
+    const std::uint64_t rounds = rng.uniformInt(1, 4);
+    for (std::uint64_t i = 0; i < rounds; ++i) {
+        if (!target.mutate(rng, input))
+            mutateBytes(rng, input);
+    }
+    return input;
+}
+
+FuzzStats
+Fuzzer::run(const FuzzTarget &target) const
+{
+    FuzzStats stats;
+    const std::uint64_t first =
+        opts.onlyIteration >= 0
+            ? static_cast<std::uint64_t>(opts.onlyIteration)
+            : 0;
+    const std::uint64_t last =
+        opts.onlyIteration >= 0
+            ? static_cast<std::uint64_t>(opts.onlyIteration) + 1
+            : opts.iterations;
+    for (std::uint64_t iter = first; iter < last; ++iter) {
+        const std::vector<std::uint8_t> input =
+            inputFor(target, iter);
+        ++stats.iterations;
+
+        FuzzFailure failure;
+        failure.target = target.name();
+        failure.iteration = iter;
+        failure.input = input;
+        bool failed = false;
+
+        const std::uint64_t heapBefore =
+            opts.allocProbe ? opts.allocProbe() : 0;
+        // Hang detection needs real time; inputs stay
+        // deterministic, only the budget check reads the clock.
+        // ablint:allow(wall-clock): fuzz per-input hang budget
+        const auto start = std::chrono::steady_clock::now();
+        try {
+            target.run(input);
+        } catch (const std::exception &e) {
+            failure.kind = FuzzFailureKind::exception;
+            failure.detail = e.what();
+            failed = true;
+        } catch (...) {
+            failure.kind = FuzzFailureKind::exception;
+            failure.detail = "non-std exception";
+            failed = true;
+        }
+
+        // ablint:allow(wall-clock): see above.
+        const auto elapsed = std::chrono::steady_clock::now() - start;
+        const std::uint64_t ms = static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                elapsed)
+                .count());
+        if (!failed && opts.budgetMsPerInput > 0 &&
+            ms > opts.budgetMsPerInput) {
+            failure.kind = FuzzFailureKind::hang;
+            failure.detail = format("took %llu ms (budget %llu ms)",
+                                    static_cast<unsigned long long>(ms),
+                                    static_cast<unsigned long long>(
+                                        opts.budgetMsPerInput));
+            failed = true;
+        }
+
+        if (!failed && opts.allocProbe) {
+            const std::uint64_t allocated =
+                opts.allocProbe() - heapBefore;
+            const std::uint64_t cap =
+                static_cast<std::uint64_t>(opts.allocMultiple) *
+                    input.size() +
+                opts.allocSlack;
+            if (allocated > cap) {
+                failure.kind = FuzzFailureKind::allocation;
+                failure.detail = format(
+                    "allocated %llu bytes for a %zu-byte input "
+                    "(cap %llu)",
+                    static_cast<unsigned long long>(allocated),
+                    input.size(),
+                    static_cast<unsigned long long>(cap));
+                failed = true;
+            }
+        }
+
+        if (failed)
+            stats.failures.push_back(std::move(failure));
+    }
+    return stats;
+}
+
+} // namespace biglittle

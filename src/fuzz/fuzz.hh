@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Deterministic, seed-driven mutational fuzzing for the repo's
+ * untrusted decode surfaces (config text, checkpoint bytes, event
+ * traces, argv vectors).
+ *
+ * The engine is deliberately self-contained: it needs no clang, no
+ * libFuzzer, no corpus directory on disk — every input is derived
+ * from (master seed, target name, iteration index) through the same
+ * deriveStreamSeed() machinery the simulator uses, so a failing
+ * iteration reproduces exactly from three numbers on any machine.
+ * That makes fuzz runs ctest-able: a bounded run with a fixed seed
+ * is an ordinary deterministic regression test.
+ *
+ * The contract being enforced is the error-discipline one from
+ * docs/ROBUSTNESS.md: every decoder facing external bytes returns
+ * Status/Result<T> and must never crash, hang past a budget, or
+ * commit to allocations more than a small multiple of the input
+ * size, no matter how hostile the input.
+ */
+
+#ifndef BIGLITTLE_FUZZ_FUZZ_HH
+#define BIGLITTLE_FUZZ_FUZZ_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/random.hh"
+
+namespace biglittle
+{
+
+/**
+ * One decode surface under test.  Implementations must make run()
+ * total: it either returns normally (the decoder reported an error
+ * through Status/Result) or the engine records a failure.
+ */
+class FuzzTarget
+{
+  public:
+    virtual ~FuzzTarget() = default;
+
+    /** Stable name; part of the per-iteration seed derivation. */
+    virtual std::string name() const = 0;
+
+    /**
+     * Valid seed artifacts for the mutator to start from.  The
+     * first iterations of a run feed these through unmutated, so a
+     * decoder that rejects its own encoder's output fails fast.
+     */
+    virtual std::vector<std::vector<std::uint8_t>>
+    seedInputs() const = 0;
+
+    /**
+     * Optional structure-aware mutation: transform @p input using
+     * draws from @p rng (e.g. re-fix a trailing checksum so the
+     * mutation survives the integrity gate and reaches the deep
+     * decode logic).  Return false to fall back to the generic
+     * byte-level mutator for this round.
+     */
+    virtual bool
+    mutate(Rng &rng, std::vector<std::uint8_t> &input) const
+    {
+        (void)rng;
+        (void)input;
+        return false;
+    }
+
+    /** Decode @p input; must return normally on every input. */
+    virtual void run(const std::vector<std::uint8_t> &input) const = 0;
+};
+
+/** Why an iteration was flagged. */
+enum class FuzzFailureKind
+{
+    exception, ///< run() threw (decoder crashed instead of erroring)
+    hang, ///< run() exceeded the per-input time budget
+    allocation, ///< run() allocated beyond the input-size cap
+};
+
+/** Human-readable kind name. */
+const char *fuzzFailureKindName(FuzzFailureKind kind);
+
+/** One flagged iteration, with everything needed to reproduce it. */
+struct FuzzFailure
+{
+    std::string target;
+    std::uint64_t iteration = 0;
+    FuzzFailureKind kind = FuzzFailureKind::exception;
+    std::string detail;
+    std::vector<std::uint8_t> input;
+};
+
+/** Aggregate outcome of one Fuzzer::run(). */
+struct FuzzStats
+{
+    std::uint64_t iterations = 0;
+    std::vector<FuzzFailure> failures;
+
+    bool clean() const { return failures.empty(); }
+};
+
+/** Engine knobs; the defaults suit a ctest smoke run. */
+struct FuzzOptions
+{
+    /** Master seed; every iteration's input derives from it. */
+    std::uint64_t seed = 1;
+
+    /** Iterations per target. */
+    std::uint64_t iterations = 256;
+
+    /**
+     * Wall-clock budget per input in milliseconds; 0 disables the
+     * hang check (useful under slow sanitizer builds).
+     */
+    std::uint64_t budgetMsPerInput = 1000;
+
+    /** Allocation cap: allocMultiple * input size + allocSlack. */
+    std::size_t allocMultiple = 8;
+    std::size_t allocSlack = 1 << 20;
+
+    /**
+     * Cumulative heap-bytes counter (monotone; counts every
+     * operator-new byte).  Null disables the allocation check —
+     * only a front-end that overrides operator new (tools/abfuzz)
+     * can supply one; library consumers and unit tests usually
+     * leave it unset.
+     */
+    std::uint64_t (*allocProbe)() = nullptr;
+
+    /** When >= 0, run exactly this iteration (crash reproduction). */
+    std::int64_t onlyIteration = -1;
+};
+
+/** Deterministic mutational fuzzer over FuzzTargets. */
+class Fuzzer
+{
+  public:
+    explicit Fuzzer(const FuzzOptions &opts_in) : opts(opts_in) {}
+
+    /**
+     * The exact input of (target, iteration) under the configured
+     * seed.  Iterations below seedInputs().size() replay the seeds
+     * unmutated; later ones mutate a seeded pick.  Pure function of
+     * (opts.seed, target.name(), iteration) — this is the repro
+     * contract.
+     */
+    std::vector<std::uint8_t> inputFor(const FuzzTarget &target,
+                                       std::uint64_t iteration) const;
+
+    /** Fuzz @p target for opts.iterations rounds. */
+    FuzzStats run(const FuzzTarget &target) const;
+
+  private:
+    FuzzOptions opts;
+};
+
+/**
+ * Apply one seeded generic byte-level mutation to @p input: bit
+ * flip, byte overwrite, truncation (random or at an 8-byte
+ * boundary), 8-byte little-endian length-field inflation, random
+ * insertion, or slice duplication.  Exposed for tests and for
+ * targets that want to compose it with structure-aware fixups.
+ */
+void mutateBytes(Rng &rng, std::vector<std::uint8_t> &input);
+
+} // namespace biglittle
+
+#endif // BIGLITTLE_FUZZ_FUZZ_HH

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * The four untrusted-input surfaces of the workbench as FuzzTargets:
+ *
+ *  - config:     ConfigIo key=value text  -> parseExperimentConfig()
+ *  - checkpoint: Checkpoint binary bytes  -> Checkpoint::decode()
+ *  - trace:      EventTrace binary bytes  -> EventTrace::decode()
+ *  - argparse:   NUL-separated argv text  -> ArgParser::tryParse()
+ *
+ * Each target seeds the mutator with valid artifacts produced by
+ * the corresponding encoder, and the binary targets add a
+ * structure-aware mutation that re-fixes the trailing FNV-1a
+ * checksum after mutating the body — without it, nearly every
+ * mutant dies at the integrity gate and the deep decode logic
+ * (string lengths, section counts, allocation sizing) never gets
+ * exercised.
+ */
+
+#ifndef BIGLITTLE_FUZZ_TARGETS_HH
+#define BIGLITTLE_FUZZ_TARGETS_HH
+
+#include <memory>
+
+#include "fuzz/fuzz.hh"
+
+namespace biglittle
+{
+
+/** parseExperimentConfig() on arbitrary text. */
+class ConfigFuzzTarget : public FuzzTarget
+{
+  public:
+    std::string name() const override { return "config"; }
+    std::vector<std::vector<std::uint8_t>> seedInputs() const override;
+    bool mutate(Rng &rng,
+                std::vector<std::uint8_t> &input) const override;
+    void run(const std::vector<std::uint8_t> &input) const override;
+};
+
+/** Checkpoint::decode() on arbitrary bytes. */
+class CheckpointFuzzTarget : public FuzzTarget
+{
+  public:
+    std::string name() const override { return "checkpoint"; }
+    std::vector<std::vector<std::uint8_t>> seedInputs() const override;
+    bool mutate(Rng &rng,
+                std::vector<std::uint8_t> &input) const override;
+    void run(const std::vector<std::uint8_t> &input) const override;
+};
+
+/** EventTrace::decode() on arbitrary bytes. */
+class TraceFuzzTarget : public FuzzTarget
+{
+  public:
+    std::string name() const override { return "trace"; }
+    std::vector<std::vector<std::uint8_t>> seedInputs() const override;
+    bool mutate(Rng &rng,
+                std::vector<std::uint8_t> &input) const override;
+    void run(const std::vector<std::uint8_t> &input) const override;
+};
+
+/** ArgParser::tryParse() on a NUL-separated argv vector. */
+class ArgparseFuzzTarget : public FuzzTarget
+{
+  public:
+    std::string name() const override { return "argparse"; }
+    std::vector<std::vector<std::uint8_t>> seedInputs() const override;
+    void run(const std::vector<std::uint8_t> &input) const override;
+};
+
+/** All four targets, in the order abfuzz runs them. */
+std::vector<std::unique_ptr<FuzzTarget>> allFuzzTargets();
+
+/**
+ * Mutate a checksum-terminated artifact: strip the trailing 8-byte
+ * FNV-1a checksum, apply one generic mutation to the body, and
+ * re-append the recomputed checksum.  Shared by the checkpoint and
+ * trace targets.  Returns false (caller falls back to the generic
+ * mutator, leaving the checksum broken — that path must also be
+ * safe) on a seeded coin flip or when the input is too short.
+ */
+bool mutateBodyRefixChecksum(Rng &rng,
+                             std::vector<std::uint8_t> &input);
+
+} // namespace biglittle
+
+#endif // BIGLITTLE_FUZZ_TARGETS_HH

@@ -1,8 +1,11 @@
 #include "snapshot/checkpoint.hh"
 
+#include <algorithm>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 
+#include "base/logging.hh"
 #include "base/serialize.hh"
 #include "base/strutil.hh"
 
@@ -72,6 +75,10 @@ Checkpoint::decode(const std::vector<std::uint8_t> &bytes)
     }
 
     Deserializer d(bytes.data(), body);
+    // Even a checksum-valid file is untrusted: cap what decoding may
+    // allocate to a small multiple of the input so a crafted count
+    // or length field cannot balloon memory.
+    d.limitAllocations(2, 4096);
     if (d.getU32() != checkpointMagic)
         return invalidArgument("not a checkpoint file (bad magic)");
     const std::uint32_t version = d.getU32();
@@ -88,7 +95,10 @@ Checkpoint::decode(const std::vector<std::uint8_t> &bytes)
     ckpt.tick = d.getU64();
     ckpt.eventsServiced = d.getU64();
     ckpt.nextSequence = d.getU64();
-    const std::uint64_t count = d.getU64();
+    // The smallest possible section is two empty length-prefixed
+    // blobs (16 bytes), which bounds a sane sectionCount.
+    const std::uint64_t count = d.getCount(16);
+    ckpt.sections.reserve(count);
     for (std::uint64_t i = 0; i < count && d.ok(); ++i) {
         CheckpointSection sec;
         sec.name = d.getString();
@@ -120,6 +130,12 @@ Checkpoint::writeBytes(const std::string &path,
         if (!out)
             return unavailable("short write to '" + tmp + "'");
     }
+    // Keep the previous checkpoint as <path>.1 so one corrupt write
+    // (power cut mid-flush, disk full) still leaves a resumable file.
+    // Failure to rotate is not fatal: the new write proceeds anyway.
+    std::error_code ec;
+    if (std::filesystem::exists(path, ec))
+        std::rename(path.c_str(), (path + ".1").c_str());
     if (std::rename(tmp.c_str(), path.c_str()) != 0) {
         std::remove(tmp.c_str());
         return unavailable("cannot rename '" + tmp + "' to '" + path +
@@ -138,6 +154,100 @@ Checkpoint::readFile(const std::string &path)
         (std::istreambuf_iterator<char>(in)),
         std::istreambuf_iterator<char>());
     return decode(bytes);
+}
+
+std::vector<std::string>
+checkpointCandidates(const std::string &path)
+{
+    std::vector<std::string> out{path, path + ".1"};
+
+    // Periodic checkpoints are named <stem>.<tick>.ckpt; older ticks
+    // of the same stem are valid (if stale) resume points.
+    const std::string suffix = ".ckpt";
+    if (path.size() <= suffix.size() ||
+        path.compare(path.size() - suffix.size(), suffix.size(),
+                     suffix) != 0)
+        return out;
+    const std::string noExt = path.substr(0, path.size() - suffix.size());
+    const std::size_t dot = noExt.find_last_of('.');
+    if (dot == std::string::npos ||
+        dot + 1 == noExt.size() ||
+        noExt.size() - dot - 1 > 19 || // stoull range guard
+        noExt.find_first_not_of("0123456789", dot + 1) !=
+            std::string::npos)
+        return out;
+    const unsigned long long tick = std::stoull(noExt.substr(dot + 1));
+    const std::string stem = noExt.substr(0, dot + 1); // keeps the dot
+
+    std::vector<std::pair<unsigned long long, std::string>> older;
+    const std::filesystem::path parent =
+        std::filesystem::path(path).parent_path();
+    std::error_code ec;
+    for (const auto &entry : std::filesystem::directory_iterator(
+             parent.empty() ? "." : parent, ec)) {
+        const std::string candidate = entry.path().string();
+        const std::string name = entry.path().filename().string();
+        const std::string stemName =
+            std::filesystem::path(stem).filename().string();
+        if (name.size() <= stemName.size() + suffix.size() ||
+            name.compare(0, stemName.size(), stemName) != 0 ||
+            name.compare(name.size() - suffix.size(), suffix.size(),
+                         suffix) != 0)
+            continue;
+        const std::string mid = name.substr(
+            stemName.size(),
+            name.size() - stemName.size() - suffix.size());
+        if (mid.empty() || mid.size() > 19 ||
+            mid.find_first_not_of("0123456789") != std::string::npos)
+            continue;
+        const unsigned long long candTick = std::stoull(mid);
+        if (candTick < tick)
+            older.emplace_back(candTick, candidate);
+    }
+    std::sort(older.begin(), older.end(),
+              [](const auto &a, const auto &b) {
+                  return a.first != b.first ? a.first > b.first
+                                            : a.second < b.second;
+              });
+    for (const auto &[candTick, candidate] : older)
+        out.push_back(candidate);
+    return out;
+}
+
+Result<Checkpoint>
+loadCheckpointWithFallback(
+    const std::string &path,
+    const std::function<Status(const Checkpoint &)> &accept)
+{
+    for (const std::string &candidate : checkpointCandidates(path)) {
+        Result<Checkpoint> loaded = Checkpoint::readFile(candidate);
+        if (!loaded.ok()) {
+            // Only the primary's absence is worth a warning for the
+            // rotated/older names; a missing .1 is the common case.
+            if (candidate == path ||
+                loaded.status().code() != StatusCode::notFound) {
+                warn("checkpoint '%s' rejected: %s", candidate.c_str(),
+                     loaded.status().message().c_str());
+            }
+            continue;
+        }
+        if (accept) {
+            const Status st = accept(loaded.value());
+            if (!st.ok()) {
+                warn("checkpoint '%s' rejected: %s", candidate.c_str(),
+                     st.message().c_str());
+                continue;
+            }
+        }
+        if (candidate != path) {
+            warn("resuming from fallback checkpoint '%s' (newest "
+                 "candidate '%s' was unusable)",
+                 candidate.c_str(), path.c_str());
+        }
+        return std::move(loaded.value());
+    }
+    return notFound("no usable checkpoint for '" + path +
+                    "' (all candidates rejected)");
 }
 
 Status

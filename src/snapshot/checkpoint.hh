@@ -30,6 +30,7 @@
 #define BIGLITTLE_SNAPSHOT_CHECKPOINT_HH
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -78,18 +79,45 @@ struct Checkpoint
     [[nodiscard]] static Result<Checkpoint>
     decode(const std::vector<std::uint8_t> &bytes);
 
-    /** Atomically write to @p path (tmp file + rename). */
+    /**
+     * Atomically write to @p path (tmp file + rename).  An existing
+     * file at @p path is rotated to `<path>.1` first, so the last
+     * good checkpoint survives one bad write.
+     */
     [[nodiscard]] Status writeFile(const std::string &path) const;
 
     /** Read and decode @p path. */
     [[nodiscard]] static Result<Checkpoint>
     readFile(const std::string &path);
 
-    /** Atomically write pre-encoded bytes (tmp file + rename). */
+    /**
+     * Atomically write pre-encoded bytes (tmp file + rename),
+     * rotating any existing file at @p path to `<path>.1`.
+     */
     [[nodiscard]] static Status
     writeBytes(const std::string &path,
                const std::vector<std::uint8_t> &bytes);
 };
+
+/**
+ * Resume candidates for @p path, newest first: the file itself, its
+ * `<path>.1` rotation, then - when the name follows the periodic
+ * `<stem>.<tick>.ckpt` convention of Experiment - every sibling
+ * checkpoint of the same stem with an older tick, newest to oldest.
+ */
+std::vector<std::string> checkpointCandidates(const std::string &path);
+
+/**
+ * Load the newest readable (and, when @p accept is given, accepted)
+ * checkpoint from checkpointCandidates(path).  Every rejected
+ * candidate is warn()ed with its reason; the Result is the first
+ * survivor, or notFound when none is usable.  This is what turns a
+ * corrupt newest checkpoint into a logged fallback instead of a dead
+ * run.
+ */
+[[nodiscard]] Result<Checkpoint> loadCheckpointWithFallback(
+    const std::string &path,
+    const std::function<Status(const Checkpoint &)> &accept = nullptr);
 
 /**
  * Compare two checkpoints section by section.  Returns ok when every

@@ -79,6 +79,9 @@ EventTrace::decode(const std::vector<std::uint8_t> &bytes)
         return invalidArgument("event trace checksum mismatch");
 
     Deserializer d(bytes.data(), body);
+    // Cap decode-time allocations at a small multiple of the input:
+    // a crafted count or string length must not balloon memory.
+    d.limitAllocations(2, 4096);
     if (d.getU32() != traceMagic)
         return invalidArgument("not an event trace (bad magic)");
     const std::uint32_t version = d.getU32();
@@ -88,7 +91,9 @@ EventTrace::decode(const std::vector<std::uint8_t> &bytes)
             version, traceVersion));
     }
     EventTrace trace;
-    const std::uint64_t count = d.getU64();
+    // A record is at least when+priority+sequence+name-length =
+    // 32 bytes, which bounds any honest count field.
+    const std::uint64_t count = d.getCount(32);
     trace.records.reserve(count);
     for (std::uint64_t i = 0; i < count && d.ok(); ++i) {
         TraceRecord r;

@@ -124,10 +124,13 @@ TraceRecorder::countOf(TraceKind kind) const
     return n;
 }
 
-void
+Status
 TraceRecorder::writeCsv(const std::string &path) const
 {
-    CsvWriter csv(path);
+    CsvWriter csv;
+    const Status opened = csv.open(path);
+    if (!opened.ok())
+        return opened;
     csv.header({"time_ms", "kind", "task_id", "name", "core",
                 "from_core", "freq_khz", "load"});
     for (const TraceEvent &e : buffer) {
@@ -147,6 +150,7 @@ TraceRecorder::writeCsv(const std::string &path) const
         csv.cell(e.load);
         csv.endRow();
     }
+    return okStatus();
 }
 
 std::string

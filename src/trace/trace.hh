@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "base/status.hh"
 #include "base/types.hh"
 #include "sched/hmp.hh"
 
@@ -92,7 +93,7 @@ class TraceRecorder : public SchedObserver
     std::size_t countOf(TraceKind kind) const;
 
     /** Write all buffered events to a CSV file. */
-    void writeCsv(const std::string &path) const;
+    [[nodiscard]] Status writeCsv(const std::string &path) const;
 
     /**
      * Render the last @p max_lines events as a human-readable

@@ -69,7 +69,7 @@ FrameStats::serialize(Serializer &s) const
 void
 FrameStats::deserialize(Deserializer &d)
 {
-    const std::uint64_t n = d.getU64();
+    const std::uint64_t n = d.getCount(sizeof(Tick));
     completions.clear();
     completions.reserve(n);
     for (std::uint64_t i = 0; i < n && d.ok(); ++i)

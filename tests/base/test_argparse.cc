@@ -86,37 +86,83 @@ TEST(ArgParser, HelpTextMentionsEveryOption)
     }
 }
 
-TEST(ArgParserDeathTest, UnknownOptionIsFatal)
+TEST(ArgParser, TryParseRejectsUnknownOption)
+{
+    ArgParser p = makeParser();
+    std::vector<const char *> argv = {"prog", "--bogus", "1"};
+    const auto parsed = p.tryParse(3, argv.data());
+    ASSERT_FALSE(parsed.ok());
+    EXPECT_EQ(parsed.status().code(), StatusCode::invalidArgument);
+    EXPECT_NE(parsed.status().message().find("unknown option"),
+              std::string::npos);
+}
+
+TEST(ArgParser, TryParseRejectsMissingValue)
+{
+    ArgParser p = makeParser();
+    std::vector<const char *> argv = {"prog", "--count"};
+    const auto parsed = p.tryParse(2, argv.data());
+    ASSERT_FALSE(parsed.ok());
+    EXPECT_NE(parsed.status().message().find("requires a value"),
+              std::string::npos);
+}
+
+TEST(ArgParser, TryGetIntRejectsNonNumeric)
+{
+    ArgParser p = makeParser();
+    std::vector<const char *> argv = {"prog", "--count", "abc"};
+    ASSERT_TRUE(p.tryParse(3, argv.data()).ok());
+    const auto v = p.tryGetInt("count");
+    ASSERT_FALSE(v.ok());
+    EXPECT_NE(v.status().message().find("not an integer"),
+              std::string::npos);
+}
+
+TEST(ArgParser, TryGetDoubleRejectsNonNumeric)
+{
+    ArgParser p = makeParser();
+    std::vector<const char *> argv = {"prog", "--ratio", "wide"};
+    ASSERT_TRUE(p.tryParse(3, argv.data()).ok());
+    const auto v = p.tryGetDouble("ratio");
+    ASSERT_FALSE(v.ok());
+    EXPECT_NE(v.status().message().find("not a number"),
+              std::string::npos);
+}
+
+TEST(ArgParser, TryParseRejectsFlagWithValue)
+{
+    ArgParser p = makeParser();
+    std::vector<const char *> argv = {"prog", "--verbose=yes"};
+    const auto parsed = p.tryParse(2, argv.data());
+    ASSERT_FALSE(parsed.ok());
+    EXPECT_NE(parsed.status().message().find("does not take a value"),
+              std::string::npos);
+}
+
+TEST(ArgParser, TryParseRecordsHelpWithoutExiting)
+{
+    ArgParser p = makeParser();
+    std::vector<const char *> argv = {"prog", "--help"};
+    const auto parsed = p.tryParse(2, argv.data());
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_TRUE(p.helpRequested());
+}
+
+TEST(ArgParserDeathTest, UnknownOptionExitsUsage)
 {
     ArgParser p = makeParser();
     std::vector<const char *> argv = {"prog", "--bogus", "1"};
     EXPECT_EXIT(p.parse(3, argv.data()),
-                ::testing::ExitedWithCode(1), "unknown option");
+                ::testing::ExitedWithCode(2), "unknown option");
 }
 
-TEST(ArgParserDeathTest, MissingValueIsFatal)
-{
-    ArgParser p = makeParser();
-    std::vector<const char *> argv = {"prog", "--count"};
-    EXPECT_EXIT(p.parse(2, argv.data()),
-                ::testing::ExitedWithCode(1), "requires a value");
-}
-
-TEST(ArgParserDeathTest, NonNumericIntIsFatal)
+TEST(ArgParserDeathTest, NonNumericIntExitsUsage)
 {
     ArgParser p = makeParser();
     std::vector<const char *> argv = {"prog", "--count", "abc"};
     p.parse(3, argv.data());
-    EXPECT_EXIT(p.getInt("count"), ::testing::ExitedWithCode(1),
+    EXPECT_EXIT(p.getInt("count"), ::testing::ExitedWithCode(2),
                 "not an integer");
-}
-
-TEST(ArgParserDeathTest, FlagWithValueIsFatal)
-{
-    ArgParser p = makeParser();
-    std::vector<const char *> argv = {"prog", "--verbose=yes"};
-    EXPECT_EXIT(p.parse(2, argv.data()),
-                ::testing::ExitedWithCode(1), "does not take a value");
 }
 
 TEST(ArgParserDeathTest, UndeclaredAccessPanics)

@@ -48,7 +48,8 @@ class CsvTest : public ::testing::Test
 TEST_F(CsvTest, HeaderAndRows)
 {
     {
-        CsvWriter w(path);
+        CsvWriter w;
+        ASSERT_TRUE(w.open(path).ok());
         w.header({"a", "b", "c"});
         w.beginRow();
         w.cell(std::string("x"));
@@ -63,7 +64,8 @@ TEST_F(CsvTest, HeaderAndRows)
 TEST_F(CsvTest, QuotesCommasAndQuotes)
 {
     {
-        CsvWriter w(path);
+        CsvWriter w;
+        ASSERT_TRUE(w.open(path).ok());
         w.row({"plain", "with,comma", "with\"quote", "multi\nline"});
     }
     EXPECT_EQ(slurp(path),
@@ -73,7 +75,8 @@ TEST_F(CsvTest, QuotesCommasAndQuotes)
 TEST_F(CsvTest, NumericFormatting)
 {
     {
-        CsvWriter w(path);
+        CsvWriter w;
+        ASSERT_TRUE(w.open(path).ok());
         w.beginRow();
         w.cell(0.1);
         w.cell(1234567.0);
@@ -86,7 +89,8 @@ TEST_F(CsvTest, NumericFormatting)
 TEST_F(CsvTest, MultipleRowsCounted)
 {
     {
-        CsvWriter w(path);
+        CsvWriter w;
+        ASSERT_TRUE(w.open(path).ok());
         for (int i = 0; i < 5; ++i)
             w.row({"r" + std::to_string(i)});
         EXPECT_EQ(w.rowsWritten(), 5u);
@@ -95,8 +99,11 @@ TEST_F(CsvTest, MultipleRowsCounted)
     EXPECT_EQ(std::count(content.begin(), content.end(), '\n'), 5);
 }
 
-TEST(CsvDeathTest, UnopenableFileIsFatal)
+TEST(CsvTest2, UnopenableFileReturnsStatus)
 {
-    EXPECT_EXIT(CsvWriter("/nonexistent_dir_xyz/file.csv"),
-                ::testing::ExitedWithCode(1), "cannot open CSV");
+    CsvWriter w;
+    const Status st = w.open("/nonexistent_dir_xyz/file.csv");
+    EXPECT_FALSE(st.ok());
+    EXPECT_EQ(st.code(), StatusCode::unavailable);
+    EXPECT_NE(st.message().find("cannot open CSV"), std::string::npos);
 }

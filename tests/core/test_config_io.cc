@@ -13,9 +13,32 @@
 
 using namespace biglittle;
 
+namespace
+{
+
+/** Unwrap a Result<ExperimentConfig>, failing the test on error. */
+ExperimentConfig
+parseOk(const std::string &text)
+{
+    Result<ExperimentConfig> r = parseExperimentConfig(text);
+    EXPECT_TRUE(r.ok()) << r.status().toString();
+    return r.ok() ? r.value() : ExperimentConfig{};
+}
+
+/** The Status of a parse that is expected to fail. */
+Status
+parseErr(const std::string &text)
+{
+    Result<ExperimentConfig> r = parseExperimentConfig(text);
+    EXPECT_FALSE(r.ok());
+    return r.ok() ? okStatus() : r.status();
+}
+
+} // namespace
+
 TEST(ConfigIo, EmptyTextYieldsDefaults)
 {
-    const ExperimentConfig cfg = parseExperimentConfig("");
+    const ExperimentConfig cfg = parseOk("");
     EXPECT_EQ(cfg.governor, GovernorKind::interactive);
     EXPECT_EQ(cfg.sched.upThreshold, 700u);
     EXPECT_EQ(cfg.coreConfig.littleCores, 4u);
@@ -25,7 +48,7 @@ TEST(ConfigIo, EmptyTextYieldsDefaults)
 
 TEST(ConfigIo, ParsesAllKeyKinds)
 {
-    const ExperimentConfig cfg = parseExperimentConfig(R"(
+    const ExperimentConfig cfg = parseOk(R"(
 # a Section VI-C style point
 governor = ondemand
 label = my-point
@@ -57,7 +80,7 @@ sample_window_ms = 20
 
 TEST(ConfigIo, CommentsAndWhitespaceIgnored)
 {
-    const ExperimentConfig cfg = parseExperimentConfig(
+    const ExperimentConfig cfg = parseOk(
         "  # full-line comment\n"
         "\n"
         "   governor =   powersave   # trailing comment\n");
@@ -67,70 +90,93 @@ TEST(ConfigIo, CommentsAndWhitespaceIgnored)
 TEST(ConfigIo, BooleanSpellings)
 {
     for (const char *yes : {"true", "1", "yes", "on"}) {
-        const ExperimentConfig cfg = parseExperimentConfig(
-            std::string("thermal.enabled = ") + yes);
+        const ExperimentConfig cfg =
+            parseOk(std::string("thermal.enabled = ") + yes);
         EXPECT_TRUE(cfg.thermalEnabled) << yes;
     }
     for (const char *no : {"false", "0", "no", "off"}) {
-        const ExperimentConfig cfg = parseExperimentConfig(
-            std::string("thermal.enabled = ") + no);
+        const ExperimentConfig cfg =
+            parseOk(std::string("thermal.enabled = ") + no);
         EXPECT_FALSE(cfg.thermalEnabled) << no;
     }
 }
 
-TEST(ConfigIoDeathTest, UnknownKeyIsFatal)
+TEST(ConfigIo, UnknownKeyIsAnError)
 {
-    EXPECT_EXIT(parseExperimentConfig("bogus.key = 1"),
-                ::testing::ExitedWithCode(1), "unknown config key");
+    const Status st = parseErr("bogus.key = 1");
+    EXPECT_EQ(st.code(), StatusCode::invalidArgument);
+    EXPECT_NE(st.message().find("unknown config key"),
+              std::string::npos);
 }
 
-TEST(ConfigIoDeathTest, UnknownKeyReportsLineNumber)
+TEST(ConfigIo, UnknownKeyReportsLineNumber)
 {
-    EXPECT_EXIT(parseExperimentConfig("# comment\n"
-                                      "governor = ondemand\n"
-                                      "bogus.key = 1\n"),
-                ::testing::ExitedWithCode(1),
-                "line 3: unknown config key 'bogus.key'");
+    const Status st = parseErr("# comment\n"
+                               "governor = ondemand\n"
+                               "bogus.key = 1\n");
+    EXPECT_NE(st.message().find("line 3: unknown config key "
+                                "'bogus.key'"),
+              std::string::npos);
 }
 
-TEST(ConfigIoDeathTest, MalformedLineIsFatal)
+TEST(ConfigIo, MalformedLineIsAnError)
 {
-    EXPECT_EXIT(parseExperimentConfig("governor interactive"),
-                ::testing::ExitedWithCode(1), "expected 'key = value'");
+    const Status st = parseErr("governor interactive");
+    EXPECT_NE(st.message().find("expected 'key = value'"),
+              std::string::npos);
 }
 
-TEST(ConfigIoDeathTest, NonNumericValueIsFatal)
+TEST(ConfigIo, NonNumericValueIsAnError)
 {
-    EXPECT_EXIT(parseExperimentConfig("sched.up_threshold = high"),
-                ::testing::ExitedWithCode(1), "not a number");
+    const Status st = parseErr("sched.up_threshold = high");
+    EXPECT_NE(st.message().find("not a number"), std::string::npos);
 }
 
-TEST(ConfigIoDeathTest, NonNumericValueReportsLineAndKey)
+TEST(ConfigIo, NonNumericValueReportsLineAndKey)
 {
-    EXPECT_EXIT(parseExperimentConfig("\n\nsched.up_threshold = high"),
-                ::testing::ExitedWithCode(1),
-                "line 3: key 'sched.up_threshold': 'high' is not a "
-                "number");
+    const Status st = parseErr("\n\nsched.up_threshold = high");
+    EXPECT_NE(st.message().find("line 3: key 'sched.up_threshold': "
+                                "'high' is not a number"),
+              std::string::npos);
 }
 
-TEST(ConfigIoDeathTest, BadBooleanReportsLineAndKey)
+TEST(ConfigIo, BadBooleanReportsLineAndKey)
 {
-    EXPECT_EXIT(parseExperimentConfig("fault.enabled = maybe"),
-                ::testing::ExitedWithCode(1),
-                "line 1: key 'fault.enabled': 'maybe' is not a "
-                "boolean");
+    const Status st = parseErr("fault.enabled = maybe");
+    EXPECT_NE(st.message().find("line 1: key 'fault.enabled': "
+                                "'maybe' is not a boolean"),
+              std::string::npos);
 }
 
-TEST(ConfigIoDeathTest, UnknownGovernorIsFatal)
+TEST(ConfigIo, UnknownGovernorIsAnError)
 {
-    EXPECT_EXIT(parseExperimentConfig("governor = warpdrive"),
-                ::testing::ExitedWithCode(1), "unknown governor");
+    const Status st = parseErr("governor = warpdrive");
+    EXPECT_NE(st.message().find("unknown governor"),
+              std::string::npos);
 }
 
-TEST(ConfigIoDeathTest, MissingFileIsFatal)
+TEST(ConfigIo, NegativeUnsignedValueIsAnError)
 {
-    EXPECT_EXIT(loadExperimentConfig("/nonexistent/x.conf"),
-                ::testing::ExitedWithCode(1), "cannot open config");
+    const Status st = parseErr("seed = -7");
+    EXPECT_NE(st.message().find("out of range"), std::string::npos);
+}
+
+TEST(ConfigIo, EmptyKeyOrValueIsAnError)
+{
+    EXPECT_NE(parseErr("= 5").message().find("empty key or value"),
+              std::string::npos);
+    EXPECT_NE(parseErr("seed =").message().find("empty key or value"),
+              std::string::npos);
+}
+
+TEST(ConfigIo, MissingFileIsAnError)
+{
+    Result<ExperimentConfig> r =
+        loadExperimentConfig("/nonexistent/x.conf");
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::notFound);
+    EXPECT_NE(r.status().message().find("cannot open config"),
+              std::string::npos);
 }
 
 TEST(ConfigIo, SaveParseRoundTrip)
@@ -149,7 +195,7 @@ TEST(ConfigIo, SaveParseRoundTrip)
     cfg.userspaceBigFreq = 1100000;
 
     const ExperimentConfig back =
-        parseExperimentConfig(saveExperimentConfig(cfg));
+        parseOk(saveExperimentConfig(cfg));
     EXPECT_EQ(back.governor, cfg.governor);
     EXPECT_EQ(back.label, cfg.label);
     EXPECT_EQ(back.interactive.samplingRate,
@@ -170,7 +216,7 @@ TEST(ConfigIo, SaveParseRoundTrip)
 
 TEST(ConfigIo, ParsesFaultKeys)
 {
-    const ExperimentConfig cfg = parseExperimentConfig(R"(
+    const ExperimentConfig cfg = parseOk(R"(
 fault.enabled = true
 fault.seed = 99
 fault.draw_period_ms = 5
@@ -203,7 +249,7 @@ TEST(ConfigIo, FaultKeysRoundTrip)
     ExperimentConfig cfg;
     cfg.fault = scaledFaultParams(1.5, 31);
     const ExperimentConfig back =
-        parseExperimentConfig(saveExperimentConfig(cfg));
+        parseOk(saveExperimentConfig(cfg));
     EXPECT_EQ(back.fault.enabled, cfg.fault.enabled);
     EXPECT_EQ(back.fault.seed, cfg.fault.seed);
     EXPECT_DOUBLE_EQ(back.fault.hotplugRatePerSec,
@@ -229,10 +275,11 @@ TEST(ConfigIo, FileRoundTrip)
     ExperimentConfig cfg;
     cfg.governor = GovernorKind::conservative;
     cfg.coreConfig = {2, 2, "L2+B2"};
-    writeExperimentConfig(cfg, path);
-    const ExperimentConfig back = loadExperimentConfig(path);
-    EXPECT_EQ(back.governor, GovernorKind::conservative);
-    EXPECT_EQ(back.coreConfig.bigCores, 2u);
+    ASSERT_TRUE(writeExperimentConfig(cfg, path).ok());
+    Result<ExperimentConfig> back = loadExperimentConfig(path);
+    ASSERT_TRUE(back.ok()) << back.status().toString();
+    EXPECT_EQ(back.value().governor, GovernorKind::conservative);
+    EXPECT_EQ(back.value().coreConfig.bigCores, 2u);
     std::remove(path.c_str());
 }
 
@@ -243,13 +290,16 @@ TEST(ConfigIo, GovernorNamesRoundTrip)
           GovernorKind::powersave, GovernorKind::ondemand,
           GovernorKind::conservative, GovernorKind::schedutil,
           GovernorKind::userspace}) {
-        EXPECT_EQ(governorKindFromName(governorKindName(kind)), kind);
+        Result<GovernorKind> back =
+            governorKindFromName(governorKindName(kind));
+        ASSERT_TRUE(back.ok());
+        EXPECT_EQ(back.value(), kind);
     }
 }
 
 TEST(ConfigIo, ParsesSnapshotAndWatchdogKeys)
 {
-    const ExperimentConfig cfg = parseExperimentConfig(R"(
+    const ExperimentConfig cfg = parseOk(R"(
 seed = 777
 snapshot.checkpoint_every_ms = 250
 snapshot.checkpoint_dir = /tmp/ckpts
@@ -276,7 +326,7 @@ watchdog.ring_depth = 128
 TEST(ConfigIo, ParsesReplayTraceKey)
 {
     const ExperimentConfig cfg =
-        parseExperimentConfig("snapshot.replay_trace = /tmp/ref.trace");
+        parseOk("snapshot.replay_trace = /tmp/ref.trace");
     EXPECT_EQ(cfg.snapshot.replayTracePath, "/tmp/ref.trace");
 }
 
@@ -295,7 +345,7 @@ TEST(ConfigIo, SnapshotAndWatchdogKeysRoundTrip)
     cfg.watchdog.ringDepth = 32;
 
     const ExperimentConfig back =
-        parseExperimentConfig(saveExperimentConfig(cfg));
+        parseOk(saveExperimentConfig(cfg));
     EXPECT_EQ(back.masterSeed, cfg.masterSeed);
     EXPECT_EQ(back.snapshot.checkpointEvery,
               cfg.snapshot.checkpointEvery);
@@ -317,7 +367,7 @@ TEST(ConfigIo, DefaultSnapshotConfigRoundTripsWithEmptyPaths)
     // Empty path values are omitted on save (the parser rejects a
     // key with no value), so defaults must survive a round trip.
     const ExperimentConfig back =
-        parseExperimentConfig(saveExperimentConfig(ExperimentConfig{}));
+        parseOk(saveExperimentConfig(ExperimentConfig{}));
     EXPECT_EQ(back.masterSeed, 0u);
     EXPECT_EQ(back.snapshot.checkpointEvery, 0u);
     EXPECT_TRUE(back.snapshot.resumePath.empty());

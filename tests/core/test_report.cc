@@ -53,7 +53,14 @@ class ReportTest : public ::testing::Test
     void
     SetUp() override
     {
-        path = ::testing::TempDir() + "biglittle_report_test.csv";
+        // One file per test case: ctest runs the cases of this
+        // fixture concurrently, and a shared name would let one
+        // case truncate the file another is reading.
+        path = ::testing::TempDir() + "biglittle_report_" +
+               ::testing::UnitTest::GetInstance()
+                   ->current_test_info()
+                   ->name() +
+               ".csv";
     }
 
     void
@@ -70,7 +77,8 @@ TEST_F(ReportTest, TlpTableCsvHasOneRowPerApp)
     const std::vector<AppRunResult> results = {sharedRun(),
                                                sharedRun()};
     {
-        CsvWriter csv(path);
+        CsvWriter csv;
+        ASSERT_TRUE(csv.open(path).ok());
         printTlpTable(results, &csv);
     }
     const auto lines = csvLines(path);
@@ -82,7 +90,8 @@ TEST_F(ReportTest, TlpTableCsvHasOneRowPerApp)
 TEST_F(ReportTest, TlpMatrixCsvHasFiveRows)
 {
     {
-        CsvWriter csv(path);
+        CsvWriter csv;
+        ASSERT_TRUE(csv.open(path).ok());
         printTlpMatrix(sharedRun(), &csv);
     }
     const auto lines = csvLines(path);
@@ -95,7 +104,8 @@ TEST_F(ReportTest, TlpMatrixCsvHasFiveRows)
 TEST_F(ReportTest, EfficiencyCsvRowSumsToHundred)
 {
     {
-        CsvWriter csv(path);
+        CsvWriter csv;
+        ASSERT_TRUE(csv.open(path).ok());
         printEfficiencyTable({sharedRun()}, &csv);
     }
     const auto lines = csvLines(path);
@@ -112,7 +122,8 @@ TEST_F(ReportTest, EfficiencyCsvRowSumsToHundred)
 TEST_F(ReportTest, ResidencyCsvHasColumnPerOpp)
 {
     {
-        CsvWriter csv(path);
+        CsvWriter csv;
+        ASSERT_TRUE(csv.open(path).ok());
         printFreqResidencyTable({sharedRun()}, /*big=*/false, &csv);
     }
     const auto lines = csvLines(path);
@@ -125,7 +136,8 @@ TEST_F(ReportTest, ResidencyCsvHasColumnPerOpp)
 TEST_F(ReportTest, TaskTableCsvHasOneRowPerThread)
 {
     {
-        CsvWriter csv(path);
+        CsvWriter csv;
+        ASSERT_TRUE(csv.open(path).ok());
         printTaskTable(sharedRun(), &csv);
     }
     const auto lines = csvLines(path);

@@ -9,6 +9,7 @@
 
 #include <cstdio>
 #include <fstream>
+#include <sys/stat.h>
 
 #include "base/serialize.hh"
 #include "snapshot/checkpoint.hh"
@@ -219,4 +220,145 @@ TEST(CompareCheckpoints, TickMismatchIsReported)
     const Status st = compareCheckpoints(a, b);
     ASSERT_FALSE(st.ok());
     EXPECT_NE(st.message().find("tick mismatch"), std::string::npos);
+}
+
+TEST(CheckpointRotation, RewriteKeepsPreviousGeneration)
+{
+    const std::string path =
+        ::testing::TempDir() + "bl_ckpt_rot.ckpt";
+    std::remove(path.c_str());
+    std::remove((path + ".1").c_str());
+
+    Checkpoint first = sampleCheckpoint();
+    first.tick = 100;
+    ASSERT_TRUE(first.writeFile(path).ok());
+
+    Checkpoint second = sampleCheckpoint();
+    second.tick = 200;
+    ASSERT_TRUE(second.writeFile(path).ok());
+
+    const Result<Checkpoint> now = Checkpoint::readFile(path);
+    const Result<Checkpoint> prev =
+        Checkpoint::readFile(path + ".1");
+    ASSERT_TRUE(now.ok()) << now.status().message();
+    ASSERT_TRUE(prev.ok()) << prev.status().message();
+    EXPECT_EQ(now.value().tick, 200u);
+    EXPECT_EQ(prev.value().tick, 100u);
+
+    std::remove(path.c_str());
+    std::remove((path + ".1").c_str());
+}
+
+TEST(CheckpointRotation, CandidatesListNewestFirst)
+{
+    const std::string dir =
+        ::testing::TempDir() + "bl_ckpt_cand";
+    ::mkdir(dir.c_str(), 0755);
+    const auto write = [&](Tick tick) {
+        Checkpoint c = sampleCheckpoint();
+        c.tick = tick;
+        const std::string p =
+            dir + "/app.default." + std::to_string(tick) + ".ckpt";
+        ASSERT_TRUE(c.writeFile(p).ok());
+    };
+    write(400);
+    write(800);
+    write(1200);
+
+    const std::string primary = dir + "/app.default.1200.ckpt";
+    const auto candidates = checkpointCandidates(primary);
+    // Primary, its rotation sibling, then older ticks descending.
+    ASSERT_GE(candidates.size(), 4u);
+    EXPECT_EQ(candidates[0], primary);
+    EXPECT_EQ(candidates[1], primary + ".1");
+    EXPECT_EQ(candidates[2], dir + "/app.default.800.ckpt");
+    EXPECT_EQ(candidates[3], dir + "/app.default.400.ckpt");
+}
+
+TEST(CheckpointRotation, NonTickNameStillListsRotationSibling)
+{
+    const auto candidates = checkpointCandidates("/tmp/foo.bin");
+    ASSERT_EQ(candidates.size(), 2u);
+    EXPECT_EQ(candidates[0], "/tmp/foo.bin");
+    EXPECT_EQ(candidates[1], "/tmp/foo.bin.1");
+}
+
+TEST(CheckpointRotation, FallbackSkipsCorruptNewest)
+{
+    const std::string dir =
+        ::testing::TempDir() + "bl_ckpt_fall";
+    ::mkdir(dir.c_str(), 0755);
+    const auto pathFor = [&](Tick tick) {
+        return dir + "/app.default." + std::to_string(tick) +
+               ".ckpt";
+    };
+    for (const Tick tick : {Tick{500}, Tick{1000}}) {
+        Checkpoint c = sampleCheckpoint();
+        c.tick = tick;
+        ASSERT_TRUE(c.writeFile(pathFor(tick)).ok());
+    }
+    // Damage the newest: flip one payload bit so the checksum
+    // check rejects it.
+    {
+        std::fstream f(pathFor(1000),
+                       std::ios::in | std::ios::out |
+                           std::ios::binary);
+        ASSERT_TRUE(f.good());
+        f.seekg(40);
+        const int orig = f.get();
+        ASSERT_NE(orig, EOF);
+        f.seekp(40);
+        f.put(static_cast<char>(orig ^ 0x01));
+    }
+
+    const Result<Checkpoint> loaded =
+        loadCheckpointWithFallback(pathFor(1000));
+    ASSERT_TRUE(loaded.ok()) << loaded.status().message();
+    EXPECT_EQ(loaded.value().tick, 500u);
+}
+
+TEST(CheckpointRotation, FallbackHonorsAcceptPredicate)
+{
+    const std::string dir =
+        ::testing::TempDir() + "bl_ckpt_accept";
+    ::mkdir(dir.c_str(), 0755);
+    const auto pathFor = [&](Tick tick) {
+        return dir + "/app.default." + std::to_string(tick) +
+               ".ckpt";
+    };
+    for (const Tick tick : {Tick{300}, Tick{600}}) {
+        Checkpoint c = sampleCheckpoint();
+        c.tick = tick;
+        ASSERT_TRUE(c.writeFile(pathFor(tick)).ok());
+    }
+
+    // Predicate rejects everything: the load must fail with a
+    // message naming the primary path.
+    const auto reject = [](const Checkpoint &) {
+        return failedPrecondition("not wanted");
+    };
+    const Result<Checkpoint> none =
+        loadCheckpointWithFallback(pathFor(600), reject);
+    ASSERT_FALSE(none.ok());
+    EXPECT_NE(none.status().message().find(pathFor(600)),
+              std::string::npos);
+
+    // Predicate accepting only the older tick exercises the
+    // accept-driven fallback (newest is intact but unwanted).
+    const auto only300 = [](const Checkpoint &c) {
+        return c.tick == 300 ? okStatus()
+                             : failedPrecondition("wrong tick");
+    };
+    const Result<Checkpoint> older =
+        loadCheckpointWithFallback(pathFor(600), only300);
+    ASSERT_TRUE(older.ok()) << older.status().message();
+    EXPECT_EQ(older.value().tick, 300u);
+}
+
+TEST(CheckpointRotation, AllCandidatesMissingIsNotFound)
+{
+    const Result<Checkpoint> none = loadCheckpointWithFallback(
+        ::testing::TempDir() + "bl_no_such_ckpt.ckpt");
+    ASSERT_FALSE(none.ok());
+    EXPECT_EQ(none.status().code(), StatusCode::notFound);
 }

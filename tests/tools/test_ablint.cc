@@ -221,6 +221,79 @@ TEST(AblintVoidDiscard, TestsMayDiscardIntentionally)
     EXPECT_EQ(countRule(findings, "void-discard"), 0u);
 }
 
+TEST(AblintDeserBound, FlagsRawReadSizingAllocation)
+{
+    const auto findings = lint(
+        {{"src/a.cc",
+          "void f(Deserializer &d) {\n"
+          "    const std::uint64_t n = d.getU64();\n"
+          "    out.resize(n);\n" // unchecked wire count: flagged
+          "}\n"}});
+    EXPECT_EQ(countRule(findings, "deser-bound"), 1u);
+}
+
+TEST(AblintDeserBound, GetCountAndBoundCheckedAreClean)
+{
+    // getCount() carries the bound check internally.
+    const auto viaGetCount = lint(
+        {{"src/a.cc",
+          "void f(Deserializer &d) {\n"
+          "    const std::uint64_t n = d.getCount(8);\n"
+          "    out.resize(n);\n"
+          "}\n"}});
+    EXPECT_EQ(countRule(viaGetCount, "deser-bound"), 0u);
+
+    // An explicit comparison before use counts as a check.
+    const auto compared = lint(
+        {{"src/b.cc",
+          "void f(Deserializer &d) {\n"
+          "    const std::uint64_t n = d.getU64();\n"
+          "    if (n > d.left())\n"
+          "        return;\n"
+          "    out.reserve(n);\n"
+          "}\n"}});
+    EXPECT_EQ(countRule(compared, "deser-bound"), 0u);
+
+    // So does clamping through std::min().
+    const auto clamped = lint(
+        {{"src/c.cc",
+          "void f(Deserializer &d) {\n"
+          "    const std::uint64_t n = d.getU64();\n"
+          "    out.assign(std::min<std::size_t>(n, 64), 0);\n"
+          "}\n"}});
+    EXPECT_EQ(countRule(clamped, "deser-bound"), 0u);
+}
+
+TEST(AblintDeserBound, FlagsNewArrayAndAssign)
+{
+    const auto findings = lint(
+        {{"src/a.cc",
+          "void f(Deserializer &d) {\n"
+          "    const std::uint64_t n = d.getU32();\n"
+          "    auto *buf = new std::uint8_t[n];\n" // flagged
+          "    counts.assign(n, 0);\n" // flagged
+          "}\n"}});
+    EXPECT_EQ(countRule(findings, "deser-bound"), 2u);
+}
+
+TEST(AblintDeserBound, SuppressedAndTestScopedVariants)
+{
+    const auto suppressed = lint(
+        {{"src/a.cc",
+          "void f(Deserializer &d) {\n"
+          "    const std::uint64_t n = d.getU64();\n"
+          "    // ablint:allow(deser-bound): n is a enum tag, <= 8\n"
+          "    out.resize(n);\n"
+          "}\n"}});
+    EXPECT_EQ(countRule(suppressed, "deser-bound"), 0u);
+
+    const auto inTest = lint(
+        {{"tests/a.cc",
+          "const std::uint64_t n = d.getU64();\n"
+          "out.resize(n);\n"}});
+    EXPECT_EQ(countRule(inTest, "deser-bound"), 0u);
+}
+
 TEST(AblintSerialize, PairAndRegistryEnforced)
 {
     const std::string header =

@@ -134,7 +134,7 @@ TEST_F(TraceTest, CsvExportRoundTrips)
     sim.runFor(msToTicks(20));
     const std::string path =
         ::testing::TempDir() + "biglittle_trace_test.csv";
-    trace.writeCsv(path);
+    ASSERT_TRUE(trace.writeCsv(path).ok());
     std::ifstream in(path);
     std::string header;
     std::getline(in, header);

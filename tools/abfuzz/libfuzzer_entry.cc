@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Optional libFuzzer harness over the same decode surfaces abfuzz
+ * exercises.  Built only with -DBIGLITTLE_LIBFUZZER=ON under clang
+ * (the driver comes from -fsanitize=fuzzer); the default GCC/ctest
+ * path never compiles this file, so the repo stays fuzzable without
+ * clang installed.
+ *
+ * The first input byte selects the target, the rest is the payload —
+ * one binary covers all four surfaces and a coverage-guided run can
+ * shift effort between them.  Corpus files from tests/fuzz/corpus/
+ * can be used directly by prefixing the selector byte.
+ */
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "fuzz/targets.hh"
+
+extern "C" int
+LLVMFuzzerTestOneInput(const std::uint8_t *data, std::size_t size)
+{
+    using namespace biglittle;
+    if (size == 0)
+        return 0;
+    static const auto targets = allFuzzTargets();
+    const FuzzTarget &target = *targets[data[0] % targets.size()];
+    const std::vector<std::uint8_t> input(data + 1, data + size);
+    target.run(input);
+    return 0;
+}

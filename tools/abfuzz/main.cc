@@ -1,0 +1,200 @@
+/**
+ * @file
+ * abfuzz: deterministic fuzzer front-end for the repo's untrusted
+ * decode surfaces (config, checkpoint, trace, argparse).
+ *
+ * Every input derives from (--seed, target, iteration), so a finding
+ * reproduces from the three numbers printed with it:
+ *
+ *   abfuzz --target checkpoint --seed 1 --repro-iter 1234
+ *
+ * The tool overrides operator new to meter each decode's heap
+ * footprint, enforcing the allocation-cap contract (no more than
+ * --alloc-multiple times the input size plus --alloc-slack bytes).
+ * Findings are written to --crash-dir as raw input files and fail
+ * the run with exit code 1; a clean full-budget run exits 0.
+ *
+ * Exit codes follow the repo taxonomy (base/exit_codes.hh): 0 clean,
+ * 1 findings, 2 usage error, 3 file error.
+ */
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <new>
+#include <string>
+
+#include "base/argparse.hh"
+#include "base/exit_codes.hh"
+#include "fuzz/fuzz.hh"
+#include "fuzz/targets.hh"
+
+namespace
+{
+
+// Cumulative operator-new byte counter.  abfuzz is single-threaded,
+// but the counter is atomic so a future threaded runner won't
+// silently miscount.
+std::atomic<std::uint64_t> heapBytes{0};
+
+std::uint64_t
+heapBytesNow()
+{
+    return heapBytes.load(std::memory_order_relaxed);
+}
+
+} // namespace
+
+void *
+operator new(std::size_t size)
+{
+    heapBytes.fetch_add(size, std::memory_order_relaxed);
+    if (void *p = std::malloc(size ? size : 1))
+        return p;
+    throw std::bad_alloc();
+}
+
+void *
+operator new[](std::size_t size)
+{
+    return ::operator new(size);
+}
+
+void
+operator delete(void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+namespace
+{
+
+using namespace biglittle;
+
+/** Dump a finding's input bytes for offline inspection. */
+void
+writeCrasher(const std::string &dir, const FuzzFailure &failure)
+{
+    if (dir.empty())
+        return;
+    const std::string path =
+        dir + "/crash-" + failure.target + "-" +
+        std::to_string(failure.iteration) + ".bin";
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+        std::fprintf(stderr,
+                     "abfuzz: cannot write crasher file '%s'\n",
+                     path.c_str());
+        return;
+    }
+    out.write(reinterpret_cast<const char *>(failure.input.data()),
+              static_cast<std::streamsize>(failure.input.size()));
+    std::fprintf(stderr, "abfuzz: input saved to %s\n", path.c_str());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ArgParser args("abfuzz",
+                   "deterministic fuzzer for the untrusted decode "
+                   "surfaces (config, checkpoint, trace, argparse)");
+    args.addString("target", "all",
+                   "surface to fuzz: all, config, checkpoint, "
+                   "trace, or argparse");
+    args.addInt("seed", 1, "master seed for input derivation");
+    args.addInt("iters", 2000, "iterations per target");
+    args.addInt("budget-ms", 2000,
+                "per-input time budget in ms (0 = no hang check)");
+    args.addInt("alloc-multiple", 8,
+                "allocation cap: this many times the input size");
+    args.addInt("alloc-slack", 1 << 20,
+                "constant allocation allowance in bytes");
+    args.addString("crash-dir", ".",
+                   "directory for failing inputs ('' = don't write)");
+    args.addInt("repro-iter", -1,
+                "run exactly this iteration of --target and exit");
+    args.parse(argc, argv);
+
+    FuzzOptions opts;
+    opts.seed = static_cast<std::uint64_t>(args.getInt("seed"));
+    opts.iterations =
+        static_cast<std::uint64_t>(args.getInt("iters"));
+    opts.budgetMsPerInput =
+        static_cast<std::uint64_t>(args.getInt("budget-ms"));
+    opts.allocMultiple =
+        static_cast<std::size_t>(args.getInt("alloc-multiple"));
+    opts.allocSlack =
+        static_cast<std::size_t>(args.getInt("alloc-slack"));
+    opts.allocProbe = heapBytesNow;
+    opts.onlyIteration = args.getInt("repro-iter");
+
+    const std::string want = args.getString("target");
+    if (opts.onlyIteration >= 0 && want == "all") {
+        std::fprintf(stderr,
+                     "abfuzz: --repro-iter needs a specific "
+                     "--target\n");
+        return exitUsage;
+    }
+
+    bool matched = false;
+    std::size_t findings = 0;
+    for (const auto &target : allFuzzTargets()) {
+        if (want != "all" && want != target->name())
+            continue;
+        matched = true;
+
+        const Fuzzer fuzzer(opts);
+        const FuzzStats stats = fuzzer.run(*target);
+        std::printf("abfuzz: %-10s %llu iterations, %zu findings\n",
+                    target->name().c_str(),
+                    static_cast<unsigned long long>(stats.iterations),
+                    stats.failures.size());
+        for (const FuzzFailure &failure : stats.failures) {
+            ++findings;
+            std::fprintf(
+                stderr,
+                "abfuzz: FAILURE target=%s iteration=%llu kind=%s\n"
+                "  %s\n"
+                "  repro: abfuzz --target %s --seed %llu "
+                "--repro-iter %llu\n",
+                failure.target.c_str(),
+                static_cast<unsigned long long>(failure.iteration),
+                fuzzFailureKindName(failure.kind),
+                failure.detail.c_str(), failure.target.c_str(),
+                static_cast<unsigned long long>(opts.seed),
+                static_cast<unsigned long long>(failure.iteration));
+            writeCrasher(args.getString("crash-dir"), failure);
+        }
+    }
+
+    if (!matched) {
+        std::fprintf(stderr,
+                     "abfuzz: unknown --target '%s' (want all, "
+                     "config, checkpoint, trace, or argparse)\n",
+                     want.c_str());
+        return exitUsage;
+    }
+    return findings == 0 ? exitOk : exitFatal;
+}

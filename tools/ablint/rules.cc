@@ -332,6 +332,168 @@ voidDiscardRule(const LexedFile &f, Sink &sink)
     }
 }
 
+// ---- deser-bound ---------------------------------------------------
+
+/**
+ * Flag container allocations sized by a raw Deserializer read.  A
+ * count that came straight off the wire via getU64()/getU32()/
+ * getI64()/getU8() must not size a reserve()/resize()/assign() or a
+ * `new T[n]` without a bound check first: a hostile length field
+ * turns the allocation into an OOM bomb.  Deserializer::getCount()
+ * carries the check built in (a count can never exceed the bytes
+ * left to decode it from), so values read through it are clean —
+ * this rule exists to push every new decode site toward it.
+ *
+ * A tainted variable is considered checked if it ever appears next
+ * to a `<` or `>` comparison or inside a min()/max() call before
+ * use.  Token-level like every ablint rule: it sees one file at a
+ * time and does not track taint across functions or calls.
+ */
+void
+deserBoundRule(const LexedFile &f, Sink &sink)
+{
+    if (f.isTest)
+        return;
+    const auto &toks = f.tokens;
+
+    static const std::set<std::string> taintingReads = {
+        "getU64", "getU32", "getI64", "getU8"};
+
+    // Pass 1: variables assigned from a raw deserializer read
+    // (`name = d.getU64(` with no ';' in between), and variables
+    // that are ever bound-checked.
+    std::set<std::string> tainted;
+    std::set<std::string> checked;
+    for (std::size_t i = 0; i + 2 < toks.size(); ++i) {
+        if (!isPunct(toks[i], '.') ||
+            toks[i + 1].kind != TokKind::identifier ||
+            taintingReads.count(toks[i + 1].text) == 0 ||
+            !isPunct(toks[i + 2], '('))
+            continue;
+        // Walk back to the `=` of the enclosing statement.
+        std::size_t j = i;
+        while (j > 0 && !isPunct(toks[j], ';') &&
+               !isPunct(toks[j], '{') && !isPunct(toks[j], '='))
+            --j;
+        if (!isPunct(toks[j], '=') || j == 0 ||
+            toks[j - 1].kind != TokKind::identifier)
+            continue;
+        tainted.insert(toks[j - 1].text);
+    }
+    if (tainted.empty())
+        return;
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+        if (toks[i].kind != TokKind::identifier ||
+            tainted.count(toks[i].text) == 0)
+            continue;
+        const bool cmpBefore =
+            i > 0 && (isPunct(toks[i - 1], '<') ||
+                      isPunct(toks[i - 1], '>'));
+        const bool cmpAfter = i + 1 < toks.size() &&
+                              (isPunct(toks[i + 1], '<') ||
+                               isPunct(toks[i + 1], '>'));
+        if (cmpBefore || cmpAfter)
+            checked.insert(toks[i].text);
+    }
+    // min()/max() clamps count as a check too.
+    for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+        if (toks[i].kind != TokKind::identifier ||
+            (toks[i].text != "min" && toks[i].text != "max"))
+            continue;
+        // Skip an explicit template argument list:
+        // std::min<std::size_t>(n, cap).
+        std::size_t open = i + 1;
+        if (open < toks.size() && isPunct(toks[open], '<')) {
+            int angle = 0;
+            while (open < toks.size()) {
+                if (isPunct(toks[open], '<'))
+                    ++angle;
+                else if (isPunct(toks[open], '>') && --angle == 0) {
+                    ++open;
+                    break;
+                }
+                ++open;
+            }
+        }
+        if (open >= toks.size() || !isPunct(toks[open], '('))
+            continue;
+        int depth = 0;
+        for (std::size_t j = open; j < toks.size(); ++j) {
+            if (isPunct(toks[j], '('))
+                ++depth;
+            else if (isPunct(toks[j], ')') && --depth == 0)
+                break;
+            else if (toks[j].kind == TokKind::identifier &&
+                     tainted.count(toks[j].text))
+                checked.insert(toks[j].text);
+        }
+    }
+
+    // Pass 2: tainted, unchecked variables inside the argument list
+    // of an allocation-sizing call.
+    const auto flagArgs = [&](std::size_t open, int line,
+                              const std::string &what) {
+        int depth = 0;
+        for (std::size_t j = open; j < toks.size(); ++j) {
+            if (isPunct(toks[j], '('))
+                ++depth;
+            else if (isPunct(toks[j], ')') && --depth == 0)
+                return;
+            else if (toks[j].kind == TokKind::identifier &&
+                     tainted.count(toks[j].text) &&
+                     checked.count(toks[j].text) == 0) {
+                sink.add(f, line, "deser-bound",
+                         "'" + toks[j].text + "' comes straight "
+                             "from a Deserializer read and sizes " +
+                             what +
+                             " without a bound check; read it "
+                             "with getCount() (or clamp it) so a "
+                             "hostile length field cannot force a "
+                             "huge allocation");
+            }
+        }
+    };
+    static const std::set<std::string> allocCalls = {
+        "reserve", "resize", "assign"};
+    for (std::size_t i = 0; i + 2 < toks.size(); ++i) {
+        if (isPunct(toks[i], '.') &&
+            toks[i + 1].kind == TokKind::identifier &&
+            allocCalls.count(toks[i + 1].text) > 0 &&
+            isPunct(toks[i + 2], '(')) {
+            flagArgs(i + 2, toks[i + 1].line,
+                     "a " + toks[i + 1].text + "()");
+        }
+        // new T[n] / new T[n]{...}
+        if (isIdent(toks[i], "new")) {
+            std::size_t j = i + 1;
+            while (j < toks.size() &&
+                   (toks[j].kind == TokKind::identifier ||
+                    isPunct(toks[j], ':') || isPunct(toks[j], '<') ||
+                    isPunct(toks[j], '>')))
+                ++j;
+            if (j < toks.size() && isPunct(toks[j], '[')) {
+                for (std::size_t k = j + 1;
+                     k < toks.size() && !isPunct(toks[k], ']');
+                     ++k) {
+                    if (toks[k].kind == TokKind::identifier &&
+                        tainted.count(toks[k].text) &&
+                        checked.count(toks[k].text) == 0) {
+                        sink.add(
+                            f, toks[k].line, "deser-bound",
+                            "'" + toks[k].text + "' comes "
+                                "straight from a Deserializer "
+                                "read and sizes a new[] without "
+                                "a bound check; read it with "
+                                "getCount() (or clamp it) so a "
+                                "hostile length field cannot "
+                                "force a huge allocation");
+                    }
+                }
+            }
+        }
+    }
+}
+
 // ---- serialize-pair / serialize-registry ---------------------------
 
 struct SerializerFlavor
@@ -582,8 +744,9 @@ ruleNames()
 {
     static const std::vector<std::string> names = {
         "wall-clock",     "unordered-iter",     "pointer-key",
-        "static-mutable", "void-discard",       "serialize-pair",
-        "serialize-registry", "config-key",     "stale-baseline",
+        "static-mutable", "void-discard",       "deser-bound",
+        "serialize-pair", "serialize-registry", "config-key",
+        "stale-baseline",
     };
     return names;
 }
@@ -599,6 +762,7 @@ runRules(const ScanInput &in)
         pointerKeyRule(f, sink);
         staticMutableRule(f, sink);
         voidDiscardRule(f, sink);
+        deserBoundRule(f, sink);
     }
     std::vector<Finding> registryFindings;
     serializeRules(in, sink, registryFindings);
