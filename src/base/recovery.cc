@@ -1,0 +1,100 @@
+#include "base/recovery.hh"
+
+#include <sstream>
+
+#include "base/serialize.hh"
+
+namespace biglittle
+{
+
+const char *
+recoveryActionKindName(RecoveryActionKind kind)
+{
+    switch (kind) {
+      case RecoveryActionKind::perturbFaultRng:
+        return "perturb-fault-rng";
+      case RecoveryActionKind::perturbTieBreak:
+        return "perturb-tie-break";
+      case RecoveryActionKind::quarantineCore:
+        return "quarantine-core";
+      case RecoveryActionKind::pinFreqDomain:
+        return "pin-freq-domain";
+      case RecoveryActionKind::disableFaultClass:
+        return "disable-fault-class";
+    }
+    return "unknown";
+}
+
+std::string
+RecoveryAction::describe() const
+{
+    std::ostringstream os;
+    os << recoveryActionKindName(kind) << "(" << arg;
+    if (arg2 != 0)
+        os << "," << arg2;
+    os << ")@" << atTick;
+    if (!detail.empty())
+        os << " # " << detail;
+    return os.str();
+}
+
+const char *
+recoveryTriggerName(RecoveryTrigger trigger)
+{
+    switch (trigger) {
+      case RecoveryTrigger::none:
+        return "none";
+      case RecoveryTrigger::fatalFault:
+        return "fatal-fault";
+      case RecoveryTrigger::invariantViolation:
+        return "invariant-violation";
+      case RecoveryTrigger::watchdogStall:
+        return "watchdog-stall";
+      case RecoveryTrigger::resumeDivergence:
+        return "resume-divergence";
+    }
+    return "unknown";
+}
+
+const char *
+recoveryOutcomeName(RecoveryOutcome outcome)
+{
+    switch (outcome) {
+      case RecoveryOutcome::clean:
+        return "clean";
+      case RecoveryOutcome::recovered:
+        return "recovered";
+      case RecoveryOutcome::degraded:
+        return "degraded";
+      case RecoveryOutcome::failed:
+        return "failed";
+    }
+    return "unknown";
+}
+
+std::string
+RecoveryReport::toString() const
+{
+    std::ostringstream os;
+    os << "recovery outcome=" << recoveryOutcomeName(outcome)
+       << " attempts=" << attempts << " retries=" << retries
+       << " quarantines=" << quarantines
+       << " digest=0x" << std::hex << finalStateDigest << std::dec << "\n";
+    for (const auto &ev : events) {
+        os << "  attempt " << ev.attempt << " "
+           << recoveryTriggerName(ev.trigger) << " [" << ev.incident
+           << "] failed@" << ev.failedAt << " rollback->" << ev.rollbackTo;
+        for (const auto &act : ev.actions)
+            os << "\n    + " << act.describe();
+        os << "\n";
+    }
+    return os.str();
+}
+
+std::uint64_t
+RecoveryReport::digest() const
+{
+    return fnv1a64(toString());
+}
+
+} // namespace biglittle

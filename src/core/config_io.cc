@@ -187,6 +187,16 @@ applyKey(ExperimentConfig &cfg, int line_no, const std::string &key,
         cfg.fault.taskStallRatePerSec = num();
     } else if (key == "fault.task_stall_instructions") {
         cfg.fault.taskStallInstructions = num();
+    } else if (key == "fault.crash_rate_hz") {
+        cfg.fault.crashRatePerSec = num();
+    } else if (key == "fault.persistent_crash_at_ms") {
+        cfg.fault.persistentCrashAt =
+            msToTicks(unum());
+    } else if (key == "fault.persistent_crash_core") {
+        cfg.fault.persistentCrashCore =
+            static_cast<CoreId>(unum());
+    } else if (key == "fault.invariant_break_rate_hz") {
+        cfg.fault.invariantBreakRatePerSec = num();
     } else if (key == "seed") {
         cfg.masterSeed = unum();
     } else if (key == "snapshot.checkpoint_every_ms") {
@@ -334,6 +344,15 @@ saveExperimentConfig(const ExperimentConfig &cfg)
                   cfg.fault.taskStallRatePerSec);
     out += format("fault.task_stall_instructions = %g\n",
                   cfg.fault.taskStallInstructions);
+    out += format("fault.crash_rate_hz = %g\n",
+                  cfg.fault.crashRatePerSec);
+    out += format("fault.persistent_crash_at_ms = %llu\n",
+                  static_cast<unsigned long long>(
+                      ticksToMs(cfg.fault.persistentCrashAt)));
+    out += format("fault.persistent_crash_core = %u\n",
+                  cfg.fault.persistentCrashCore);
+    out += format("fault.invariant_break_rate_hz = %g\n",
+                  cfg.fault.invariantBreakRatePerSec);
     out += format("seed = %llu\n",
                   static_cast<unsigned long long>(cfg.masterSeed));
     out += format("snapshot.checkpoint_every_ms = %llu\n",

@@ -124,6 +124,12 @@ struct Rig
                 sim, platform, &sched, &power);
             checker->setNext(sched.observer());
             sched.setObserver(checker.get());
+            // Injected invariant breaks surface through the checker
+            // like any sweep finding, so supervised runs detect them
+            // at the same chunk boundary either way.
+            injector->setViolationSink([this](const std::string &what) {
+                checker->reportExternal(what);
+            });
         }
     }
 
@@ -220,6 +226,65 @@ collectCheckpoint(Rig &rig, AppInstance &instance,
     return ckpt;
 }
 
+/**
+ * Apply one timed recovery action to a live rig.  Called at chunk
+ * boundaries only (a serialization point: no event in flight), in
+ * script order, so every attempt replaying the same script perturbs
+ * the run at exactly the same place.
+ */
+void
+applyRecoveryAction(Rig &rig, const RecoveryAction &act,
+                    AppRunResult &result)
+{
+    inform("recovery: applying %s", act.describe().c_str());
+    switch (act.kind) {
+      case RecoveryActionKind::perturbFaultRng:
+        if (rig.injector != nullptr)
+            rig.injector->reseed(act.arg);
+        break;
+      case RecoveryActionKind::perturbTieBreak:
+        rig.sim.eventQueue().setTieBreak(TieBreak::shuffle, act.arg);
+        break;
+      case RecoveryActionKind::quarantineCore: {
+        const CoreId id = static_cast<CoreId>(act.arg);
+        if (id >= rig.platform.coreCount())
+            break;
+        Core &core = rig.platform.core(id);
+        if (core.online()) {
+            const Result<std::size_t> moved = rig.sched.evacuateCore(id);
+            if (!moved.ok()) {
+                warn("recovery: evacuating core %u failed: %s", id,
+                     moved.status().message().c_str());
+            }
+            const Status off = rig.platform.setCoreOnline(id, false);
+            if (!off.ok()) {
+                warn("recovery: cannot hotplug core %u out: %s", id,
+                     off.message().c_str());
+            }
+        }
+        // The latch only engages once the core is actually out; a
+        // refused unplug (boot core) leaves the supervisor to
+        // escalate to its disable-the-class rung instead.
+        if (!core.online())
+            core.markQuarantined();
+        break;
+      }
+      case RecoveryActionKind::pinFreqDomain: {
+        const std::size_t cl = static_cast<std::size_t>(act.arg);
+        if (cl < rig.platform.clusterCount()) {
+            rig.platform.cluster(cl).freqDomain().setPinned(
+                static_cast<FreqKHz>(act.arg2));
+        }
+        break;
+      }
+      case RecoveryActionKind::disableFaultClass:
+        if (rig.injector != nullptr && act.arg < faultClassCount)
+            rig.injector->disableClass(static_cast<FaultClass>(act.arg));
+        break;
+    }
+    ++result.scriptApplied;
+}
+
 } // namespace
 
 Experiment::Experiment(ExperimentConfig config)
@@ -231,8 +296,11 @@ AppRunResult
 Experiment::runApp(const AppSpec &app)
 {
     const SnapshotParams &snap = cfg.snapshot;
-    if (!snap.recordTracePath.empty() && !snap.replayTracePath.empty())
+    if (!snap.recordTracePath.empty() && !snap.replayTracePath.empty()) {
+        // Contradictory config, caught before the run starts.
+        // ablint:allow(post-init-fatal): pre-run validation
         fatal("cannot record and replay-compare a trace in one run");
+    }
 
     AppSpec run_app = app;
     if (cfg.masterSeed != 0) {
@@ -321,6 +389,12 @@ Experiment::runApp(const AppSpec &app)
     }
 
     Watchdog watchdog(cfg.watchdog);
+    if (cfg.recovery.supervised) {
+        // Supervised runs must survive a trip so the recovery state
+        // machine can roll back and retry; the trip is polled at the
+        // next chunk boundary instead of exiting the process.
+        watchdog.setExitOnTrip(false);
+    }
     watchdog.start(rig.sim.eventQueue());
 
     rig.startSystem();
@@ -347,6 +421,45 @@ Experiment::runApp(const AppSpec &app)
     const Tick resume_tick = resume ? resume->tick : 0;
     bool resume_verified = !resume;
 
+    const auto recordFailure = [&](RecoveryTrigger trigger,
+                                   std::string incident, CoreId core,
+                                   std::string detail) {
+        result.failed = true;
+        result.failureTrigger = trigger;
+        result.failureIncident = std::move(incident);
+        result.failureCore = core;
+        result.failedAt = rig.sim.now();
+        result.failureDetail = std::move(detail);
+        warn("run failed (%s) at tick %llu: %s",
+             recoveryTriggerName(trigger),
+             static_cast<unsigned long long>(result.failedAt),
+             result.failureDetail.c_str());
+    };
+
+    // Recovery-script replay: actions are applied at the first chunk
+    // boundary at or after their atTick, after resume verification
+    // and after the boundary's checkpoint write (so a checkpoint at
+    // tick T never bakes in same-tick actions and resuming from it
+    // replays them).  Actions scripted at or before the start tick
+    // land here, before any event runs.  The script is replayed in
+    // tick order, not append order - a supervisor rolling back
+    // exponentially appends later decisions at *earlier* ticks - and
+    // the sort is stable so same-tick actions keep their append
+    // order, identically on every attempt.
+    std::vector<RecoveryAction> script = cfg.recovery.script;
+    std::stable_sort(script.begin(), script.end(),
+                     [](const RecoveryAction &a, const RecoveryAction &b) {
+                         return a.atTick < b.atTick;
+                     });
+    std::size_t next_action = 0;
+    while (next_action < script.size() &&
+           script[next_action].atTick <= rig.sim.now()) {
+        applyRecoveryAction(rig, script[next_action], result);
+        ++next_action;
+    }
+    const std::uint64_t violations_seen =
+        rig.checker != nullptr ? rig.checker->violationCount() : 0;
+
     while (rig.sim.now() < cap) {
         if (app.metric == AppMetric::latency && instance.done())
             break;
@@ -362,18 +475,67 @@ Experiment::runApp(const AppSpec &app)
             // The fast-forward reached the checkpoint's tick: the
             // live state must now equal the file byte for byte, or
             // the "resumed" run would silently diverge from the one
-            // that wrote the checkpoint.
+            // that wrote the checkpoint.  A mismatch is intercepted
+            // as a failure (never fatal): unsupervised callers get a
+            // failed result, a supervisor falls back to an older
+            // checkpoint or a fresh start.
             const Checkpoint live =
                 collectCheckpoint(rig, instance, cfg, app.name);
             const Status match = compareCheckpoints(*resume, live);
             if (!match.ok()) {
-                fatal("resume verification failed at tick %llu: %s",
-                      static_cast<unsigned long long>(resume_tick),
-                      match.toString().c_str());
+                recordFailure(RecoveryTrigger::resumeDivergence,
+                              "resume-divergence", invalidCoreId,
+                              format("resume verification failed at "
+                                     "tick %llu: %s",
+                                     static_cast<unsigned long long>(
+                                         resume_tick),
+                                     match.toString().c_str()));
+                break;
             }
             result.resumedFrom = resume_tick;
             resume_verified = true;
         }
+
+        // Failure interception: an armed unrecoverable fault kills an
+        // unsupervised run (the historical die-on-oops contract) and
+        // stops a supervised one at this boundary for rollback-retry.
+        if (rig.injector != nullptr &&
+            rig.injector->pendingFatal().armed) {
+            const PendingFatal pf = rig.injector->pendingFatal();
+            if (!cfg.recovery.supervised) {
+                // Unsupervised runs keep the die-on-oops
+                // contract; supervised ones recover below.
+                // ablint:allow(post-init-fatal): die-on-oops contract
+                fatal("unrecoverable fault on core %u at tick %llu",
+                      pf.core,
+                      static_cast<unsigned long long>(pf.at));
+            }
+            recordFailure(
+                RecoveryTrigger::fatalFault,
+                format("fatal-fault:cpu%u", pf.core), pf.core,
+                format("%s unrecoverable fault on core %u",
+                       pf.persistent ? "persistent" : "transient",
+                       pf.core));
+            break;
+        }
+        if (cfg.recovery.supervised &&
+            cfg.recovery.failOnInvariantViolation &&
+            rig.checker != nullptr &&
+            rig.checker->violationCount() > violations_seen) {
+            const auto &recorded = rig.checker->violations();
+            recordFailure(RecoveryTrigger::invariantViolation,
+                          "invariant-violation", invalidCoreId,
+                          recorded.empty() ? "invariant violation"
+                                           : recorded.back().what);
+            break;
+        }
+        if (cfg.recovery.supervised && watchdog.trips() > 0) {
+            recordFailure(RecoveryTrigger::watchdogStall,
+                          "watchdog-stall", invalidCoreId,
+                          "wall-clock watchdog tripped");
+            break;
+        }
+
         if (next_ckpt > 0 && rig.sim.now() >= next_ckpt) {
             if (resume_verified) {
                 // Host time measures checkpoint-write overhead for
@@ -403,10 +565,17 @@ Experiment::runApp(const AppSpec &app)
                             t1 - t0)
                             .count();
                     result.checkpoints.lastPath = path;
+                    result.checkpoints.paths.push_back(path);
                     watchdog.noteCheckpoint(bytes);
                 }
             }
             next_ckpt += snap.checkpointEvery;
+        }
+
+        while (next_action < script.size() &&
+               script[next_action].atTick <= rig.sim.now()) {
+            applyRecoveryAction(rig, script[next_action], result);
+            ++next_action;
         }
     }
 
@@ -451,8 +620,8 @@ Experiment::runApp(const AppSpec &app)
     result.configLabel = cfg.label;
     result.metric = app.metric;
     result.simulatedTime = rig.sim.now() - start;
-    result.completed =
-        app.metric == AppMetric::latency ? instance.done() : true;
+    result.completed = !result.failed &&
+        (app.metric == AppMetric::latency ? instance.done() : true);
     if (app.metric == AppMetric::latency) {
         result.latency = instance.done() ? instance.latency()
                                          : result.simulatedTime;
@@ -529,9 +698,12 @@ Experiment::runKernel(const SpecKernel &kernel, CoreType type,
             break;
         }
     }
-    if (target == nullptr)
+    if (target == nullptr) {
+        // The kernel has nowhere to run: a setup error.
+        // ablint:allow(post-init-fatal): setup-time validation
         fatal("no online %s core for kernel '%s'", coreTypeName(type),
               kernel.name.c_str());
+    }
 
     Task &task = rig.sched.createTask(kernel.name, kernel.workClass,
                                       target->id());
@@ -553,15 +725,22 @@ Experiment::runKernel(const SpecKernel &kernel, CoreType type,
     const Tick cap = start + cfg.maxSimTime;
     while (!finished && rig.sim.now() < cap)
         rig.sim.runFor(msToTicks(50));
-    if (!finished)
-        fatal("kernel '%s' did not finish within the simulation cap",
-              kernel.name.c_str());
 
     KernelRunResult result;
     result.kernel = kernel.name;
     result.coreType = type;
     result.freq = freq;
-    result.runtime = behavior.completionTick() - start;
+    result.completed = finished;
+    if (finished) {
+        result.runtime = behavior.completionTick() - start;
+    } else {
+        // An unfinished kernel is a reportable measurement problem,
+        // not a process-killing one: callers check completed and a
+        // supervisor retries the cell.
+        warn("kernel '%s' did not finish within the simulation cap",
+             kernel.name.c_str());
+        result.runtime = rig.sim.now() - start;
+    }
     const PowerSnapshot after = rig.power.snapshot();
     result.energy = rig.power.energyBetween(before, after);
     // Average power over the kernel's own runtime (the run loop may
@@ -594,9 +773,12 @@ Experiment::runMicrobench(CoreType type, FreqKHz freq,
             break;
         }
     }
-    if (target == nullptr)
+    if (target == nullptr) {
+        // The microbenchmark has nowhere to run: a setup error.
+        // ablint:allow(post-init-fatal): setup-time validation
         fatal("no online %s core for the microbenchmark",
               coreTypeName(type));
+    }
 
     UtilizationMicrobench bench(rig.sim, rig.sched, target->id(),
                                 utilization);

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "base/recovery.hh"
 #include "base/types.hh"
 #include "core/efficiency.hh"
 #include "core/freq_residency.hh"
@@ -118,6 +119,43 @@ struct CheckpointStats
     std::uint64_t bytes = 0; ///< total bytes written
     double writeMs = 0.0; ///< wall time spent serializing + writing
     std::string lastPath; ///< most recent checkpoint file
+
+    /** Every checkpoint written, oldest first: rollback targets. */
+    std::vector<std::string> paths;
+};
+
+/**
+ * Supervised-execution controls of one run (docs/ROBUSTNESS.md §8).
+ * The Supervisor (src/supervise) populates these; plain runs leave
+ * them defaulted and keep the historical die-on-failure behavior.
+ */
+struct RecoveryParams
+{
+    /**
+     * Intercept failures (unrecoverable faults, invariant-sweep
+     * failures, watchdog trips, resume divergence) instead of dying:
+     * the run loop stops at the next chunk boundary and reports the
+     * failure in AppRunResult so a supervisor can roll back and
+     * retry.
+     */
+    bool supervised = false;
+
+    /**
+     * Treat a failed periodic invariant sweep as a run failure (only
+     * meaningful when supervised; the unsupervised contract is that
+     * invariant violations are recorded, never fatal).
+     */
+    bool failOnInvariantViolation = false;
+
+    /**
+     * Timed recovery actions, in append order.  Each action is
+     * applied at the first chunk boundary at or after its atTick —
+     * after resume verification and the boundary's checkpoint write,
+     * so a checkpoint at tick T never bakes in same-tick actions and
+     * every attempt replaying the same script reconstructs
+     * byte-identical state (docs/ROBUSTNESS.md §8).
+     */
+    std::vector<RecoveryAction> script;
 };
 
 /** Everything that defines one experimental condition. */
@@ -176,6 +214,9 @@ struct ExperimentConfig
 
     /** abrace race detection / permuted tie-break controls. */
     RaceParams race;
+
+    /** Supervised-execution controls (src/supervise). */
+    RecoveryParams recovery;
 
     std::string label = "default";
 };
@@ -241,6 +282,16 @@ struct AppRunResult
     bool traceDiverged = false;
     std::string divergenceReport; ///< first-diverging-event details
 
+    // supervision (populated when cfg.recovery.supervised, plus
+    // resume-divergence reporting on plain runs)
+    bool failed = false; ///< the run loop intercepted a failure
+    RecoveryTrigger failureTrigger = RecoveryTrigger::none;
+    std::string failureIncident; ///< stable signature ("fatal-fault:cpu5")
+    CoreId failureCore = invalidCoreId; ///< implicated core, if any
+    Tick failedAt = 0; ///< tick the failure was intercepted at
+    std::string failureDetail; ///< human-readable diagnosis
+    std::uint64_t scriptApplied = 0; ///< recovery actions applied
+
     // abrace (populated when cfg.race.detect)
     std::uint64_t raceConflicts = 0; ///< distinct unsuppressed conflicts
     std::uint64_t raceSuppressed = 0; ///< occurrences suppressed
@@ -276,6 +327,9 @@ struct KernelRunResult
     std::string kernel;
     CoreType coreType = CoreType::little;
     FreqKHz freq = 0;
+
+    /** False when the kernel hit the simulation cap unfinished. */
+    bool completed = true;
 
     Tick runtime = 0;
     double avgPowerMw = 0.0;

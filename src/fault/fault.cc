@@ -9,6 +9,46 @@
 namespace biglittle
 {
 
+const char *
+faultClassName(FaultClass cls)
+{
+    switch (cls) {
+      case FaultClass::hotplug:
+        return "hotplug";
+      case FaultClass::dvfs:
+        return "dvfs";
+      case FaultClass::thermal:
+        return "thermal";
+      case FaultClass::taskStall:
+        return "task-stall";
+      case FaultClass::crash:
+        return "crash";
+      case FaultClass::invariantBreak:
+        return "invariant-break";
+    }
+    return "unknown";
+}
+
+QuarantineKind
+quarantineFor(FaultClass cls)
+{
+    switch (cls) {
+      case FaultClass::crash:
+      case FaultClass::hotplug:
+        // A core that oopses or flaps is removed from the topology.
+        return QuarantineKind::core;
+      case FaultClass::dvfs:
+        // A misbehaving regulator is isolated by pinning its domain.
+        return QuarantineKind::freqDomain;
+      case FaultClass::thermal:
+      case FaultClass::taskStall:
+      case FaultClass::invariantBreak:
+        // No single component to blame: stop the behavior itself.
+        return QuarantineKind::faultClass;
+    }
+    return QuarantineKind::faultClass;
+}
+
 FaultParams
 scaledFaultParams(double rate, std::uint64_t seed)
 {
@@ -64,6 +104,10 @@ FaultInjector::gateDecision()
     // (docs/DETERMINISM.md).
     sim.noteWrite("fault", "rng");
     const double u = rng.uniform();
+    if (classDisabled(FaultClass::dvfs)) {
+        ++faultStats.suppressed;
+        return DvfsFaultAction::allow;
+    }
     if (u < fp.dvfsDenyProb) {
         ++faultStats.dvfsDenied;
         return DvfsFaultAction::deny;
@@ -110,7 +154,22 @@ FaultInjector::stop()
 }
 
 void
-FaultInjector::draw(Tick)
+FaultInjector::disableClass(FaultClass cls)
+{
+    disabledMask |= (1u << static_cast<std::uint32_t>(cls));
+    warn("fault: class %s disabled", faultClassName(cls));
+}
+
+void
+FaultInjector::reseed(std::uint64_t seed)
+{
+    // Applied at a chunk boundary (a serialization point, no event in
+    // flight), so no abrace note is needed here.
+    rng.seed(seed);
+}
+
+void
+FaultInjector::draw(Tick now)
 {
     // The draw consumes the injector's rng and may mutate topology,
     // thermal state, or task backlogs; any same-priority peer event
@@ -123,6 +182,15 @@ FaultInjector::draw(Tick)
         injectThermalSpike();
     if (rng.chance(fp.taskStallRatePerSec * dt))
         injectTaskStall();
+    // New classes guard on rate > 0 before drawing so zero-rate
+    // profiles (every pre-crash config) keep their exact historical
+    // draw sequence.
+    if (fp.crashRatePerSec > 0.0 && rng.chance(fp.crashRatePerSec * dt))
+        injectCrash(now);
+    if (fp.invariantBreakRatePerSec > 0.0 &&
+        rng.chance(fp.invariantBreakRatePerSec * dt))
+        injectInvariantBreak(now);
+    checkPersistentCrash(now);
 }
 
 void
@@ -140,6 +208,12 @@ FaultInjector::injectHotplug()
         return;
     const CoreId id =
         online[rng.uniformInt(0, online.size() - 1)];
+    // Disabled classes consume the same draws (above) and then bail,
+    // so quarantining one class never reshuffles the others.
+    if (classDisabled(FaultClass::hotplug)) {
+        ++faultStats.suppressed;
+        return;
+    }
     // Evacuate first (a busy core is legal to unplug once drained);
     // if the platform then refuses - boot core, last little core -
     // the displaced tasks simply rebalance back.
@@ -172,6 +246,10 @@ FaultInjector::injectThermalSpike()
         return;
     ThermalThrottle *throttle =
         throttles[rng.uniformInt(0, throttles.size() - 1)];
+    if (classDisabled(FaultClass::thermal)) {
+        ++faultStats.suppressed;
+        return;
+    }
     throttle->injectTemperature(fp.thermalSpikeC);
     ++faultStats.thermalSpikes;
 }
@@ -189,6 +267,10 @@ FaultInjector::injectTaskStall()
     if (tasks.empty())
         return;
     const std::size_t start = rng.uniformInt(0, tasks.size() - 1);
+    if (classDisabled(FaultClass::taskStall)) {
+        ++faultStats.suppressed;
+        return;
+    }
     for (std::size_t i = 0; i < tasks.size(); ++i) {
         Task &task = *tasks[(start + i) % tasks.size()];
         if (task.state() == TaskState::sleeping ||
@@ -198,6 +280,76 @@ FaultInjector::injectTaskStall()
         ++faultStats.taskStalls;
         return;
     }
+}
+
+void
+FaultInjector::injectCrash(Tick now)
+{
+    // A transient unrecoverable fault on a random online core: a
+    // retry with a reseeded stream usually dodges it, so this is the
+    // class the supervisor's rollback-retry rung exists for.
+    std::vector<CoreId> online;
+    for (const Core *core : plat.cores()) {
+        if (core->online())
+            online.push_back(core->id());
+    }
+    if (online.empty())
+        return;
+    const CoreId id = online[rng.uniformInt(0, online.size() - 1)];
+    if (classDisabled(FaultClass::crash)) {
+        ++faultStats.suppressed;
+        return;
+    }
+    if (pendingCrash.armed)
+        return;
+    pendingCrash.armed = true;
+    pendingCrash.at = now;
+    pendingCrash.core = id;
+    pendingCrash.persistent = false;
+    ++faultStats.crashes;
+    warn("fault: unrecoverable fault on core %u at tick %llu", id,
+         static_cast<unsigned long long>(now));
+}
+
+void
+FaultInjector::checkPersistentCrash(Tick now)
+{
+    // The deterministically failing core: every draw past the onset
+    // tick re-raises the fault while the core is online, whatever the
+    // rng stream says — only quarantining the core (or disabling the
+    // class) silences it.
+    if (fp.persistentCrashAt == 0 || now < fp.persistentCrashAt)
+        return;
+    if (classDisabled(FaultClass::crash))
+        return;
+    if (pendingCrash.armed)
+        return;
+    const CoreId id = fp.persistentCrashCore;
+    if (id == invalidCoreId || id >= plat.cores().size())
+        return;
+    if (!plat.core(id).online())
+        return;
+    pendingCrash.armed = true;
+    pendingCrash.at = now;
+    pendingCrash.core = id;
+    pendingCrash.persistent = true;
+    ++faultStats.crashes;
+    warn("fault: persistent fault on core %u at tick %llu", id,
+         static_cast<unsigned long long>(now));
+}
+
+void
+FaultInjector::injectInvariantBreak(Tick now)
+{
+    if (classDisabled(FaultClass::invariantBreak)) {
+        ++faultStats.suppressed;
+        return;
+    }
+    if (!violationSink)
+        return;
+    ++faultStats.invariantBreaks;
+    violationSink("injected invariant break at tick " +
+                  std::to_string(now));
 }
 
 void
@@ -211,6 +363,9 @@ FaultInjector::serialize(Serializer &s) const
     s.putU64(faultStats.dvfsDelayed);
     s.putU64(faultStats.thermalSpikes);
     s.putU64(faultStats.taskStalls);
+    s.putU64(faultStats.crashes);
+    s.putU64(faultStats.invariantBreaks);
+    s.putU64(faultStats.suppressed);
 }
 
 void
@@ -224,6 +379,9 @@ FaultInjector::deserialize(Deserializer &d)
     faultStats.dvfsDelayed = d.getU64();
     faultStats.thermalSpikes = d.getU64();
     faultStats.taskStalls = d.getU64();
+    faultStats.crashes = d.getU64();
+    faultStats.invariantBreaks = d.getU64();
+    faultStats.suppressed = d.getU64();
 }
 
 } // namespace biglittle

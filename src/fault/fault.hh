@@ -26,6 +26,8 @@
 #define BIGLITTLE_FAULT_FAULT_HH
 
 #include <cstdint>
+#include <functional>
+#include <string>
 #include <vector>
 
 #include "base/random.hh"
@@ -41,6 +43,55 @@ class HmpScheduler;
 class Serializer;
 class Deserializer;
 class ThermalThrottle;
+
+/**
+ * The injected fault classes, as an addressable enum so a supervisor
+ * can disable one class (the last rung of the escalation ladder)
+ * without touching the others.
+ */
+enum class FaultClass : std::uint32_t
+{
+    hotplug = 0,
+    dvfs = 1,
+    thermal = 2,
+    taskStall = 3,
+    crash = 4,
+    invariantBreak = 5,
+};
+
+constexpr std::uint32_t faultClassCount = 6;
+
+/** Stable lower-case name ("task-stall"). */
+const char *faultClassName(FaultClass cls);
+
+/**
+ * Which component a supervisor should quarantine when faults of a
+ * class keep recurring after its retry budget: the implicated core
+ * (crash, hotplug), the implicated frequency domain (dvfs), or -
+ * when no single component is to blame - the fault class itself.
+ */
+enum class QuarantineKind
+{
+    core,
+    freqDomain,
+    faultClass,
+};
+
+/** Escalation target for persistent faults of @p cls. */
+QuarantineKind quarantineFor(FaultClass cls);
+
+/**
+ * An unrecoverable fault the injector has raised: the simulated
+ * equivalent of a kernel oops on the named core.  Unsupervised runs
+ * die on it; a supervisor rolls back and retries instead.
+ */
+struct PendingFatal
+{
+    bool armed = false;
+    Tick at = 0; ///< tick the fault fired
+    CoreId core = invalidCoreId; ///< implicated core
+    bool persistent = false; ///< recurs until the core is quarantined
+};
 
 /** Rates and magnitudes of the injected fault classes. */
 struct FaultParams
@@ -69,6 +120,22 @@ struct FaultParams
     // task stall
     double taskStallRatePerSec = 0.0;
     double taskStallInstructions = 3e6; ///< extra work per stall
+
+    // crash (unrecoverable fault on a random online core)
+    double crashRatePerSec = 0.0;
+
+    /**
+     * Deterministic persistent crash: from this tick on, every fault
+     * draw raises an unrecoverable fault attributed to
+     * persistentCrashCore while that core is online — the "core with
+     * failing silicon" a supervisor can only survive by quarantining
+     * it.  0 disables.
+     */
+    Tick persistentCrashAt = 0;
+    CoreId persistentCrashCore = invalidCoreId;
+
+    // injected invariant break (reported through the violation sink)
+    double invariantBreakRatePerSec = 0.0;
 };
 
 /**
@@ -87,13 +154,16 @@ struct FaultStats
     std::uint64_t dvfsDelayed = 0;
     std::uint64_t thermalSpikes = 0;
     std::uint64_t taskStalls = 0;
+    std::uint64_t crashes = 0; ///< unrecoverable faults raised
+    std::uint64_t invariantBreaks = 0; ///< injected sweep failures
+    std::uint64_t suppressed = 0; ///< draws skipped: class disabled
 
     /** All perturbations that actually landed. */
     std::uint64_t
     totalInjected() const
     {
         return hotplugOff + hotplugOn + dvfsDenied + dvfsDelayed +
-               thermalSpikes + taskStalls;
+               thermalSpikes + taskStalls + crashes + invariantBreaks;
     }
 };
 
@@ -121,7 +191,55 @@ class FaultInjector
     const FaultParams &params() const { return fp; }
     const FaultStats &stats() const { return faultStats; }
 
-    /** Write the injector's random stream and counters. */
+    // ---- recovery hooks (used by the supervised run loop) ----
+
+    /**
+     * Stop drawing faults of one class: the supervisor's
+     * disable-the-failing-behavior quarantine action.  The skipped
+     * draws still consume the same random numbers, so disabling a
+     * class never perturbs the schedule of the remaining classes.
+     */
+    void disableClass(FaultClass cls);
+
+    bool classDisabled(FaultClass cls) const
+    {
+        return (disabledMask &
+                (1u << static_cast<std::uint32_t>(cls))) != 0;
+    }
+
+    /**
+     * Restart the injector's stream from @p seed: the bounded
+     * perturbation a supervisor applies on rollback-retry so a
+     * transient fault schedule is re-drawn.
+     */
+    void reseed(std::uint64_t seed);
+
+    /**
+     * Route injected invariant breaks into the checker (or any other
+     * sink); without a sink the class never fires.
+     */
+    void setViolationSink(std::function<void(const std::string &)> sink)
+    {
+        violationSink = std::move(sink);
+    }
+
+    /**
+     * The armed unrecoverable fault, if any.  The run loop polls this
+     * at chunk boundaries: unsupervised runs die, supervised runs
+     * hand it to the recovery state machine.
+     */
+    const PendingFatal &pendingFatal() const { return pendingCrash; }
+
+    /** Disarm the pending fault (the run loop consumed it). */
+    void clearPendingFatal() { pendingCrash = PendingFatal{}; }
+
+    /**
+     * Write the injector's random stream and counters.  The recovery
+     * overlays (disabled classes, pending fatal) are deliberately
+     * not serialized: they are reconstructed by replaying the
+     * supervisor's timed recovery script, which keeps checkpoint
+     * bytes identical across attempts (docs/ROBUSTNESS.md §8).
+     */
     void serialize(Serializer &s) const;
 
     /** Restore state written by serialize(). */
@@ -139,10 +257,17 @@ class FaultInjector
     bool gatesInstalled = false;
     FaultStats faultStats;
 
+    std::uint32_t disabledMask = 0;
+    PendingFatal pendingCrash;
+    std::function<void(const std::string &)> violationSink;
+
     void draw(Tick now);
     void injectHotplug();
     void injectThermalSpike();
     void injectTaskStall();
+    void injectCrash(Tick now);
+    void checkPersistentCrash(Tick now);
+    void injectInvariantBreak(Tick now);
     DvfsFaultAction gateDecision();
 };
 

@@ -56,6 +56,13 @@ InvariantChecker::stop()
 }
 
 void
+InvariantChecker::reportExternal(std::string what)
+{
+    violate(what);
+    lastSweep = internalError("external: " + std::move(what));
+}
+
+void
 InvariantChecker::violate(std::string what)
 {
     ++violationTotal;

@@ -85,6 +85,14 @@ class InvariantChecker : public SchedObserver
      */
     [[nodiscard]] Status checkNow();
 
+    /**
+     * Record a violation detected outside the checker's own sweeps
+     * (the fault injector's invariant-break class reports through
+     * here).  Counts and records like any sweep finding and marks
+     * the last-sweep status failed so pollers see it.
+     */
+    void reportExternal(std::string what);
+
     /** Forward observer callbacks to @p next after checking. */
     void setNext(SchedObserver *next) { nextObserver = next; }
 

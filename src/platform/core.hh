@@ -51,6 +51,20 @@ class Core
     bool busy() const { return isBusy; }
 
     /**
+     * Whether the core has been quarantined (hotplugged out for good
+     * by a supervisor after persistent faults).  A one-way latch: the
+     * platform refuses to bring a quarantined core back online, so
+     * neither the fault injector's replug nor a core-config sweep can
+     * revive failing silicon.  Deliberately not serialized: the flag
+     * is reconstructed by replaying the supervisor's recovery script,
+     * keeping checkpoint bytes identical across attempts.
+     */
+    bool quarantined() const { return isQuarantined; }
+
+    /** Latch the quarantine flag (there is no way back). */
+    void markQuarantined() { isQuarantined = true; }
+
+    /**
      * Hotplug the core.  Going offline requires the core to be idle
      * (the scheduler must have migrated its tasks away first).
      */
@@ -116,6 +130,7 @@ class Core
 
     bool isOnline = true;
     bool isBusy = false;
+    bool isQuarantined = false;
     Tick lastUpdate = 0;
 
     Tick busyTotal = 0;

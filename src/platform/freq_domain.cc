@@ -58,6 +58,15 @@ FreqDomain::setCeiling(FreqKHz ceiling)
 Status
 FreqDomain::requestFreq(FreqKHz target)
 {
+    // A pinned domain refuses before the fault gate so quarantining
+    // a DVFS path also stops charging the injector's random stream
+    // for requests that can no longer land.
+    if (isPinned) {
+        ++pinnedRefused;
+        return unavailable(format(
+            "%s: domain is pinned at %u kHz", domainName.c_str(),
+            currentFreq()));
+    }
     sim.noteWrite(domainName, "pending");
     const std::size_t index = indexFor(target);
     if (index == curIndex) {
@@ -100,6 +109,20 @@ FreqDomain::setFaultGate(FaultGate gate, Tick extra_latency)
 {
     faultGate = std::move(gate);
     faultExtraLatency = extra_latency;
+}
+
+void
+FreqDomain::setPinned(FreqKHz freq)
+{
+    if (freq != 0)
+        setFreqNow(freq);
+    else if (applyEvent.scheduled()) {
+        // Freeze at the current OPP: drop the in-flight transition.
+        sim.eventQueue().deschedule(applyEvent);
+        pendingIndex = table.size();
+    }
+    isPinned = true;
+    warn("%s: pinned at %u kHz", domainName.c_str(), currentFreq());
 }
 
 void

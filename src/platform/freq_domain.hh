@@ -105,6 +105,23 @@ class FreqDomain
     /** Current thermal/administrative ceiling. */
     FreqKHz ceiling() const { return table[ceilingIndex].freq; }
 
+    /**
+     * Pin the domain at @p freq (0 pins at the current frequency):
+     * the supervisor's quarantine action for a misbehaving DVFS path.
+     * The pin is applied immediately (bypassing the fault gate, like
+     * any setFreqNow) and from then on every requestFreq() is refused
+     * with unavailable(), so governors degrade to their deny path.
+     * A one-way latch; deliberately not serialized — it is
+     * reconstructed by replaying the supervisor's recovery script.
+     */
+    void setPinned(FreqKHz freq);
+
+    /** Whether the domain is pinned (requests refused). */
+    bool pinned() const { return isPinned; }
+
+    /** Requests refused because the domain is pinned. */
+    std::uint64_t pinnedRefusals() const { return pinnedRefused; }
+
     /** Register a pre-change listener. */
     void addListener(ChangeListener listener);
 
@@ -160,6 +177,9 @@ class FreqDomain
     Tick faultExtraLatency = 0;
     std::uint64_t deniedCount = 0;
     std::uint64_t delayedCount = 0;
+
+    bool isPinned = false;
+    std::uint64_t pinnedRefused = 0;
 
     std::size_t indexFor(FreqKHz target) const;
     void applyIndex(std::size_t index);

@@ -27,8 +27,11 @@ AsymmetricPlatform::AsymmetricPlatform(Simulation &sim_in,
                                        const PlatformParams &params)
     : sim(sim_in), platformParams(params)
 {
-    if (params.clusters.empty())
+    if (params.clusters.empty()) {
+        // Construction-time config validation; no run yet.
+        // ablint:allow(post-init-fatal): pre-run validation
         fatal("platform '%s' has no clusters", params.name.c_str());
+    }
     CoreId next_id = 0;
     for (const auto &cp : params.clusters) {
         clusterList.push_back(std::make_unique<Cluster>(
@@ -42,6 +45,8 @@ AsymmetricPlatform::AsymmetricPlatform(Simulation &sim_in,
     }
     if (params.bootCluster >= clusterList.size() ||
         params.bootCore >= clusterList[params.bootCluster]->coreCount()) {
+        // Construction-time config validation; no run yet.
+        // ablint:allow(post-init-fatal): pre-run validation
         fatal("platform '%s': boot core (%u,%u) does not exist",
               params.name.c_str(), params.bootCluster, params.bootCore);
     }
@@ -86,6 +91,11 @@ AsymmetricPlatform::hotplugAllowed(CoreId id, bool online) const
     if (id >= coreIndex.size())
         return invalidArgument(format("core %u does not exist", id));
     const Core &target = *coreIndex[id];
+    if (online && target.quarantined()) {
+        return failedPrecondition(format(
+            "core %u is quarantined and cannot come back online",
+            id));
+    }
     if (online || !target.online())
         return okStatus();
     if (platformParams.enforceBootCore) {
@@ -122,16 +132,22 @@ AsymmetricPlatform::setCoreOnline(CoreId id, bool online)
 void
 AsymmetricPlatform::applyCoreConfig(const CoreConfig &config)
 {
-    if (config.littleCores == 0 && platformParams.enforceBootCore)
+    if (config.littleCores == 0 && platformParams.enforceBootCore) {
+        // Core configs are applied before a run starts.
+        // ablint:allow(post-init-fatal): pre-run validation
         fatal("core config '%s' has no little cores; the boot core "
               "must stay online", config.label.c_str());
+    }
     for (auto &cl : clusterList) {
         const std::uint32_t want = cl->type() == CoreType::little
             ? config.littleCores : config.bigCores;
-        if (want > cl->coreCount())
+        if (want > cl->coreCount()) {
+            // An impossible core count is a bad pre-run request.
+            // ablint:allow(post-init-fatal): pre-run validation
             fatal("core config '%s' wants %u %s cores, cluster has %zu",
                   config.label.c_str(), want, coreTypeName(cl->type()),
                   cl->coreCount());
+        }
         for (std::size_t i = 0; i < cl->coreCount(); ++i)
             cl->core(i).setOnline(i < want);
     }

@@ -15,9 +15,12 @@ ClusterSwitcher::ClusterSwitcher(Simulation &sim_in,
 {
     BL_ASSERT(sp.period > 0);
     BL_ASSERT(sp.upLoad > sp.downLoad);
-    if (platform.params().enforceBootCore)
+    if (platform.params().enforceBootCore) {
+        // Construction-time config validation; no run yet.
+        // ablint:allow(post-init-fatal): pre-run validation
         fatal("ClusterSwitcher needs a platform with "
               "enforceBootCore = false (5410-style operation)");
+    }
 }
 
 void
@@ -73,9 +76,12 @@ ClusterSwitcher::applyMode(bool big)
 
     // Power the target cluster first, then drain and gate the other
     // - the order real cluster migration uses so tasks always have
-    // somewhere to run.
-    for (std::size_t i = 0; i < to.coreCount(); ++i)
-        to.core(i).setOnline(true);
+    // somewhere to run.  Quarantined cores stay off: the latch
+    // outranks the switcher.
+    for (std::size_t i = 0; i < to.coreCount(); ++i) {
+        if (!to.core(i).quarantined())
+            to.core(i).setOnline(true);
+    }
     for (std::size_t i = 0; i < from.coreCount(); ++i) {
         Core &core = from.core(i);
         if (!core.online())
@@ -83,11 +89,14 @@ ClusterSwitcher::applyMode(bool big)
         const Result<std::size_t> moved =
             sched.evacuateCore(core.id());
         if (!moved.ok()) {
-            // A task that cannot leave the cluster makes 5410-style
-            // operation impossible; this is a setup error, not a
-            // runtime fault.
-            fatal("cluster switch: %s",
-                  moved.status().message().c_str());
+            // A task that cannot leave the cluster breaks 5410-style
+            // exclusivity, but a mixed-cluster tick is recoverable:
+            // leave this core powered and let a later evaluation
+            // finish the drain, rather than killing the run.
+            warn("cluster switch: leaving cpu%u online (%s)",
+                 core.id(), moved.status().message().c_str());
+            ++partialSwitchCount;
+            continue;
         }
         core.setOnline(false);
     }

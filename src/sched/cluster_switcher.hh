@@ -69,6 +69,9 @@ class ClusterSwitcher
     /** Completed cluster switches (either direction). */
     std::uint64_t switches() const { return switchCount; }
 
+    /** Cores left online because their tasks could not evacuate. */
+    std::uint64_t partialSwitches() const { return partialSwitchCount; }
+
     const ClusterSwitchParams &params() const { return sp; }
 
   private:
@@ -80,6 +83,7 @@ class ClusterSwitcher
     PeriodicTask *evalTask = nullptr;
     bool bigMode = false;
     std::uint64_t switchCount = 0;
+    std::uint64_t partialSwitchCount = 0;
 
     void evaluate(Tick now);
     void applyMode(bool big);

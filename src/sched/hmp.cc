@@ -25,9 +25,12 @@ HmpScheduler::createTask(const std::string &name,
                          const WorkClass &work_class,
                          std::optional<CoreId> pinned)
 {
-    if (pinned && *pinned >= plat.coreCount())
+    if (pinned && *pinned >= plat.coreCount()) {
+        // A nonexistent pin target is a bad setup request.
+        // ablint:allow(post-init-fatal): setup-time validation
         fatal("task '%s' pinned to nonexistent core %u", name.c_str(),
               *pinned);
+    }
     taskList.push_back(std::make_unique<Task>(
         *this, nextTaskId++, name, work_class,
         schedParams.loadHalfLifeMs, pinned));

@@ -130,10 +130,16 @@ Checkpoint::writeBytes(const std::string &path,
         if (!out)
             return unavailable("short write to '" + tmp + "'");
     }
-    // Keep the previous checkpoint as <path>.1 so one corrupt write
-    // (power cut mid-flush, disk full) still leaves a resumable file.
-    // Failure to rotate is not fatal: the new write proceeds anyway.
+    // Keep previous checkpoints as a <path>.1 -> <path>.2 chain so a
+    // corrupt write (power cut mid-flush, disk full) - or a rollback
+    // loop rewriting the same path over and over - never clobbers
+    // the newest good copy: the old .1 must rotate to .2 *before*
+    // the primary rotates into .1, otherwise the rename would
+    // overwrite the only surviving good checkpoint.  Failure to
+    // rotate is not fatal: the new write proceeds anyway.
     std::error_code ec;
+    if (std::filesystem::exists(path + ".1", ec))
+        std::rename((path + ".1").c_str(), (path + ".2").c_str());
     if (std::filesystem::exists(path, ec))
         std::rename(path.c_str(), (path + ".1").c_str());
     if (std::rename(tmp.c_str(), path.c_str()) != 0) {
@@ -159,7 +165,7 @@ Checkpoint::readFile(const std::string &path)
 std::vector<std::string>
 checkpointCandidates(const std::string &path)
 {
-    std::vector<std::string> out{path, path + ".1"};
+    std::vector<std::string> out{path, path + ".1", path + ".2"};
 
     // Periodic checkpoints are named <stem>.<tick>.ckpt; older ticks
     // of the same stem are valid (if stale) resume points.

@@ -80,9 +80,11 @@ struct Checkpoint
     decode(const std::vector<std::uint8_t> &bytes);
 
     /**
-     * Atomically write to @p path (tmp file + rename).  An existing
-     * file at @p path is rotated to `<path>.1` first, so the last
-     * good checkpoint survives one bad write.
+     * Atomically write to @p path (tmp file + rename).  Existing
+     * generations rotate down the `<path>.1` -> `<path>.2` chain
+     * first (oldest dropped), so the last good checkpoints survive a
+     * bad write even when a rollback loop rewrites the same path
+     * repeatedly.
      */
     [[nodiscard]] Status writeFile(const std::string &path) const;
 
@@ -92,7 +94,8 @@ struct Checkpoint
 
     /**
      * Atomically write pre-encoded bytes (tmp file + rename),
-     * rotating any existing file at @p path to `<path>.1`.
+     * rotating existing generations down the `<path>.1` ->
+     * `<path>.2` chain.
      */
     [[nodiscard]] static Status
     writeBytes(const std::string &path,
@@ -101,7 +104,8 @@ struct Checkpoint
 
 /**
  * Resume candidates for @p path, newest first: the file itself, its
- * `<path>.1` rotation, then - when the name follows the periodic
+ * `<path>.1` and `<path>.2` rotations, then - when the name follows
+ * the periodic
  * `<stem>.<tick>.ckpt` convention of Experiment - every sibling
  * checkpoint of the same stem with an older tick, newest to oldest.
  */

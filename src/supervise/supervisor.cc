@@ -1,0 +1,308 @@
+#include "supervise/supervisor.hh"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "base/logging.hh"
+#include "base/random.hh"
+#include "base/serialize.hh"
+#include "base/strutil.hh"
+
+namespace biglittle
+{
+
+namespace
+{
+
+/** Tick encoded in a periodic checkpoint's <stem>.<tick>.ckpt name. */
+Tick
+tickFromCheckpointPath(const std::string &path)
+{
+    const std::string suffix = ".ckpt";
+    if (path.size() <= suffix.size() ||
+        path.compare(path.size() - suffix.size(), suffix.size(),
+                     suffix) != 0)
+        return 0;
+    const std::string noExt =
+        path.substr(0, path.size() - suffix.size());
+    const std::size_t dot = noExt.find_last_of('.');
+    if (dot == std::string::npos || dot + 1 == noExt.size() ||
+        noExt.size() - dot - 1 > 19 ||
+        noExt.find_first_not_of("0123456789", dot + 1) !=
+            std::string::npos)
+        return 0;
+    return static_cast<Tick>(std::stoull(noExt.substr(dot + 1)));
+}
+
+/**
+ * Escalation rung an incident signature sits on.  Every incident
+ * climbs retrying -> quarantined -> disabled; a failure recurring on
+ * the last rung exhausts the ladder and the run is declared failed.
+ */
+enum class Rung
+{
+    retrying,
+    quarantined,
+    disabled,
+};
+
+struct IncidentState
+{
+    std::uint32_t retries = 0;
+    Rung rung = Rung::retrying;
+};
+
+} // namespace
+
+std::uint64_t
+finalStateDigest(const AppRunResult &result)
+{
+    std::ostringstream os;
+    for (const auto &[name, digest] : result.stateDigests)
+        os << name << ":" << std::hex << digest << "\n";
+    return fnv1a64(os.str());
+}
+
+Supervisor::Supervisor(ExperimentConfig config, SupervisorParams params)
+    : baseCfg(std::move(config)), sp(params)
+{
+}
+
+SupervisedRunResult
+Supervisor::run(const AppSpec &app)
+{
+    ExperimentConfig cfg = baseCfg;
+    cfg.recovery.supervised = true;
+    cfg.recovery.failOnInvariantViolation = sp.failOnInvariantViolation;
+    if (cfg.snapshot.checkpointEvery == 0 && sp.checkpointEvery > 0)
+        cfg.snapshot.checkpointEvery = sp.checkpointEvery;
+
+    // Budget + one quarantine and one disable rung per fault class
+    // is enough headroom for any escalation the ladder can take.
+    const std::uint32_t max_attempts = sp.maxAttempts > 0
+        ? sp.maxAttempts
+        : sp.retry.totalRetryBudget + 2 * faultClassCount + 2;
+
+    SupervisedRunResult out;
+    RecoveryReport &report = out.report;
+
+    // Good checkpoints accumulated across attempts, ascending tick.
+    // Attempts rewrite the paths they pass through, so the newest
+    // generation of each path always matches the current script
+    // (stale generations survive down the rotation chain).
+    std::vector<std::pair<Tick, std::string>> ckpts;
+    std::map<std::string, IncidentState> incidents;
+    std::uint32_t total_retries = 0;
+    std::uint32_t perturb = 0;
+
+    for (std::uint32_t attempt = 1;; ++attempt) {
+        report.attempts = attempt;
+        Experiment exp(cfg);
+        AppRunResult r = exp.runApp(app);
+
+        for (const std::string &path : r.checkpoints.paths) {
+            const bool seen = std::any_of(
+                ckpts.begin(), ckpts.end(),
+                [&](const auto &c) { return c.second == path; });
+            if (!seen)
+                ckpts.emplace_back(tickFromCheckpointPath(path), path);
+        }
+        std::sort(ckpts.begin(), ckpts.end());
+
+        if (!r.failed) {
+            report.outcome = report.quarantines > 0
+                ? RecoveryOutcome::degraded
+                : (report.attempts > 1 ? RecoveryOutcome::recovered
+                                       : RecoveryOutcome::clean);
+            report.finalStateDigest = finalStateDigest(r);
+            out.run = std::move(r);
+            if (report.outcome != RecoveryOutcome::clean)
+                inform("supervisor: %s", report.toString().c_str());
+            return out;
+        }
+
+        RecoveryEvent ev;
+        ev.attempt = attempt;
+        ev.trigger = r.failureTrigger;
+        ev.incident = r.failureIncident;
+        ev.failedAt = r.failedAt;
+
+        IncidentState &inc = incidents[r.failureIncident];
+
+        if (attempt >= max_attempts) {
+            report.events.push_back(std::move(ev));
+            report.outcome = RecoveryOutcome::failed;
+            report.finalStateDigest = finalStateDigest(r);
+            out.run = std::move(r);
+            warn("supervisor: attempt cap (%u) reached\n%s",
+                 max_attempts, report.toString().c_str());
+            return out;
+        }
+
+        // Rollback target: the newest good checkpoint strictly
+        // before the failure (the failure boundary never writes
+        // one), pushed exponentially further back on repeated
+        // retries of the same incident.
+        const auto rollbackTarget =
+            [&](std::size_t offset) -> std::pair<Tick, std::string> {
+            std::pair<Tick, std::string> target{0, std::string()};
+            std::vector<const std::pair<Tick, std::string> *> eligible;
+            for (const auto &c : ckpts) {
+                if (c.first < r.failedAt)
+                    eligible.push_back(&c);
+            }
+            if (eligible.empty())
+                return target; // fresh start
+            const std::size_t last = eligible.size() - 1;
+            const std::size_t idx = offset > last ? 0 : last - offset;
+            return *eligible[idx];
+        };
+
+        const bool budget_left =
+            inc.retries < sp.retry.perIncidentRetries &&
+            total_retries < sp.retry.totalRetryBudget;
+
+        const auto addAction = [&](RecoveryAction act) {
+            ev.actions.push_back(act);
+            cfg.recovery.script.push_back(std::move(act));
+        };
+
+        if (inc.rung == Rung::retrying && budget_left) {
+            // ---- rung 1: rollback-retry with perturbation ----
+            ++inc.retries;
+            ++total_retries;
+            ++report.retries;
+            const std::uint32_t k = std::min(inc.retries, 16u);
+            const std::size_t offset = sp.retry.exponentialRollback
+                ? (std::size_t{1} << k) - 2
+                : 0;
+            const auto [roll_tick, roll_path] = rollbackTarget(offset);
+            ev.rollbackTo = roll_tick;
+            cfg.snapshot.resumePath = roll_path;
+
+            RecoveryAction act;
+            act.atTick = roll_tick;
+            act.kind = RecoveryActionKind::perturbFaultRng;
+            act.arg = deriveStreamSeed(
+                cfg.masterSeed, format("recover.rng.%u", perturb));
+            act.detail = format("%s retry %u",
+                                ev.incident.c_str(), inc.retries);
+            addAction(std::move(act));
+            if (r.failureTrigger == RecoveryTrigger::watchdogStall) {
+                // A stall can be order-dependent: also permute the
+                // same-tick service order of the retried attempt.
+                RecoveryAction tie;
+                tie.atTick = roll_tick;
+                tie.kind = RecoveryActionKind::perturbTieBreak;
+                tie.arg = deriveStreamSeed(
+                    cfg.masterSeed, format("recover.tie.%u", perturb));
+                tie.detail = format("%s retry %u",
+                                    ev.incident.c_str(), inc.retries);
+                addAction(std::move(tie));
+            }
+            ++perturb;
+            inform("supervisor: retry %u/%u for [%s], rollback to "
+                   "tick %llu",
+                   inc.retries, sp.retry.perIncidentRetries,
+                   ev.incident.c_str(),
+                   static_cast<unsigned long long>(roll_tick));
+        } else if (inc.rung == Rung::retrying ||
+                   inc.rung == Rung::quarantined) {
+            // ---- rungs 2/3: quarantine, then disable the class ----
+            const auto [roll_tick, roll_path] = rollbackTarget(0);
+            ev.rollbackTo = roll_tick;
+            cfg.snapshot.resumePath = roll_path;
+
+            const bool first_escalation = inc.rung == Rung::retrying;
+            bool gave_up = false;
+            RecoveryAction act;
+            act.atTick = roll_tick;
+            act.detail = format("%s escalation", ev.incident.c_str());
+            switch (r.failureTrigger) {
+              case RecoveryTrigger::fatalFault:
+                if (first_escalation &&
+                    r.failureCore != invalidCoreId) {
+                    // Hotplug the faulty core out for good.  If the
+                    // platform refuses (boot core), the incident
+                    // recurs and the next rung disables the class.
+                    act.kind = RecoveryActionKind::quarantineCore;
+                    act.arg = r.failureCore;
+                } else {
+                    act.kind = RecoveryActionKind::disableFaultClass;
+                    act.arg = static_cast<std::uint64_t>(
+                        FaultClass::crash);
+                }
+                break;
+              case RecoveryTrigger::invariantViolation:
+                if (first_escalation) {
+                    act.kind = RecoveryActionKind::disableFaultClass;
+                    act.arg = static_cast<std::uint64_t>(
+                        FaultClass::invariantBreak);
+                } else {
+                    gave_up = true;
+                }
+                break;
+              case RecoveryTrigger::watchdogStall:
+                if (first_escalation) {
+                    act.kind = RecoveryActionKind::disableFaultClass;
+                    act.arg = static_cast<std::uint64_t>(
+                        FaultClass::taskStall);
+                } else {
+                    gave_up = true;
+                }
+                break;
+              case RecoveryTrigger::resumeDivergence:
+                // No component to quarantine: restart from scratch
+                // (the script still replays, so earlier decisions
+                // hold).  A fresh run cannot re-diverge; recurrence
+                // means something else is broken.
+                if (first_escalation) {
+                    ev.rollbackTo = 0;
+                    cfg.snapshot.resumePath.clear();
+                } else {
+                    gave_up = true;
+                }
+                break;
+              case RecoveryTrigger::none:
+                gave_up = true;
+                break;
+            }
+            if (gave_up) {
+                report.events.push_back(std::move(ev));
+                report.outcome = RecoveryOutcome::failed;
+                report.finalStateDigest = finalStateDigest(r);
+                out.run = std::move(r);
+                warn("supervisor: escalation ladder exhausted for "
+                     "[%s]\n%s",
+                     r.failureIncident.c_str(),
+                     report.toString().c_str());
+                return out;
+            }
+            if (r.failureTrigger != RecoveryTrigger::resumeDivergence)
+                addAction(std::move(act));
+            ++report.quarantines;
+            inc.rung = first_escalation ? Rung::quarantined
+                                        : Rung::disabled;
+            inform("supervisor: quarantine for [%s], rollback to "
+                   "tick %llu",
+                   ev.incident.c_str(),
+                   static_cast<unsigned long long>(ev.rollbackTo));
+        } else {
+            // Still failing after the last rung: give up, degraded
+            // state and all.
+            report.events.push_back(std::move(ev));
+            report.outcome = RecoveryOutcome::failed;
+            report.finalStateDigest = finalStateDigest(r);
+            out.run = std::move(r);
+            warn("supervisor: [%s] still failing after disable\n%s",
+                 r.failureIncident.c_str(), report.toString().c_str());
+            return out;
+        }
+        report.events.push_back(std::move(ev));
+    }
+}
+
+} // namespace biglittle

@@ -26,10 +26,7 @@ ScriptedInputSource::start()
 {
     if (events.empty())
         return;
-    if (events.front().when < sim.now())
-        fatal("input event at %llu is already in the past",
-              static_cast<unsigned long long>(events.front().when));
-    sim.eventQueue().reschedule(fireEvent, events.front().when);
+    scheduleAt(events.front().when);
 }
 
 void
@@ -38,14 +35,25 @@ ScriptedInputSource::fireDue()
     BL_ASSERT(firedCount < events.size());
     target.injectBurst(events[firedCount].instructions);
     ++firedCount;
-    if (firedCount < events.size()) {
-        if (events[firedCount].when < sim.now())
-            fatal("input event at %llu is already in the past",
-                  static_cast<unsigned long long>(
-                      events[firedCount].when));
-        sim.eventQueue().reschedule(fireEvent,
-                                    events[firedCount].when);
+    if (firedCount < events.size())
+        scheduleAt(events[firedCount].when);
+}
+
+void
+ScriptedInputSource::scheduleAt(Tick when)
+{
+    // An event timestamped in the past (a script started late, or
+    // resumed mid-run) is user data, not a program bug: deliver it
+    // now instead of killing the run, and say so once.
+    if (when < sim.now()) {
+        ++clampedCount;
+        warn("input event at %llu is already in the past; firing "
+             "at %llu instead",
+             static_cast<unsigned long long>(when),
+             static_cast<unsigned long long>(sim.now()));
+        when = sim.now();
     }
+    sim.eventQueue().reschedule(fireEvent, when);
 }
 
 PoissonInputSource::PoissonInputSource(Simulation &sim_in,

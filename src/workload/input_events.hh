@@ -47,11 +47,18 @@ class ScriptedInputSource
     ScriptedInputSource(const ScriptedInputSource &) = delete;
     ScriptedInputSource &operator=(const ScriptedInputSource &) = delete;
 
-    /** Schedule all events (those already in the past are fatal). */
+    /**
+     * Schedule all events.  Events already in the past (script
+     * started late, or resumed mid-run) are clamped to "now" with a
+     * warning rather than killing the run.
+     */
     void start();
 
     /** Events fired so far. */
     std::size_t fired() const { return firedCount; }
+
+    /** Events whose timestamps had to be clamped to "now". */
+    std::size_t clamped() const { return clampedCount; }
 
     /** Total events in the script. */
     std::size_t total() const { return events.size(); }
@@ -61,9 +68,11 @@ class ScriptedInputSource
     BurstBehavior &target;
     std::vector<InputEvent> events;
     std::size_t firedCount = 0;
+    std::size_t clampedCount = 0;
     CallbackEvent fireEvent; ///< owned: cancelled on destruction
 
     void fireDue();
+    void scheduleAt(Tick when);
 };
 
 /** Parameters of a stochastic input stream. */

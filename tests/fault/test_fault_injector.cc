@@ -193,6 +193,106 @@ TEST_F(FaultInjectorTest, SameSeedSameFaultSchedule)
     EXPECT_GT(first.totalInjected(), 0u);
 }
 
+TEST_F(FaultInjectorTest, CrashRateArmsPendingFatal)
+{
+    FaultParams fp;
+    fp.enabled = true;
+    fp.seed = 7;
+    fp.crashRatePerSec = 50.0;
+
+    FaultInjector injector(sim, plat, sched, fp);
+    injector.start();
+    sim.runFor(msToTicks(1000));
+    injector.stop();
+
+    EXPECT_GT(injector.stats().crashes, 0u);
+    const PendingFatal &pending = injector.pendingFatal();
+    ASSERT_TRUE(pending.armed);
+    EXPECT_NE(pending.core, invalidCoreId);
+    EXPECT_GT(pending.at, 0u);
+    EXPECT_FALSE(pending.persistent);
+
+    // The run loop consumes the fault at a chunk boundary.
+    injector.clearPendingFatal();
+    EXPECT_FALSE(injector.pendingFatal().armed);
+}
+
+TEST_F(FaultInjectorTest, PersistentCrashFiresDeterministically)
+{
+    FaultParams fp;
+    fp.enabled = true;
+    fp.seed = 7;
+    fp.persistentCrashAt = msToTicks(500);
+    fp.persistentCrashCore = 6;
+
+    FaultInjector injector(sim, plat, sched, fp);
+    injector.start();
+    sim.runFor(msToTicks(400));
+    EXPECT_FALSE(injector.pendingFatal().armed);
+    sim.runFor(msToTicks(200));
+    const PendingFatal &pending = injector.pendingFatal();
+    ASSERT_TRUE(pending.armed);
+    EXPECT_EQ(pending.core, 6u);
+    EXPECT_TRUE(pending.persistent);
+    EXPECT_GE(pending.at, fp.persistentCrashAt);
+
+    // Persistent means persistent: clearing re-arms on the next draw
+    // while the core stays online.
+    injector.clearPendingFatal();
+    sim.runFor(msToTicks(100));
+    EXPECT_TRUE(injector.pendingFatal().armed);
+
+    // Quarantining the core (what the supervisor does) silences it.
+    injector.clearPendingFatal();
+    Core &core = plat.core(6);
+    core.markQuarantined();
+    if (core.online()) {
+        (void)sched.evacuateCore(core.id());
+        core.setOnline(false);
+    }
+    sim.runFor(msToTicks(200));
+    EXPECT_FALSE(injector.pendingFatal().armed);
+}
+
+TEST_F(FaultInjectorTest, DisabledClassKeepsOtherDrawsIdentical)
+{
+    // disableClass must burn the same random numbers as the live
+    // class, so the remaining classes' schedules do not shift - the
+    // property the supervisor's quarantine rung depends on.
+    FaultParams fp;
+    fp.enabled = true;
+    fp.seed = 77;
+    fp.hotplugRatePerSec = 10.0;
+    fp.thermalSpikeRatePerSec = 5.0;
+    fp.taskStallRatePerSec = 20.0;
+    fp.crashRatePerSec = 30.0;
+
+    const auto run = [&fp](bool disable_crash) {
+        Simulation sim2;
+        AsymmetricPlatform plat2(sim2, exynos5422Params());
+        HmpScheduler sched2(sim2, plat2, baselineSchedParams());
+        plat2.littleCluster().freqDomain().setFreqNow(1300000);
+        plat2.bigCluster().freqDomain().setFreqNow(1900000);
+        sched2.start();
+        sched2.createTask("a", pureCompute()).submitWork(1e12);
+        FaultInjector injector(sim2, plat2, sched2, fp);
+        if (disable_crash)
+            injector.disableClass(FaultClass::crash);
+        injector.start();
+        sim2.runFor(msToTicks(2000));
+        return injector.stats();
+    };
+
+    const FaultStats live = run(false);
+    const FaultStats quiet = run(true);
+    EXPECT_GT(live.crashes, 0u);
+    EXPECT_EQ(quiet.crashes, 0u);
+    EXPECT_GT(quiet.suppressed, 0u);
+    EXPECT_EQ(live.hotplugOff, quiet.hotplugOff);
+    EXPECT_EQ(live.thermalSpikes, quiet.thermalSpikes);
+    EXPECT_EQ(live.taskStalls, quiet.taskStalls);
+}
+
 TEST(ScaledFaultParams, RateZeroDisables)
 {
     const FaultParams fp = scaledFaultParams(0.0);

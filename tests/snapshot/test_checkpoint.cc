@@ -267,20 +267,62 @@ TEST(CheckpointRotation, CandidatesListNewestFirst)
 
     const std::string primary = dir + "/app.default.1200.ckpt";
     const auto candidates = checkpointCandidates(primary);
-    // Primary, its rotation sibling, then older ticks descending.
-    ASSERT_GE(candidates.size(), 4u);
+    // Primary, its rotation chain, then older ticks descending.
+    ASSERT_GE(candidates.size(), 5u);
     EXPECT_EQ(candidates[0], primary);
     EXPECT_EQ(candidates[1], primary + ".1");
-    EXPECT_EQ(candidates[2], dir + "/app.default.800.ckpt");
-    EXPECT_EQ(candidates[3], dir + "/app.default.400.ckpt");
+    EXPECT_EQ(candidates[2], primary + ".2");
+    EXPECT_EQ(candidates[3], dir + "/app.default.800.ckpt");
+    EXPECT_EQ(candidates[4], dir + "/app.default.400.ckpt");
 }
 
-TEST(CheckpointRotation, NonTickNameStillListsRotationSibling)
+TEST(CheckpointRotation, NonTickNameStillListsRotationSiblings)
 {
     const auto candidates = checkpointCandidates("/tmp/foo.bin");
-    ASSERT_EQ(candidates.size(), 2u);
+    ASSERT_EQ(candidates.size(), 3u);
     EXPECT_EQ(candidates[0], "/tmp/foo.bin");
     EXPECT_EQ(candidates[1], "/tmp/foo.bin.1");
+    EXPECT_EQ(candidates[2], "/tmp/foo.bin.2");
+}
+
+TEST(CheckpointRotation, RepeatedRewritesNeverClobberNewestGood)
+{
+    // The rollback-retry loop rewrites the same checkpoint path once
+    // per attempt.  The rotation chain must shift .1 -> .2 before
+    // the primary rotates into .1: with the old single-slot scheme,
+    // write 3 would overwrite the .1 holding write 2 - the newest
+    // good generation - leaving only the (possibly corrupt) primary.
+    const std::string path =
+        ::testing::TempDir() + "bl_ckpt_chain.ckpt";
+    for (const char *suffix : {"", ".1", ".2"})
+        std::remove((path + suffix).c_str());
+
+    for (const Tick tick : {Tick{100}, Tick{200}, Tick{300}}) {
+        Checkpoint c = sampleCheckpoint();
+        c.tick = tick;
+        ASSERT_TRUE(c.writeFile(path).ok());
+    }
+
+    const Result<Checkpoint> now = Checkpoint::readFile(path);
+    const Result<Checkpoint> one = Checkpoint::readFile(path + ".1");
+    const Result<Checkpoint> two = Checkpoint::readFile(path + ".2");
+    ASSERT_TRUE(now.ok()) << now.status().message();
+    ASSERT_TRUE(one.ok()) << one.status().message();
+    ASSERT_TRUE(two.ok()) << two.status().message();
+    EXPECT_EQ(now.value().tick, 300u);
+    EXPECT_EQ(one.value().tick, 200u);
+    EXPECT_EQ(two.value().tick, 100u);
+
+    // A fourth write drops the oldest generation, keeps the rest.
+    Checkpoint c = sampleCheckpoint();
+    c.tick = 400;
+    ASSERT_TRUE(c.writeFile(path).ok());
+    EXPECT_EQ(Checkpoint::readFile(path).value().tick, 400u);
+    EXPECT_EQ(Checkpoint::readFile(path + ".1").value().tick, 300u);
+    EXPECT_EQ(Checkpoint::readFile(path + ".2").value().tick, 200u);
+
+    for (const char *suffix : {"", ".1", ".2"})
+        std::remove((path + suffix).c_str());
 }
 
 TEST(CheckpointRotation, FallbackSkipsCorruptNewest)

@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Supervisor unit suite: the rollback-retry state machine over real
+ * (small) experiment runs.  Clean pass-through, quarantine of a
+ * persistently failing core, class-disable fallback when the faulty
+ * core cannot be hotplugged out, fresh-start recovery without
+ * checkpoints, and byte-identical recovery decisions per seed.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "supervise/supervisor.hh"
+#include "workload/apps.hh"
+
+using namespace biglittle;
+
+namespace
+{
+
+AppSpec
+shortApp(Tick duration = msToTicks(2000))
+{
+    // Duration-driven fps app: completes once the window elapses, so
+    // a short run still ends with completed = true.
+    AppSpec app = eternityWarrior2App();
+    app.duration = duration;
+    return app;
+}
+
+/** Config with periodic checkpoints in a per-test temp dir. */
+ExperimentConfig
+supervisedConfig(const std::string &name, std::uint64_t seed)
+{
+    ExperimentConfig cfg;
+    cfg.masterSeed = seed;
+    cfg.label = name;
+    cfg.snapshot.checkpointEvery = msToTicks(200);
+    cfg.snapshot.checkpointDir = ::testing::TempDir();
+    return cfg;
+}
+
+} // namespace
+
+TEST(Supervisor, CleanRunPassesThrough)
+{
+    ExperimentConfig cfg = supervisedConfig("sup_clean", 11);
+    Supervisor supervisor(cfg);
+    const SupervisedRunResult r = supervisor.run(shortApp());
+    EXPECT_EQ(r.report.outcome, RecoveryOutcome::clean);
+    EXPECT_EQ(r.report.attempts, 1u);
+    EXPECT_EQ(r.report.retries, 0u);
+    EXPECT_TRUE(r.report.events.empty());
+    EXPECT_FALSE(r.run.failed);
+    EXPECT_TRUE(r.run.completed);
+    EXPECT_NE(r.report.finalStateDigest, 0u);
+    EXPECT_EQ(r.report.finalStateDigest, finalStateDigest(r.run));
+}
+
+TEST(Supervisor, PersistentCrashIsQuarantinedAndRunContinues)
+{
+    // Core 6 (a big core, not the boot core) develops failing
+    // silicon mid-run.  Retries with a perturbed fault stream cannot
+    // cure a deterministic persistent fault, so the supervisor must
+    // escalate: hotplug the core out and continue degraded.
+    ExperimentConfig cfg = supervisedConfig("sup_pcrash", 21);
+    cfg.fault.enabled = true;
+    cfg.fault.persistentCrashCore = 6;
+    cfg.fault.persistentCrashAt = msToTicks(700);
+    Supervisor supervisor(cfg);
+    const SupervisedRunResult r = supervisor.run(shortApp());
+    EXPECT_EQ(r.report.outcome, RecoveryOutcome::degraded);
+    EXPECT_FALSE(r.run.failed);
+    EXPECT_GE(r.report.quarantines, 1u);
+    bool quarantined_core6 = false;
+    for (const RecoveryEvent &ev : r.report.events) {
+        EXPECT_EQ(ev.trigger, RecoveryTrigger::fatalFault);
+        for (const RecoveryAction &act : ev.actions) {
+            if (act.kind == RecoveryActionKind::quarantineCore &&
+                act.arg == 6)
+                quarantined_core6 = true;
+        }
+    }
+    EXPECT_TRUE(quarantined_core6);
+}
+
+TEST(Supervisor, BootCoreCrashFallsBackToClassDisable)
+{
+    // The boot core cannot be hotplugged out, so the quarantine
+    // action cannot stick; the next rung disables the crash class
+    // entirely and the run still completes.
+    ExperimentConfig cfg = supervisedConfig("sup_bootcrash", 31);
+    cfg.fault.enabled = true;
+    cfg.fault.persistentCrashCore = 0;
+    cfg.fault.persistentCrashAt = msToTicks(700);
+    Supervisor supervisor(cfg);
+    const SupervisedRunResult r = supervisor.run(shortApp());
+    EXPECT_EQ(r.report.outcome, RecoveryOutcome::degraded);
+    EXPECT_FALSE(r.run.failed);
+    bool disabled_crash = false;
+    for (const RecoveryEvent &ev : r.report.events) {
+        for (const RecoveryAction &act : ev.actions) {
+            if (act.kind == RecoveryActionKind::disableFaultClass &&
+                act.arg ==
+                    static_cast<std::uint64_t>(FaultClass::crash))
+                disabled_crash = true;
+        }
+    }
+    EXPECT_TRUE(disabled_crash);
+}
+
+TEST(Supervisor, RecoversByFreshRestartWithoutCheckpoints)
+{
+    // No periodic checkpoints: every rollback is a fresh start, and
+    // recovery actions scripted at tick 0 apply before any event
+    // runs.  The quarantine must still land and the run complete.
+    ExperimentConfig cfg = supervisedConfig("sup_nockpt", 41);
+    cfg.snapshot.checkpointEvery = 0;
+    cfg.fault.enabled = true;
+    cfg.fault.persistentCrashCore = 5;
+    cfg.fault.persistentCrashAt = msToTicks(500);
+    SupervisorParams sp;
+    sp.checkpointEvery = 0; // keep checkpoints off
+    Supervisor supervisor(cfg, sp);
+    const SupervisedRunResult r = supervisor.run(shortApp());
+    EXPECT_EQ(r.report.outcome, RecoveryOutcome::degraded);
+    EXPECT_FALSE(r.run.failed);
+    for (const RecoveryEvent &ev : r.report.events)
+        EXPECT_EQ(ev.rollbackTo, 0u);
+}
+
+TEST(Supervisor, InjectedInvariantBreaksAreRecovered)
+{
+    ExperimentConfig cfg = supervisedConfig("sup_inv", 51);
+    cfg.fault.enabled = true;
+    cfg.fault.invariantBreakRatePerSec = 3.0;
+    Supervisor supervisor(cfg);
+    const SupervisedRunResult r = supervisor.run(shortApp());
+    EXPECT_NE(r.report.outcome, RecoveryOutcome::failed);
+    EXPECT_FALSE(r.run.failed);
+    EXPECT_GE(r.report.attempts, 2u);
+}
+
+TEST(Supervisor, RecoveryDecisionsAreDeterministicPerSeed)
+{
+    // The whole point of scripted recovery: two supervised runs of
+    // the same master seed make byte-identical decisions and land on
+    // the same final state digest.
+    const auto run_once = [](const std::string &label) {
+        ExperimentConfig cfg = supervisedConfig(label, 61);
+        cfg.fault.enabled = true;
+        cfg.fault.persistentCrashCore = 6;
+        cfg.fault.persistentCrashAt = msToTicks(700);
+        cfg.fault.hotplugRatePerSec = 1.0;
+        Supervisor supervisor(cfg);
+        return supervisor.run(shortApp());
+    };
+    const SupervisedRunResult a = run_once("sup_det_a");
+    const SupervisedRunResult b = run_once("sup_det_b");
+    EXPECT_EQ(a.report.toString(), b.report.toString());
+    EXPECT_EQ(a.report.finalStateDigest, b.report.finalStateDigest);
+    EXPECT_EQ(a.report.digest(), b.report.digest());
+    ASSERT_EQ(a.report.events.size(), b.report.events.size());
+}
+
+TEST(Supervisor, ReportRendersActionsAndDigest)
+{
+    ExperimentConfig cfg = supervisedConfig("sup_render", 21);
+    cfg.fault.enabled = true;
+    cfg.fault.persistentCrashCore = 6;
+    cfg.fault.persistentCrashAt = msToTicks(700);
+    Supervisor supervisor(cfg);
+    const SupervisedRunResult r = supervisor.run(shortApp());
+    const std::string text = r.report.toString();
+    EXPECT_NE(text.find("outcome=degraded"), std::string::npos);
+    EXPECT_NE(text.find("fatal-fault:cpu6"), std::string::npos);
+    EXPECT_NE(text.find("quarantine-core(6)"), std::string::npos);
+    EXPECT_NE(text.find("digest=0x"), std::string::npos);
+}

@@ -355,6 +355,41 @@ TEST(AblintConfigKey, UndocumentedKeyFlagged)
     EXPECT_EQ(countRule(documented, "config-key"), 0u);
 }
 
+TEST(AblintPostInitFatal, FlagsBareFatalCall)
+{
+    const auto findings = lint(
+        {{"src/sched/a.cc",
+          "void f() { fatal(\"cannot continue: %s\", why); }\n"}});
+    EXPECT_EQ(countRule(findings, "post-init-fatal"), 1u);
+}
+
+TEST(AblintPostInitFatal, InlineAllowAndAllowlistSuppress)
+{
+    const auto allowed = lint(
+        {{"src/platform/a.cc",
+          "// ablint:allow(post-init-fatal): ctor validation\n"
+          "fatal(\"no clusters\");\n"}});
+    EXPECT_EQ(countRule(allowed, "post-init-fatal"), 0u);
+    const auto allowlisted = lint(
+        {{"src/workload/apps.cc", "fatal(\"unknown app\");\n"},
+         {"src/base/logging.cc",
+          "void fatal(const char *fmt, ...) { }\n"}});
+    EXPECT_EQ(countRule(allowlisted, "post-init-fatal"), 0u);
+}
+
+TEST(AblintPostInitFatal, DeclarationsAndTestsAreClean)
+{
+    // A declaration of fatal itself (noreturn attribute or void
+    // return type before the name) is not a call site.
+    const auto decls = lint(
+        {{"src/other/log2.hh",
+          "[[noreturn]] void fatal(const char *fmt, ...);\n"}});
+    EXPECT_EQ(countRule(decls, "post-init-fatal"), 0u);
+    const auto tests = lint(
+        {{"tests/sched/t.cc", "fatal(\"die\");\n"}});
+    EXPECT_EQ(countRule(tests, "post-init-fatal"), 0u);
+}
+
 TEST(AblintBaseline, SuppressesAndDetectsStaleEntries)
 {
     ablint::ScanInput in;

@@ -74,13 +74,25 @@ TEST_F(InputEventsTest, ScriptedRejectsUnsortedEvents)
                  "assertion");
 }
 
-TEST_F(InputEventsTest, ScriptedPastEventIsFatal)
+TEST_F(InputEventsTest, ScriptedPastEventIsClampedToNow)
 {
     sim.runFor(msToTicks(50));
-    ScriptedInputSource source(sim, *behavior,
-                               {{msToTicks(10), 1e5}});
-    EXPECT_EXIT(source.start(), ::testing::ExitedWithCode(1),
-                "already in the past");
+    std::vector<Tick> drains;
+    behavior->setDrainListener(
+        [&](BurstBehavior &, Tick now) { drains.push_back(now); });
+    ScriptedInputSource source(
+        sim, *behavior,
+        {{msToTicks(10), 1e5}, {msToTicks(80), 1e5}});
+    source.start();
+    sim.runFor(msToTicks(100));
+    // The late event fires immediately instead of killing the run;
+    // the on-time one keeps its scheduled slot.
+    EXPECT_EQ(source.fired(), 2u);
+    EXPECT_EQ(source.clamped(), 1u);
+    ASSERT_EQ(drains.size(), 2u);
+    EXPECT_GE(drains[0], msToTicks(50));
+    EXPECT_LT(drains[0], msToTicks(55));
+    EXPECT_GE(drains[1], msToTicks(80));
 }
 
 TEST_F(InputEventsTest, PoissonRateConverges)

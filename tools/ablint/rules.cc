@@ -708,6 +708,61 @@ serializeRules(const ScanInput &in, Sink &sink,
     }
 }
 
+// ---- post-init-fatal -----------------------------------------------
+
+/**
+ * Files whose fatal() calls are their documented contract: the
+ * logging module defines it, and the by-name lookup helpers
+ * (apps/spec/app_model) promise fatal() on an unknown name in their
+ * headers - all pre-run, user-asked-for-the-impossible paths.
+ */
+bool
+fatalAllowlisted(const std::string &path)
+{
+    static const char *const prefixes[] = {
+        "base/logging.",
+        "workload/apps.",
+        "workload/spec.",
+        "workload/app_model.",
+    };
+    for (const char *p : prefixes) {
+        if (path.find(p) != std::string::npos)
+            return true;
+    }
+    return false;
+}
+
+/**
+ * Flag fatal() calls in sim code.  Once a run is in flight, dying
+ * takes every other seed in the sweep down with it; recoverable
+ * conditions must surface as Status/Result so the supervisor can
+ * roll back and retry (docs/ROBUSTNESS.md §8).  Construction-time
+ * config validation is still legitimate - justified per site with an
+ * inline allow naming the reason.
+ */
+void
+postInitFatalRule(const LexedFile &f, Sink &sink)
+{
+    if (f.isTest || fatalAllowlisted(f.path))
+        return;
+    const auto &toks = f.tokens;
+    for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+        if (!isIdent(toks[i], "fatal") || !isPunct(toks[i + 1], '('))
+            continue;
+        // Skip declarations/definitions of fatal itself: a return
+        // type or 'void' directly before the name.
+        if (i > 0 && (isIdent(toks[i - 1], "void") ||
+                      isPunct(toks[i - 1], ']')))
+            continue;
+        sink.add(f, toks[i].line, "post-init-fatal",
+                 "fatal() kills the whole run (and every other seed "
+                 "in a sweep); return a Status/Result the caller or "
+                 "the supervisor can recover from, or justify "
+                 "construction-time validation with an inline "
+                 "allow");
+    }
+}
+
 // ---- config-key ----------------------------------------------------
 
 void
@@ -746,7 +801,7 @@ ruleNames()
         "wall-clock",     "unordered-iter",     "pointer-key",
         "static-mutable", "void-discard",       "deser-bound",
         "serialize-pair", "serialize-registry", "config-key",
-        "stale-baseline",
+        "post-init-fatal", "stale-baseline",
     };
     return names;
 }
@@ -763,6 +818,7 @@ runRules(const ScanInput &in)
         staticMutableRule(f, sink);
         voidDiscardRule(f, sink);
         deserBoundRule(f, sink);
+        postInitFatalRule(f, sink);
     }
     std::vector<Finding> registryFindings;
     serializeRules(in, sink, registryFindings);
