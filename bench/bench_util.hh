@@ -265,6 +265,27 @@ openCsvOrExit(const ArgParser &args)
     return csv;
 }
 
+/**
+ * Exit through the taxonomy when an unsupervised run failed.  The
+ * only failure Experiment reports (rather than dies on) for
+ * unsupervised runs is resume divergence; a bench that ignored it
+ * would print partial metrics for a run that is not the one the
+ * checkpoint belongs to.  Supervised callers (the Supervisor, abrun)
+ * consume `failed` themselves and never go through here.
+ */
+inline void
+exitIfRunFailed(const AppRunResult &r)
+{
+    if (!r.failed)
+        return;
+    std::fprintf(stderr,
+                 "[%s] %s: run failed (%s): %s\n",
+                 r.configLabel.c_str(), r.app.c_str(),
+                 recoveryTriggerName(r.failureTrigger),
+                 r.failureDetail.c_str());
+    std::exit(exitFatal);
+}
+
 /** One stderr line of checkpoint overhead, when any were written. */
 inline void
 reportCheckpointOverhead(const AppRunResult &r)
@@ -311,6 +332,7 @@ runApps(const ExperimentConfig &cfg, const std::vector<AppSpec> &apps)
                      cfg.label.c_str(), app.name.c_str());
         Experiment experiment(run_cfg);
         results.push_back(experiment.runApp(app));
+        exitIfRunFailed(results.back());
         reportCheckpointOverhead(results.back());
     }
     return results;

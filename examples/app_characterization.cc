@@ -116,6 +116,14 @@ main(int argc, char **argv)
 
     Experiment experiment(cfg);
     const AppRunResult r = experiment.runApp(app);
+    if (r.failed) {
+        // A config file can carry a resume path; a diverged resume
+        // must not print partial metrics as if they were the run's.
+        std::fprintf(stderr, "run failed (%s): %s\n",
+                     recoveryTriggerName(r.failureTrigger),
+                     r.failureDetail.c_str());
+        return exitFatal;
+    }
 
     printRunSummary(r);
     std::printf("\nenergy: %.1f mJ total (%.1f core dynamic, %.1f "

@@ -41,9 +41,16 @@
 namespace biglittle
 {
 
-/** File format magic ("BLCK") and the current layout version. */
+/**
+ * File format magic ("BLCK") and the current layout version.  The
+ * version guards every section payload layout, not just the container
+ * framing: bump it whenever any component's serialize() bytes change
+ * (v2: FaultInjector gained the crash/invariant-break/suppressed
+ * counters), so an old-build checkpoint is rejected up front instead
+ * of under-reading a section into garbage.
+ */
 constexpr std::uint32_t checkpointMagic = 0x424C434BU;
-constexpr std::uint32_t checkpointVersion = 1;
+constexpr std::uint32_t checkpointVersion = 2;
 
 /** One component's serialized state. */
 struct CheckpointSection

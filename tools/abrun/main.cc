@@ -31,6 +31,7 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <deque>
@@ -83,6 +84,8 @@ struct Cell
     bool lost = false;
     int lastExit = 0; ///< exit code, or -signal when killed
     std::string outcome; ///< from the child's report file
+    /// Earliest time a transient retry may fork (backoff deadline).
+    std::chrono::steady_clock::time_point notBefore{};
 };
 
 std::string
@@ -303,15 +306,21 @@ main(int argc, char **argv)
     std::map<pid_t, std::size_t> active;
 
     while (!pending.empty() || !active.empty()) {
-        while (!pending.empty() && active.size() < opt.jobs) {
+        // Dispatch every eligible cell; a retry whose backoff has not
+        // elapsed rotates to the back of the queue instead of
+        // sleeping in the dispatch loop, so one backed-off cell never
+        // stalls dispatch or reaping for the rest of the sweep.
+        bool backing_off = false;
+        for (std::size_t scan = pending.size();
+             scan > 0 && !pending.empty() && active.size() < opt.jobs;
+             --scan) {
             const std::size_t idx = pending.front();
             pending.pop_front();
             Cell &cell = cells[idx];
-            if (cell.attempts > 0) {
-                // Exponential backoff before a transient retry: the
-                // failure may have been resource pressure from the
-                // sweep itself.
-                usleep(100000u << std::min(cell.attempts, 6u));
+            if (std::chrono::steady_clock::now() < cell.notBefore) {
+                pending.push_back(idx);
+                backing_off = true;
+                continue;
             }
             ++cell.attempts;
             const pid_t pid = fork();
@@ -324,15 +333,34 @@ main(int argc, char **argv)
             active.emplace(pid, idx);
         }
 
+        if (active.empty()) {
+            // Only backed-off cells remain; nap until one is due.
+            usleep(20000);
+            continue;
+        }
+
         int status = 0;
-        const pid_t pid = waitpid(-1, &status, 0);
+        pid_t pid;
+        if (backing_off && active.size() < opt.jobs) {
+            // A retry is waiting on its deadline and a job slot is
+            // free: poll instead of blocking so the retry is not
+            // stuck behind a long-running child.
+            pid = waitpid(-1, &status, WNOHANG);
+            if (pid == 0) {
+                usleep(20000);
+                continue;
+            }
+        } else {
+            pid = waitpid(-1, &status, 0);
+        }
         if (pid < 0)
             continue;
         const auto it = active.find(pid);
         if (it == active.end())
             continue;
-        Cell &cell = cells[it->second];
+        const std::size_t idx = it->second;
         active.erase(it);
+        Cell &cell = cells[idx];
 
         cell.lastExit = WIFSIGNALED(status) ? -WTERMSIG(status)
                                             : WEXITSTATUS(status);
@@ -351,7 +379,13 @@ main(int argc, char **argv)
                          WIFSIGNALED(status) ? WTERMSIG(status)
                                              : WEXITSTATUS(status),
                          cell.attempts, opt.retries);
-            pending.push_back(it->second);
+            // Exponential backoff before the retry forks: the
+            // failure may have been resource pressure from the
+            // sweep itself.
+            cell.notBefore = std::chrono::steady_clock::now() +
+                             std::chrono::milliseconds(
+                                 100LL << std::min(cell.attempts, 6u));
+            pending.push_back(idx);
         } else {
             cell.done = true;
             cell.lost = true;
