@@ -714,6 +714,7 @@ Experiment::runKernel(const SpecKernel &kernel, CoreType type,
         rig.sim, task,
         cfg.masterSeed != 0
             ? namedStream(cfg.masterSeed, "kernel." + kernel.name)
+            // ablint:allow(rng-stream): legacy fixed seed preserving calibrated reference numbers
             : Rng(7),
         kernel.instructions, [&finished](Tick) { finished = true; });
 

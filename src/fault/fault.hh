@@ -254,10 +254,11 @@ class FaultInjector
 
     PeriodicTask *drawTask = nullptr;
     std::vector<ThermalThrottle *> throttles;
+    // ablint:allow(serialize-coverage): gates reinstalled from FaultParams on rebuild
     bool gatesInstalled = false;
     FaultStats faultStats;
 
-    std::uint32_t disabledMask = 0;
+    std::uint32_t disabledMask = 0; // ablint:allow(serialize-coverage): rebuilt injector re-arms via supervisor replay (covers pendingCrash)
     PendingFatal pendingCrash;
     std::function<void(const std::string &)> violationSink;
 

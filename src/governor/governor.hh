@@ -96,6 +96,7 @@ class Governor
     Cluster &clusterRef;
 
   private:
+    // ablint:allow(serialize-coverage): fixed at construction from config
     std::string governorName;
     PeriodicTask *samplerTask = nullptr;
     std::uint64_t sampleCount = 0;

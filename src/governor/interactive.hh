@@ -82,6 +82,7 @@ class InteractiveGovernor : public Governor
 
   private:
     InteractiveParams ip;
+    // ablint:allow(serialize-coverage): derived from InteractiveParams at construction
     FreqKHz hispeed;
     std::uint64_t jumps = 0;
 };

@@ -87,10 +87,12 @@ class Cluster
   private:
     Simulation &sim;
     ClusterParams clusterParams;
+    // ablint:allow(serialize-coverage): stateless perf model built from ClusterParams
     CacheModel l2Model;
     FreqDomain domain;
     std::vector<std::unique_ptr<Core>> coreList;
     Tick lastUpdate = 0;
+    // ablint:allow(serialize-coverage): construction-time config
     bool cpuidle;
 
     double activeW = 0.0;

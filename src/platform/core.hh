@@ -121,15 +121,17 @@ class Core
 
   private:
     Simulation &sim;
-    CoreId coreId;
+    CoreId coreId; // ablint:allow(serialize-coverage): identity fixed at construction
     CoreType coreType;
     CorePerfParams perf;
     FreqDomain &domain;
     Cluster &parent;
+    // ablint:allow(serialize-coverage): identity fixed at construction
     std::string coreName;
 
     bool isOnline = true;
     bool isBusy = false;
+    // ablint:allow(serialize-coverage): re-latched by the supervisor's quarantine record on rebuild
     bool isQuarantined = false;
     Tick lastUpdate = 0;
 
@@ -141,6 +143,7 @@ class Core
     double staticBusyW = 0.0;
     double idleWfiW = 0.0;
     double idleGatedW = 0.0;
+    // ablint:allow(serialize-coverage): fixed at construction from params
     Tick gateAfter; ///< WFI -> gated promotion delay (from params)
 
     void accountTo(Tick now);

@@ -160,9 +160,9 @@ class FreqDomain
 
   private:
     Simulation &sim;
-    std::string domainName;
+    std::string domainName; // ablint:allow(serialize-coverage): construction-time config (covers table)
     std::vector<Opp> table;
-    Tick latency;
+    Tick latency; // ablint:allow(serialize-coverage): construction-time config
     std::size_t curIndex = 0;
     std::size_t ceilingIndex;
 
@@ -170,15 +170,16 @@ class FreqDomain
     std::size_t pendingIndex;
     CallbackEvent applyEvent;
 
+    // ablint:allow(serialize-coverage): callback wiring, re-registered at construction
     std::vector<ChangeListener> listeners;
     std::uint64_t transitionCount = 0;
 
-    FaultGate faultGate;
+    FaultGate faultGate; // ablint:allow(serialize-coverage): fault wiring re-installed by the injector on rebuild (covers faultExtraLatency)
     Tick faultExtraLatency = 0;
     std::uint64_t deniedCount = 0;
     std::uint64_t delayedCount = 0;
 
-    bool isPinned = false;
+    bool isPinned = false; // ablint:allow(serialize-coverage): pin re-applied by config replay; refusal counter is diagnostic
     std::uint64_t pinnedRefused = 0;
 
     std::size_t indexFor(FreqKHz target) const;

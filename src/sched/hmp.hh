@@ -144,6 +144,7 @@ class HmpScheduler
     AsymmetricPlatform &plat;
     SchedParams schedParams;
 
+    // ablint:allow(serialize-coverage): per-core runner objects rebuilt at construction
     std::vector<std::unique_ptr<CoreRunner>> runners;
     std::vector<std::unique_ptr<Task>> taskList;
     PeriodicTask *tickTask = nullptr;

@@ -81,7 +81,7 @@ class LoadTracker
     void deserialize(Deserializer &d);
 
   private:
-    double halfLifeMs;
+    double halfLifeMs; // ablint:allow(serialize-coverage): restored via setHalfLife(), which derives decayFactor
     double decayFactor; ///< per-period multiplier y, y^halfLife = 0.5
     double load = 0.0;
 

@@ -168,9 +168,9 @@ class Task
 
   private:
     HmpScheduler &sched;
-    TaskId taskId;
+    TaskId taskId; // ablint:allow(serialize-coverage): stable id assigned by the scheduler at creation
     std::string taskName;
-    WorkClass wc;
+    WorkClass wc; // ablint:allow(serialize-coverage): creation-time config from the task spec (covers pinned)
     std::optional<CoreId> pinned;
     TaskClient *taskClient = nullptr;
 

@@ -198,6 +198,7 @@ class EventQueue
     std::size_t recentCap = 0;
 
     TieBreak tieMode = TieBreak::fifo;
+    // ablint:allow(rng-stream): fixed tie-break stream, part of the event-order contract
     Rng tieRng{1};
     RaceDetector *race = nullptr;
 };

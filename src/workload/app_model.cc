@@ -16,6 +16,7 @@ AppInstance::AppInstance(Simulation &sim_in, HmpScheduler &sched_in,
                          const AppSpec &spec)
     : sim(sim_in), sched(sched_in), appSpec(spec)
 {
+    // ablint:allow(rng-stream): root stream of the app; every consumer forks from it
     Rng root(appSpec.seed);
 
     for (const PeriodicThreadSpec &pt : appSpec.periodicThreads) {

@@ -78,6 +78,7 @@ class Behavior : public TaskClient
     Simulation &sim;
     Task &taskRef;
     Rng rng;
+    // ablint:allow(serialize-coverage): construction-time event priority
     EventPriority workPrio = EventPriority::workSubmit;
 };
 
@@ -198,8 +199,9 @@ class BurstBehavior : public Behavior
     std::uint64_t burstsDone() const { return bursts; }
 
   private:
+    // ablint:allow(serialize-coverage): drain callback re-registered by the driver at construction
     DrainListener drainListener;
-    double chunkInstructions;
+    double chunkInstructions; // ablint:allow(serialize-coverage): construction-time config from the burst spec (covers chunkGap)
     Tick chunkGap;
     double backlog = 0.0; ///< burst remainder awaiting chunks
     std::uint64_t bursts = 0;
@@ -227,7 +229,7 @@ class DutyCycleBehavior : public Behavior
     double targetUtilization() const { return target; }
 
   private:
-    double target;
+    double target; // ablint:allow(serialize-coverage): construction-time config from the duty-cycle spec (covers chunk)
     double chunk;
     Tick chunkStart = 0;
 };

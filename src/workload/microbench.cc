@@ -17,6 +17,7 @@ UtilizationMicrobench::UtilizationMicrobench(Simulation &sim,
 {
     loadTask = &sched.createTask("microbench", microbenchWc, core);
     behavior = std::make_unique<DutyCycleBehavior>(
+        // ablint:allow(rng-stream): caller passes the experiment-config seed
         sim, *loadTask, Rng(seed), target_utilization);
 }
 

@@ -87,6 +87,7 @@ class WorkflowDriver
     std::vector<BurstBehavior *> workers;
     std::vector<ActionSpec> actions;
     Rng rng;
+    // ablint:allow(serialize-coverage): construction-time config from the workflow spec
     double jitterSigma;
     std::function<void(Tick)> onDone;
 

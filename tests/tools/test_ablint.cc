@@ -431,7 +431,7 @@ TEST(AblintFinding, FormatIsFileLineRuleMessage)
 TEST(AblintRepo, TreeIsCleanAndBaselineIsLive)
 {
     const auto findings =
-        ablint::runOnRepo(ABLINT_REPO_ROOT, "", "", {});
+        ablint::runOnRepo(ABLINT_REPO_ROOT, "", "", "", {});
     for (const auto &f : findings)
         ADD_FAILURE() << f.format();
     EXPECT_TRUE(findings.empty());

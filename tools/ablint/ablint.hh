@@ -29,6 +29,29 @@
  *                    in src/ is documented in EXPERIMENTS.md or a
  *                    markdown file under docs/.
  *
+ * On top of the token-scan rules sits absema, a semantic pass over a
+ * parsed entity model of src/ (classes + data members, function
+ * definitions, a call graph, an #include graph - see model.hh):
+ *
+ *  - serialize-coverage  every plain-value data member of a class in
+ *                    serialized_state.txt is referenced by both
+ *                    serialize() and deserialize(), and the two
+ *                    bodies emit/consume the same wire-op sequence;
+ *  - schema-drift    the per-class field-schema digests committed in
+ *                    tools/ablint/state_schema.txt match the code,
+ *                    and field changes come with a checkpointVersion
+ *                    bump (regenerate via `ablint --write-schema`);
+ *  - fatal-reach     no fatal() call is transitively reachable from
+ *                    the post-init entry points (Experiment::runApp,
+ *                    Supervisor::runApp) through the call graph;
+ *  - rng-stream      every Rng constructed with an explicit seed in
+ *                    sim code traces that seed to deriveStreamSeed()
+ *                    / namedStream() / fork();
+ *  - layer-cycle     the #include graph respects the layer order of
+ *                    src/ (docs/STATIC_ANALYSIS.md) and is acyclic;
+ *  - stale-allow     an inline allow directive that no longer
+ *                    suppresses anything is itself a finding.
+ *
  * Suppression: `// ablint:allow(rule[,rule]): why` on the violating
  * line or the line directly above it, or a checked-in baseline file
  * (tools/ablint/baseline.txt) of `path:line:rule` entries.  Baseline
@@ -69,6 +92,13 @@ struct Token
     int line = 0;
 };
 
+/** One `ablint:allow(...)` comment, for stale-allow accounting. */
+struct AllowDirective
+{
+    int line = 0; ///< line the comment starts on
+    std::set<std::string> rules;
+};
+
 /** A lexed translation unit plus its suppression directives. */
 struct LexedFile
 {
@@ -83,6 +113,9 @@ struct LexedFile
      * can sit above the violating statement).
      */
     std::map<int, std::set<std::string>> allows;
+
+    /** Every allow directive, one entry per comment. */
+    std::vector<AllowDirective> directives;
 
     /** Total number of source lines (for baseline staleness). */
     int lineCount = 0;
@@ -104,6 +137,12 @@ struct Finding
 
     /** "file:line: error: [rule] message" */
     std::string format() const;
+
+    /** "::error file=...,line=...,title=...::..." (CI annotation). */
+    std::string formatGithub() const;
+
+    /** One JSON object: {"file":...,"line":...,"rule":...,...}. */
+    std::string formatJson() const;
 };
 
 /** Everything the rule pass needs, filesystem-free for testing. */
@@ -116,10 +155,63 @@ struct ScanInput
 
     /** tools/ablint/serialized_state.txt contents. */
     std::string registryText;
+
+    /** tools/ablint/state_schema.txt contents (schema-drift). */
+    std::string schemaText;
 };
 
-/** Run every rule; findings already filtered by inline allows. */
-std::vector<Finding> runRules(const ScanInput &in);
+/**
+ * Which inline allows actually suppressed something:
+ * (file, suppressed-finding line) -> rules used there.  Fed by the
+ * rule passes, consumed by staleAllowFindings().
+ */
+using AllowUse =
+    std::map<std::pair<std::string, int>, std::set<std::string>>;
+
+/**
+ * Run the lexical (token-scan) rules; findings already filtered by
+ * inline allows.  When @p uses is non-null, records which allows
+ * fired (for stale-allow).
+ */
+std::vector<Finding> runRules(const ScanInput &in,
+                              AllowUse *uses = nullptr);
+
+/**
+ * Run the semantic (entity-model) rules: serialize-coverage,
+ * schema-drift, fatal-reach, rng-stream, layer-cycle.  Builds the
+ * model (tools/ablint/model.hh) from @p in internally and feeds the
+ * same Finding / inline-allow machinery as runRules().
+ */
+std::vector<Finding> runSemaRules(const ScanInput &in,
+                                  AllowUse *uses = nullptr);
+
+/**
+ * The stale-allow rule: every `ablint:allow` directive whose rule
+ * suppressed nothing in @p uses (and every directive naming an
+ * unknown rule) is itself a finding.
+ */
+std::vector<Finding> staleAllowFindings(const ScanInput &in,
+                                        const AllowUse &uses);
+
+/** runRules + runSemaRules + staleAllowFindings, sorted. */
+std::vector<Finding> runAllRules(const ScanInput &in);
+
+/**
+ * Render the state-schema manifest (tools/ablint/state_schema.txt):
+ * the current checkpointVersion plus one fnv1a64 field digest per
+ * registered serialized class, sorted by class name.  Deterministic,
+ * so CI can regenerate and diff.
+ */
+std::string renderSchemaManifest(const ScanInput &in);
+
+/**
+ * Guard for --write-schema: returns an error message (and the
+ * regeneration must be refused) when the committed manifest was
+ * written at the *current* checkpointVersion yet class digests
+ * changed - the caller must bump checkpointVersion first.  Empty
+ * string means regeneration is fine.
+ */
+std::string schemaRegenBlocked(const ScanInput &in);
 
 /**
  * Apply the baseline: drop findings matched by a `path:line:rule`
@@ -135,13 +227,24 @@ std::vector<Finding> applyBaseline(const std::vector<Finding> &raw,
 const std::vector<std::string> &ruleNames();
 
 /**
- * Scan a repo checkout: lexes src/ and tests/ (plus @p extraPaths),
- * loads docs and the registry, runs rules and baseline.  Returns the
- * final findings; I/O failures throw std::runtime_error.
+ * Lex src/ and tests/ (plus @p extraPaths) of a repo checkout and
+ * load the docs corpus, the serialization registry and the schema
+ * manifest.  I/O failures throw std::runtime_error.
+ */
+ScanInput loadRepo(const std::string &repoRoot,
+                   const std::string &registryPath,
+                   const std::string &schemaPath,
+                   const std::vector<std::string> &extraPaths);
+
+/**
+ * Scan a repo checkout: loadRepo(), then every rule pass (lexical +
+ * semantic + stale-allow) and the baseline.  Returns the final
+ * findings; I/O failures throw std::runtime_error.
  */
 std::vector<Finding> runOnRepo(const std::string &repoRoot,
                                const std::string &baselinePath,
                                const std::string &registryPath,
+                               const std::string &schemaPath,
                                const std::vector<std::string> &extraPaths);
 
 } // namespace biglittle::ablint

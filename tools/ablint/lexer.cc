@@ -48,6 +48,8 @@ harvestDirective(const std::string &comment, int line, LexedFile &out)
     body.erase(std::remove_if(body.begin(), body.end(),
                               [](char c) { return c == ' '; }),
                body.end());
+    AllowDirective directive;
+    directive.line = line;
     std::size_t pos = 0;
     while (pos < body.size()) {
         auto comma = body.find(',', pos);
@@ -57,9 +59,12 @@ harvestDirective(const std::string &comment, int line, LexedFile &out)
         if (!rule.empty()) {
             out.allows[line].insert(rule);
             out.allows[line + 1].insert(rule);
+            directive.rules.insert(rule);
         }
         pos = comma + 1;
     }
+    if (!directive.rules.empty())
+        out.directives.push_back(std::move(directive));
 }
 
 } // namespace
@@ -189,6 +194,93 @@ Finding::format() const
 {
     return file + ":" + std::to_string(line) + ": error: [" + rule +
            "] " + message;
+}
+
+namespace
+{
+
+/** GitHub workflow-command escaping (property position). */
+std::string
+ghEscape(const std::string &s, bool property)
+{
+    std::string out;
+    for (const char c : s) {
+        switch (c) {
+        case '%':
+            out += "%25";
+            break;
+        case '\r':
+            out += "%0D";
+            break;
+        case '\n':
+            out += "%0A";
+            break;
+        case ':':
+            out += property ? "%3A" : ":";
+            break;
+        case ',':
+            out += property ? "%2C" : ",";
+            break;
+        default:
+            out += c;
+        }
+    }
+    return out;
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    for (const char c : s) {
+        switch (c) {
+        case '"':
+            out += "\\\"";
+            break;
+        case '\\':
+            out += "\\\\";
+            break;
+        case '\n':
+            out += "\\n";
+            break;
+        case '\r':
+            out += "\\r";
+            break;
+        case '\t':
+            out += "\\t";
+            break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                static const char hexDigits[] = "0123456789abcdef";
+                out += "\\u00";
+                out += hexDigits[(c >> 4) & 0xf];
+                out += hexDigits[c & 0xf];
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+std::string
+Finding::formatGithub() const
+{
+    return "::error file=" + ghEscape(file, true) +
+           ",line=" + std::to_string(line) +
+           ",title=ablint " + ghEscape(rule, true) +
+           "::" + ghEscape(message, false);
+}
+
+std::string
+Finding::formatJson() const
+{
+    return "{\"file\":\"" + jsonEscape(file) +
+           "\",\"line\":" + std::to_string(line) + ",\"rule\":\"" +
+           jsonEscape(rule) + "\",\"message\":\"" +
+           jsonEscape(message) + "\"}";
 }
 
 } // namespace biglittle::ablint

@@ -2,8 +2,15 @@
  * @file
  * ablint CLI.
  *
- *   ablint --repo <root> [--baseline F] [--registry F]
- *          [--write-baseline F] [--list-rules] [extra paths...]
+ *   ablint --repo <root> [--baseline F] [--registry F] [--schema F]
+ *          [--write-baseline F] [--write-schema] [--format=FMT]
+ *          [--list-rules] [extra paths...]
+ *
+ * --format is text (default), github (::error workflow commands for
+ * inline PR annotations) or json (one array of finding objects).
+ * --write-schema regenerates tools/ablint/state_schema.txt from the
+ * current sources - refused when field digests changed without a
+ * checkpointVersion bump (the drift the manifest exists to catch).
  *
  * Exit codes: 0 clean, 1 findings, 2 usage or I/O error.
  */
@@ -24,7 +31,10 @@ main(int argc, char **argv)
     std::string repo = ".";
     std::string baseline;
     std::string registry;
+    std::string schema;
     std::string writeBaseline;
+    std::string format = "text";
+    bool writeSchema = false;
     std::vector<std::string> extras;
 
     for (int i = 1; i < argc; ++i) {
@@ -44,8 +54,16 @@ main(int argc, char **argv)
             baseline = value();
         } else if (arg == "--registry") {
             registry = value();
+        } else if (arg == "--schema") {
+            schema = value();
         } else if (arg == "--write-baseline") {
             writeBaseline = value();
+        } else if (arg == "--write-schema") {
+            writeSchema = true;
+        } else if (arg == "--format") {
+            format = value();
+        } else if (arg.rfind("--format=", 0) == 0) {
+            format = arg.substr(9);
         } else if (arg == "--list-rules") {
             for (const auto &name : ruleNames())
                 std::printf("%s\n", name.c_str());
@@ -53,12 +71,15 @@ main(int argc, char **argv)
         } else if (arg == "--help" || arg == "-h") {
             std::printf(
                 "usage: ablint [--repo ROOT] [--baseline FILE]\n"
-                "              [--registry FILE] [--write-baseline "
-                "FILE]\n"
+                "              [--registry FILE] [--schema FILE]\n"
+                "              [--write-baseline FILE] "
+                "[--write-schema]\n"
+                "              [--format=text|github|json]\n"
                 "              [--list-rules] [extra paths...]\n"
                 "\n"
                 "Determinism & error-discipline lint over src/ and\n"
-                "tests/.  See docs/STATIC_ANALYSIS.md.\n");
+                "tests/ - lexical rules plus the absema semantic\n"
+                "pass.  See docs/STATIC_ANALYSIS.md.\n");
             return 0;
         } else if (!arg.empty() && arg[0] == '-') {
             std::fprintf(stderr, "ablint: unknown option '%s'\n",
@@ -68,10 +89,47 @@ main(int argc, char **argv)
             extras.push_back(arg);
         }
     }
+    if (format != "text" && format != "github" && format != "json") {
+        std::fprintf(stderr,
+                     "ablint: unknown format '%s' (text, github, "
+                     "json)\n",
+                     format.c_str());
+        return 2;
+    }
+
+    if (writeSchema) {
+        const std::string schemaPath =
+            schema.empty() ? repo + "/tools/ablint/state_schema.txt"
+                           : schema;
+        try {
+            const ScanInput in =
+                loadRepo(repo, registry, schemaPath, extras);
+            const std::string blocked = schemaRegenBlocked(in);
+            if (!blocked.empty()) {
+                std::fprintf(stderr, "ablint: %s\n",
+                             blocked.c_str());
+                return 2;
+            }
+            std::ofstream out(schemaPath);
+            if (!out) {
+                std::fprintf(stderr,
+                             "ablint: cannot write schema '%s'\n",
+                             schemaPath.c_str());
+                return 2;
+            }
+            out << renderSchemaManifest(in);
+            std::printf("ablint: wrote %s\n", schemaPath.c_str());
+            return 0;
+        } catch (const std::exception &e) {
+            std::fprintf(stderr, "%s\n", e.what());
+            return 2;
+        }
+    }
 
     std::vector<Finding> findings;
     try {
-        findings = runOnRepo(repo, baseline, registry, extras);
+        findings =
+            runOnRepo(repo, baseline, registry, schema, extras);
     } catch (const std::exception &e) {
         std::fprintf(stderr, "%s\n", e.what());
         return 2;
@@ -100,12 +158,24 @@ main(int argc, char **argv)
         return 0;
     }
 
+    if (format == "json") {
+        std::printf("[");
+        for (std::size_t i = 0; i < findings.size(); ++i)
+            std::printf("%s%s", i == 0 ? "" : ",",
+                        findings[i].formatJson().c_str());
+        std::printf("]\n");
+        return findings.empty() ? 0 : 1;
+    }
     for (const auto &f : findings)
-        std::printf("%s\n", f.format().c_str());
+        std::printf("%s\n",
+                    format == "github" ? f.formatGithub().c_str()
+                                       : f.format().c_str());
     if (findings.empty()) {
-        std::printf("ablint: clean\n");
+        if (format == "text")
+            std::printf("ablint: clean\n");
         return 0;
     }
-    std::printf("ablint: %zu finding(s)\n", findings.size());
+    if (format == "text")
+        std::printf("ablint: %zu finding(s)\n", findings.size());
     return 1;
 }

@@ -8,6 +8,8 @@
 
 #include "ablint.hh"
 
+#include "sink.hh"
+
 #include <algorithm>
 #include <sstream>
 
@@ -17,40 +19,9 @@ namespace biglittle::ablint
 namespace
 {
 
-bool
-isIdent(const Token &t, const char *text)
-{
-    return t.kind == TokKind::identifier && t.text == text;
-}
-
-bool
-isPunct(const Token &t, char c)
-{
-    return t.kind == TokKind::punct && t.text.size() == 1 &&
-           t.text[0] == c;
-}
-
-bool
-lineAllows(const LexedFile &f, int line, const std::string &rule)
-{
-    const auto it = f.allows.find(line);
-    return it != f.allows.end() && it->second.count(rule) > 0;
-}
-
-struct Sink
-{
-    std::vector<Finding> &out;
-
-    void
-    add(const LexedFile &f, int line, std::string rule,
-        std::string message)
-    {
-        if (lineAllows(f, line, rule))
-            return;
-        out.push_back(
-            {f.path, line, std::move(rule), std::move(message)});
-    }
-};
+using detail::Sink;
+using detail::isIdent;
+using detail::isPunct;
 
 // ---- wall-clock ----------------------------------------------------
 
@@ -609,35 +580,6 @@ collectClasses(const LexedFile &f, std::vector<ClassRecord> &out)
     }
 }
 
-/** One parsed line of serialized_state.txt. */
-struct RegistryEntry
-{
-    std::string className;
-    std::string cover;
-    int line = 0;
-};
-
-std::vector<RegistryEntry>
-parseRegistry(const std::string &text)
-{
-    std::vector<RegistryEntry> entries;
-    std::istringstream in(text);
-    std::string line;
-    int line_no = 0;
-    while (std::getline(in, line)) {
-        ++line_no;
-        const auto hash = line.find('#');
-        if (hash != std::string::npos)
-            line = line.substr(0, hash);
-        std::istringstream fields(line);
-        RegistryEntry e;
-        e.line = line_no;
-        if (fields >> e.className >> e.cover)
-            entries.push_back(std::move(e));
-    }
-    return entries;
-}
-
 void
 serializeRules(const ScanInput &in, Sink &sink,
                std::vector<Finding> &registryFindings)
@@ -653,7 +595,7 @@ serializeRules(const ScanInput &in, Sink &sink,
                 srcLiterals.insert(t.text);
     }
 
-    const auto entries = parseRegistry(in.registryText);
+    const auto entries = detail::parseRegistry(in.registryText);
     std::set<std::string> registered;
     for (const auto &e : entries)
         registered.insert(e.className);
@@ -711,28 +653,6 @@ serializeRules(const ScanInput &in, Sink &sink,
 // ---- post-init-fatal -----------------------------------------------
 
 /**
- * Files whose fatal() calls are their documented contract: the
- * logging module defines it, and the by-name lookup helpers
- * (apps/spec/app_model) promise fatal() on an unknown name in their
- * headers - all pre-run, user-asked-for-the-impossible paths.
- */
-bool
-fatalAllowlisted(const std::string &path)
-{
-    static const char *const prefixes[] = {
-        "base/logging.",
-        "workload/apps.",
-        "workload/spec.",
-        "workload/app_model.",
-    };
-    for (const char *p : prefixes) {
-        if (path.find(p) != std::string::npos)
-            return true;
-    }
-    return false;
-}
-
-/**
  * Flag fatal() calls in sim code.  Once a run is in flight, dying
  * takes every other seed in the sweep down with it; recoverable
  * conditions must surface as Status/Result so the supervisor can
@@ -743,7 +663,7 @@ fatalAllowlisted(const std::string &path)
 void
 postInitFatalRule(const LexedFile &f, Sink &sink)
 {
-    if (f.isTest || fatalAllowlisted(f.path))
+    if (f.isTest || detail::fatalAllowlisted(f.path))
         return;
     const auto &toks = f.tokens;
     for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
@@ -802,15 +722,18 @@ ruleNames()
         "static-mutable", "void-discard",       "deser-bound",
         "serialize-pair", "serialize-registry", "config-key",
         "post-init-fatal", "stale-baseline",
+        // absema (semantic) rules, sema_rules.cc:
+        "serialize-coverage", "schema-drift", "fatal-reach",
+        "rng-stream", "layer-cycle", "stale-allow",
     };
     return names;
 }
 
 std::vector<Finding>
-runRules(const ScanInput &in)
+runRules(const ScanInput &in, AllowUse *uses)
 {
     std::vector<Finding> findings;
-    Sink sink{findings};
+    Sink sink{findings, uses};
     for (const auto &f : in.files) {
         wallClockRule(f, sink);
         unorderedIterRule(f, sink);

@@ -67,10 +67,11 @@ collectDir(const fs::path &root, const fs::path &dir,
 
 } // namespace
 
-std::vector<Finding>
-runOnRepo(const std::string &repoRoot, const std::string &baselinePath,
-          const std::string &registryPath,
-          const std::vector<std::string> &extraPaths)
+ScanInput
+loadRepo(const std::string &repoRoot,
+         const std::string &registryPath,
+         const std::string &schemaPath,
+         const std::vector<std::string> &extraPaths)
 {
     const fs::path root(repoRoot);
     if (!fs::exists(root / "src"))
@@ -127,7 +128,27 @@ runOnRepo(const std::string &repoRoot, const std::string &baselinePath,
     if (fs::exists(registry))
         in.registryText = readFile(registry);
 
-    const std::vector<Finding> raw = runRules(in);
+    const fs::path schema =
+        schemaPath.empty()
+            ? root / "tools" / "ablint" / "state_schema.txt"
+            : fs::path(schemaPath);
+    if (fs::exists(schema))
+        in.schemaText = readFile(schema);
+
+    return in;
+}
+
+std::vector<Finding>
+runOnRepo(const std::string &repoRoot, const std::string &baselinePath,
+          const std::string &registryPath,
+          const std::string &schemaPath,
+          const std::vector<std::string> &extraPaths)
+{
+    const fs::path root(repoRoot);
+    const ScanInput in =
+        loadRepo(repoRoot, registryPath, schemaPath, extraPaths);
+
+    const std::vector<Finding> raw = runAllRules(in);
 
     const fs::path baseline =
         baselinePath.empty()
