@@ -280,8 +280,10 @@ ArgparseFuzzTarget::run(const std::vector<std::uint8_t> &input) const
     if (rest.ok()) {
         // Typed getters run their own validation on hostile
         // values; any Status outcome is acceptable here.
+        // ablint:allow(status-drop): fuzz harness, the Result is deliberately unread
         [[maybe_unused]] const Result<std::int64_t> seed =
             args.tryGetInt("seed");
+        // ablint:allow(status-drop): fuzz harness, the Result is deliberately unread
         [[maybe_unused]] const Result<double> scale =
             args.tryGetDouble("scale");
         [[maybe_unused]] const std::string app =

@@ -154,6 +154,33 @@ TEST(AblintPointerKey, ValuePointersAndUnorderedAreFine)
     EXPECT_EQ(countRule(findings, "pointer-key"), 0u);
 }
 
+TEST(AblintPointerKey, PointerAliasesNoLongerEscape)
+{
+    // A file-local `using Key = T *;` (or typedef) used to hide the
+    // pointer from the key scan - the documented blind spot, now
+    // closed via the alias harvest.
+    const auto findings = lint(
+        {{"src/a.cc",
+          "using EventPtr = Event *;\n"
+          "typedef Task *TaskRaw;\n"
+          "std::set<EventPtr> pending;\n"
+          "std::map<TaskRaw, int> ranks;\n"}});
+    ASSERT_EQ(countRule(findings, "pointer-key"), 2u);
+    EXPECT_NE(findings[0].message.find("EventPtr"),
+              std::string::npos);
+}
+
+TEST(AblintPointerKey, ValueAliasesAreFine)
+{
+    const auto findings = lint(
+        {{"src/a.cc",
+          "using TaskId = std::uint32_t;\n"
+          "typedef int Rank;\n"
+          "std::set<TaskId> live;\n"
+          "std::map<Rank, int> byRank;\n"}});
+    EXPECT_EQ(countRule(findings, "pointer-key"), 0u);
+}
+
 TEST(AblintPointerKey, SuppressedTestScopedAndBaselinedVariants)
 {
     const auto suppressed = lint(
@@ -190,6 +217,33 @@ TEST(AblintStaticMutable, FlagsMutableSkipsConstAndFunctions)
           "static constexpr double pi = 3.14;\n"}});
     ASSERT_EQ(countRule(findings, "static-mutable"), 1u);
     EXPECT_EQ(findings[0].line, 2);
+}
+
+TEST(AblintStaticMutable, CtorInitializedStaticsAreFlagged)
+{
+    // `static Foo foo(args);` used to escape as a function
+    // declaration - the documented blind spot, now closed.
+    const auto findings = lint(
+        {{"src/a.cc",
+          "void f(unsigned seed) {\n"
+          "    static Histogram h(0.0, 1.0, 64);\n"
+          "    static Rng rng(seed);\n"
+          "    static Interner names(\"default\");\n"
+          "}\n"}});
+    EXPECT_EQ(countRule(findings, "static-mutable"), 3u);
+}
+
+TEST(AblintStaticMutable, FunctionDeclarationsStillEscape)
+{
+    const auto findings = lint(
+        {{"src/a.cc",
+          "static void helper(int);\n"
+          "static int pick(const char *name, bool strict);\n"
+          "static Status apply(Config cfg);\n"
+          "static int parse(std::string s);\n"
+          "static double scale(double x = 1.0);\n"
+          "static Widget make();\n"}});
+    EXPECT_EQ(countRule(findings, "static-mutable"), 0u);
 }
 
 TEST(AblintStaticMutable, InlineAllowSuppresses)

@@ -52,6 +52,28 @@
  *  - stale-allow     an inline allow directive that no longer
  *                    suppresses anything is itself a finding.
  *
+ * On top of absema sits abflow (flow.hh), an intraprocedural def-use
+ * engine over function bodies composed bottom-up over the call graph
+ * via per-function summaries (param-in -> return/sink-out):
+ *
+ *  - taint-bound     interprocedural taint from untrusted decode
+ *                    surfaces (raw Deserializer::getU64-family
+ *                    reads, config/argv numeric parses) to
+ *                    allocation-size, loop-bound and index sinks,
+ *                    sanitized by getCount()/clamp comparisons;
+ *                    supersedes the one-file lexical deser-bound
+ *                    across call boundaries (overlapping findings
+ *                    are deduplicated in its favor);
+ *  - unit-mix        a unit-domain lattice (Tick/ns, ms, us, s,
+ *                    kHz, Hz, dimensionless) seeded from
+ *                    src/base/types.hh typedefs, the conversion
+ *                    helpers and _ms/_us/_khz naming, flagging
+ *                    cross-domain add/subtract/compare and argument
+ *                    passing without a conversion call;
+ *  - status-drop     a Status/Result local that is assigned and
+ *                    then overwritten, or dies, without ever being
+ *                    branched on, propagated, or logged.
+ *
  * Suppression: `// ablint:allow(rule[,rule]): why` on the violating
  * line or the line directly above it, or a checked-in baseline file
  * (tools/ablint/baseline.txt) of `path:line:rule` entries.  Baseline
@@ -169,12 +191,21 @@ using AllowUse =
     std::map<std::pair<std::string, int>, std::set<std::string>>;
 
 /**
+ * Per-rule wall time in milliseconds, keyed by rule name (plus the
+ * "model-build" entry for the shared entity-model parse).  Filled by
+ * the rule passes when non-null; rendered by `ablint --profile`.
+ */
+using RuleProfile = std::map<std::string, double>;
+
+/**
  * Run the lexical (token-scan) rules; findings already filtered by
  * inline allows.  When @p uses is non-null, records which allows
- * fired (for stale-allow).
+ * fired (for stale-allow).  When @p profile is non-null, accumulates
+ * per-rule wall time.
  */
 std::vector<Finding> runRules(const ScanInput &in,
-                              AllowUse *uses = nullptr);
+                              AllowUse *uses = nullptr,
+                              RuleProfile *profile = nullptr);
 
 /**
  * Run the semantic (entity-model) rules: serialize-coverage,
@@ -183,7 +214,18 @@ std::vector<Finding> runRules(const ScanInput &in,
  * same Finding / inline-allow machinery as runRules().
  */
 std::vector<Finding> runSemaRules(const ScanInput &in,
-                                  AllowUse *uses = nullptr);
+                                  AllowUse *uses = nullptr,
+                                  RuleProfile *profile = nullptr);
+
+/**
+ * Run the dataflow (abflow) rules: taint-bound, unit-mix,
+ * status-drop.  Builds the flow model (tools/ablint/flow.hh) from
+ * @p in internally; same Finding / inline-allow machinery as the
+ * other passes.
+ */
+std::vector<Finding> runFlowRules(const ScanInput &in,
+                                  AllowUse *uses = nullptr,
+                                  RuleProfile *profile = nullptr);
 
 /**
  * The stale-allow rule: every `ablint:allow` directive whose rule
@@ -193,8 +235,14 @@ std::vector<Finding> runSemaRules(const ScanInput &in,
 std::vector<Finding> staleAllowFindings(const ScanInput &in,
                                         const AllowUse &uses);
 
-/** runRules + runSemaRules + staleAllowFindings, sorted. */
-std::vector<Finding> runAllRules(const ScanInput &in);
+/**
+ * runRules + runSemaRules + runFlowRules + staleAllowFindings,
+ * sorted.  Overlap dedupe: a lexical `deser-bound` finding on a
+ * file:line where interprocedural `taint-bound` also fired is
+ * dropped in favor of the flow finding.
+ */
+std::vector<Finding> runAllRules(const ScanInput &in,
+                                 RuleProfile *profile = nullptr);
 
 /**
  * Render the state-schema manifest (tools/ablint/state_schema.txt):
@@ -245,7 +293,8 @@ std::vector<Finding> runOnRepo(const std::string &repoRoot,
                                const std::string &baselinePath,
                                const std::string &registryPath,
                                const std::string &schemaPath,
-                               const std::vector<std::string> &extraPaths);
+                               const std::vector<std::string> &extraPaths,
+                               RuleProfile *profile = nullptr);
 
 } // namespace biglittle::ablint
 

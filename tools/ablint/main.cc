@@ -4,10 +4,12 @@
  *
  *   ablint --repo <root> [--baseline F] [--registry F] [--schema F]
  *          [--write-baseline F] [--write-schema] [--format=FMT]
- *          [--list-rules] [extra paths...]
+ *          [--profile] [--list-rules] [extra paths...]
  *
  * --format is text (default), github (::error workflow commands for
  * inline PR annotations) or json (one array of finding objects).
+ * --profile prints per-rule wall time (ms, slowest first) to stderr
+ * after the findings - CI budgets the lint step with it.
  * --write-schema regenerates tools/ablint/state_schema.txt from the
  * current sources - refused when field digests changed without a
  * checkpointVersion bump (the drift the manifest exists to catch).
@@ -17,10 +19,12 @@
 
 #include "ablint.hh"
 
+#include <algorithm>
 #include <cstdio>
 #include <exception>
 #include <fstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 int
@@ -35,6 +39,7 @@ main(int argc, char **argv)
     std::string writeBaseline;
     std::string format = "text";
     bool writeSchema = false;
+    bool profile = false;
     std::vector<std::string> extras;
 
     for (int i = 1; i < argc; ++i) {
@@ -60,6 +65,8 @@ main(int argc, char **argv)
             writeBaseline = value();
         } else if (arg == "--write-schema") {
             writeSchema = true;
+        } else if (arg == "--profile") {
+            profile = true;
         } else if (arg == "--format") {
             format = value();
         } else if (arg.rfind("--format=", 0) == 0) {
@@ -74,7 +81,8 @@ main(int argc, char **argv)
                 "              [--registry FILE] [--schema FILE]\n"
                 "              [--write-baseline FILE] "
                 "[--write-schema]\n"
-                "              [--format=text|github|json]\n"
+                "              [--format=text|github|json] "
+                "[--profile]\n"
                 "              [--list-rules] [extra paths...]\n"
                 "\n"
                 "Determinism & error-discipline lint over src/ and\n"
@@ -127,12 +135,31 @@ main(int argc, char **argv)
     }
 
     std::vector<Finding> findings;
+    RuleProfile ruleProfile;
     try {
-        findings =
-            runOnRepo(repo, baseline, registry, schema, extras);
+        findings = runOnRepo(repo, baseline, registry, schema,
+                             extras,
+                             profile ? &ruleProfile : nullptr);
     } catch (const std::exception &e) {
         std::fprintf(stderr, "%s\n", e.what());
         return 2;
+    }
+
+    if (profile) {
+        std::vector<std::pair<std::string, double>> timings(
+            ruleProfile.begin(), ruleProfile.end());
+        std::sort(timings.begin(), timings.end(),
+                  [](const auto &a, const auto &b) {
+                      return a.second > b.second;
+                  });
+        double total = 0.0;
+        for (const auto &[name, ms] : timings)
+            total += ms;
+        std::fprintf(stderr, "ablint: rule timings (ms)\n");
+        for (const auto &[name, ms] : timings)
+            std::fprintf(stderr, "  %10.3f  %s\n", ms,
+                         name.c_str());
+        std::fprintf(stderr, "  %10.3f  total\n", total);
     }
 
     if (!writeBaseline.empty()) {

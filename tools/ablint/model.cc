@@ -687,7 +687,9 @@ class FileParser
         // an initializer (not the body) once a single ':' opened a
         // ctor-init list - `const`/`override` before the body brace
         // must not count.
-        std::size_t body = skipBalanced(s.firstParen, '(', ')');
+        const std::size_t parenClose =
+            skipBalanced(s.firstParen, '(', ')');
+        std::size_t body = parenClose;
         bool inCtorInit = false;
         const auto walkToBrace = [&]() {
             while (body < n && !isPunct(toks[body], '{') &&
@@ -736,6 +738,9 @@ class FileParser
             fn.line = toks[s.firstParen].line;
             fn.bodyBegin = body + 1;
             fn.bodyEnd = bodyEnd > 0 ? bodyEnd - 1 : bodyEnd;
+            fn.paramBegin = s.firstParen + 1;
+            fn.paramEnd = parenClose > 0 ? parenClose - 1 : 0;
+            fn.headBegin = start;
             harvestCalls(fn);
             m.functionsByName[fn.name].push_back(
                 m.functions.size());

@@ -72,6 +72,17 @@ struct FunctionDef
     std::size_t bodyBegin = 0;
     std::size_t bodyEnd = 0;
 
+    /**
+     * Parameter-list token range [paramBegin, paramEnd) into
+     * file->tokens: the tokens between the declaration's '(' and
+     * its matching ')'.  Empty range for `()`.
+     */
+    std::size_t paramBegin = 0;
+    std::size_t paramEnd = 0;
+
+    /** First token of the declaration (return type onward). */
+    std::size_t headBegin = 0;
+
     /** Callee names (last component), in body order. */
     std::vector<std::string> calls;
 };

@@ -150,6 +150,46 @@ unorderedIterRule(const LexedFile &f, Sink &sink)
 // ---- pointer-key ---------------------------------------------------
 
 /**
+ * File-local names that alias a pointer type: `using Key = T *;`
+ * and `typedef T *Key;` (the alias may bury the '*' anywhere in the
+ * aliased type, e.g. a pair with a pointer member - ordering on such
+ * a key still compares addresses).  Closing the historical blind
+ * spot where an aliased key escaped pointerKeyRule's '*' scan.
+ */
+std::set<std::string>
+pointerAliases(const LexedFile &f)
+{
+    std::set<std::string> out;
+    const auto &toks = f.tokens;
+    for (std::size_t i = 0; i + 2 < toks.size(); ++i) {
+        if (isIdent(toks[i], "using") &&
+            toks[i + 1].kind == TokKind::identifier &&
+            isPunct(toks[i + 2], '=')) {
+            for (std::size_t j = i + 3;
+                 j < toks.size() && !isPunct(toks[j], ';'); ++j) {
+                if (isPunct(toks[j], '*')) {
+                    out.insert(toks[i + 1].text);
+                    break;
+                }
+            }
+        } else if (isIdent(toks[i], "typedef")) {
+            bool ptr = false;
+            std::size_t last = 0;
+            for (std::size_t j = i + 1;
+                 j < toks.size() && !isPunct(toks[j], ';'); ++j) {
+                if (isPunct(toks[j], '*'))
+                    ptr = true;
+                else if (toks[j].kind == TokKind::identifier)
+                    last = j;
+            }
+            if (ptr && last != 0)
+                out.insert(toks[last].text);
+        }
+    }
+    return out;
+}
+
+/**
  * Ordered containers keyed by raw pointers (`std::set<T *>`,
  * `std::map<T *, ...>`, their multi variants) iterate in *address*
  * order, which varies run to run with the allocator - the same
@@ -157,7 +197,8 @@ unorderedIterRule(const LexedFile &f, Sink &sink)
  * costume.  A custom comparator over stable fields makes such a
  * container legitimate (the event queue's (when, priority, sequence)
  * set is the canonical example); those cases carry an inline allow
- * naming the comparator.
+ * naming the comparator.  Keys spelled through a file-local pointer
+ * alias (`using Key = T *;`) are caught via pointerAliases().
  */
 void
 pointerKeyRule(const LexedFile &f, Sink &sink)
@@ -167,6 +208,7 @@ pointerKeyRule(const LexedFile &f, Sink &sink)
     static const std::set<std::string> orderedContainers = {
         "set", "map", "multiset", "multimap"};
     const auto &toks = f.tokens;
+    const std::set<std::string> aliases = pointerAliases(f);
     for (std::size_t i = 0; i < toks.size(); ++i) {
         if (toks[i].kind != TokKind::identifier ||
             orderedContainers.count(toks[i].text) == 0)
@@ -177,6 +219,7 @@ pointerKeyRule(const LexedFile &f, Sink &sink)
         // tokens up to the first ',' or the closing '>'.
         int angle = 1;
         bool keyHasPointer = false;
+        std::string viaAlias;
         bool closed = false;
         for (std::size_t j = i + 2;
              j < toks.size() && j < i + 200; ++j) {
@@ -195,12 +238,22 @@ pointerKeyRule(const LexedFile &f, Sink &sink)
                 break; // end of the key type
             } else if (isPunct(t, '*')) {
                 keyHasPointer = true;
+            } else if (angle == 1 &&
+                       t.kind == TokKind::identifier &&
+                       aliases.count(t.text) > 0) {
+                keyHasPointer = true;
+                viaAlias = t.text;
             }
         }
         if (closed && keyHasPointer) {
             sink.add(f, toks[i].line, "pointer-key",
                      "ordered '" + toks[i].text +
-                         "' keyed by a raw pointer iterates in "
+                         "' keyed by a raw pointer" +
+                         (viaAlias.empty()
+                              ? std::string()
+                              : " (via the '" + viaAlias +
+                                    "' alias)") +
+                         " iterates in "
                          "address order, which varies run to run; "
                          "key by a stable id/value, or justify a "
                          "deterministic custom comparator with an "
@@ -210,6 +263,72 @@ pointerKeyRule(const LexedFile &f, Sink &sink)
 }
 
 // ---- static-mutable ------------------------------------------------
+
+/**
+ * Decide whether the parens opening at @p open hold constructor
+ * arguments (`static Histogram h(0.0, 1.0, 64);` - a mutable static
+ * object, historically a blind spot) or a parameter list
+ * (`static void helper(int);` - a function declaration).  Value-ish
+ * arguments - literals and lowercase-initial identifier chains -
+ * mean ctor; type-ish ones ('*'/'&', builtin type keywords, two
+ * adjacent identifiers, a lone CamelCase identifier, template
+ * angles, '=' defaults) or an empty list mean parameters.  The
+ * whole declaration must end in ';' right after the ')'.
+ */
+bool
+ctorInitArgs(const std::vector<Token> &toks, std::size_t open)
+{
+    int depth = 0;
+    std::size_t close = open;
+    for (; close < toks.size(); ++close) {
+        if (isPunct(toks[close], '('))
+            ++depth;
+        else if (isPunct(toks[close], ')') && --depth == 0)
+            break;
+    }
+    if (close >= toks.size() || close == open + 1)
+        return false; // unterminated, or `()`
+    if (close + 1 >= toks.size() || !isPunct(toks[close + 1], ';'))
+        return false; // `{` body, `const`, ... - not a plain decl
+    static const std::set<std::string> typeWords = {
+        "void",     "bool",     "char",     "short",   "int",
+        "long",     "signed",   "unsigned", "float",   "double",
+        "const",    "auto",     "std",      "size_t",  "int8_t",
+        "int16_t",  "int32_t",  "int64_t",  "uint8_t", "uint16_t",
+        "uint32_t", "uint64_t",
+    };
+    bool anyValue = false;
+    for (std::size_t j = open + 1; j < close; ++j) {
+        const Token &t = toks[j];
+        if (isPunct(t, '*') || isPunct(t, '&') || isPunct(t, '=') ||
+            isPunct(t, '<'))
+            return false;
+        if (t.kind != TokKind::identifier) {
+            if (t.kind == TokKind::number ||
+                t.kind == TokKind::str || t.kind == TokKind::chr)
+                anyValue = true;
+            continue;
+        }
+        if (typeWords.count(t.text) > 0)
+            return false;
+        if (j + 1 < toks.size() &&
+            toks[j + 1].kind == TokKind::identifier)
+            return false; // `Type name` pair
+        if (t.text[0] >= 'A' && t.text[0] <= 'Z') {
+            // A lone CamelCase identifier reads as an unnamed
+            // parameter type unless it is being used in an
+            // expression (a call or qualified name).
+            if (j + 1 >= toks.size() ||
+                (!isPunct(toks[j + 1], '(') &&
+                 !isPunct(toks[j + 1], ':') &&
+                 !isPunct(toks[j + 1], '.')))
+                return false;
+            continue;
+        }
+        anyValue = true;
+    }
+    return anyValue;
+}
 
 void
 staticMutableRule(const LexedFile &f, Sink &sink)
@@ -240,8 +359,13 @@ staticMutableRule(const LexedFile &f, Sink &sink)
                 angle = std::max(0, angle - 1);
             if (angle > 0)
                 continue;
-            if (isPunct(t, '('))
-                break; // function (or ctor-init: a blind spot)
+            if (isPunct(t, '(')) {
+                // Parens are a function's parameter list unless
+                // they hold constructor arguments: `static Foo
+                // foo(seed);` is as mutable as `static Foo foo;`.
+                flagged = ctorInitArgs(toks, j);
+                break;
+            }
             if (isPunct(t, '=') || isPunct(t, ';') ||
                 isPunct(t, '{')) {
                 flagged = true;
@@ -725,27 +849,42 @@ ruleNames()
         // absema (semantic) rules, sema_rules.cc:
         "serialize-coverage", "schema-drift", "fatal-reach",
         "rng-stream", "layer-cycle", "stale-allow",
+        // abflow (dataflow) rules, flow_rules.cc:
+        "taint-bound", "unit-mix", "status-drop",
     };
     return names;
 }
 
 std::vector<Finding>
-runRules(const ScanInput &in, AllowUse *uses)
+runRules(const ScanInput &in, AllowUse *uses, RuleProfile *profile)
 {
     std::vector<Finding> findings;
     Sink sink{findings, uses};
-    for (const auto &f : in.files) {
-        wallClockRule(f, sink);
-        unorderedIterRule(f, sink);
-        pointerKeyRule(f, sink);
-        staticMutableRule(f, sink);
-        voidDiscardRule(f, sink);
-        deserBoundRule(f, sink);
-        postInitFatalRule(f, sink);
+    const struct
+    {
+        const char *name;
+        void (*fn)(const LexedFile &, Sink &);
+    } fileRules[] = {
+        {"wall-clock", wallClockRule},
+        {"unordered-iter", unorderedIterRule},
+        {"pointer-key", pointerKeyRule},
+        {"static-mutable", staticMutableRule},
+        {"void-discard", voidDiscardRule},
+        {"deser-bound", deserBoundRule},
+        {"post-init-fatal", postInitFatalRule},
+    };
+    for (const auto &r : fileRules) {
+        detail::timeRule(profile, r.name, [&] {
+            for (const auto &f : in.files)
+                r.fn(f, sink);
+        });
     }
     std::vector<Finding> registryFindings;
-    serializeRules(in, sink, registryFindings);
-    configKeyRule(in, sink);
+    detail::timeRule(profile, "serialize-pair/registry", [&] {
+        serializeRules(in, sink, registryFindings);
+    });
+    detail::timeRule(profile, "config-key",
+                     [&] { configKeyRule(in, sink); });
     findings.insert(findings.end(), registryFindings.begin(),
                     registryFindings.end());
     std::sort(findings.begin(), findings.end(),

@@ -142,13 +142,14 @@ std::vector<Finding>
 runOnRepo(const std::string &repoRoot, const std::string &baselinePath,
           const std::string &registryPath,
           const std::string &schemaPath,
-          const std::vector<std::string> &extraPaths)
+          const std::vector<std::string> &extraPaths,
+          RuleProfile *profile)
 {
     const fs::path root(repoRoot);
     const ScanInput in =
         loadRepo(repoRoot, registryPath, schemaPath, extraPaths);
 
-    const std::vector<Finding> raw = runAllRules(in);
+    const std::vector<Finding> raw = runAllRules(in, profile);
 
     const fs::path baseline =
         baselinePath.empty()

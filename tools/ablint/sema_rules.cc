@@ -752,17 +752,25 @@ layerCycle(const ScanInput &in, const Model &m, Sink &sink)
 /* ------------------------------------------------------------------ */
 
 std::vector<Finding>
-runSemaRules(const ScanInput &in, AllowUse *uses)
+runSemaRules(const ScanInput &in, AllowUse *uses,
+             RuleProfile *profile)
 {
     std::vector<Finding> out;
     Sink sink{out, uses};
-    const Model m = buildModel(in.files);
+    Model m;
+    detail::timeRule(profile, "sema-model-build",
+                     [&] { m = buildModel(in.files); });
     const auto reg = detail::parseRegistry(in.registryText);
-    serializeCoverage(m, reg, sink);
-    schemaDrift(in, m, reg, sink, out);
-    fatalReach(m, sink);
-    rngStream(in, sink);
-    layerCycle(in, m, sink);
+    detail::timeRule(profile, "serialize-coverage",
+                     [&] { serializeCoverage(m, reg, sink); });
+    detail::timeRule(profile, "schema-drift",
+                     [&] { schemaDrift(in, m, reg, sink, out); });
+    detail::timeRule(profile, "fatal-reach",
+                     [&] { fatalReach(m, sink); });
+    detail::timeRule(profile, "rng-stream",
+                     [&] { rngStream(in, sink); });
+    detail::timeRule(profile, "layer-cycle",
+                     [&] { layerCycle(in, m, sink); });
     std::sort(out.begin(), out.end(),
               [](const Finding &a, const Finding &b) {
                   return std::tie(a.file, a.line, a.rule,
@@ -810,12 +818,30 @@ staleAllowFindings(const ScanInput &in, const AllowUse &uses)
 }
 
 std::vector<Finding>
-runAllRules(const ScanInput &in)
+runAllRules(const ScanInput &in, RuleProfile *profile)
 {
     AllowUse uses;
-    std::vector<Finding> out = runRules(in, &uses);
-    const auto sema = runSemaRules(in, &uses);
+    std::vector<Finding> out = runRules(in, &uses, profile);
+    const auto sema = runSemaRules(in, &uses, profile);
     out.insert(out.end(), sema.begin(), sema.end());
+    const auto flow = runFlowRules(in, &uses, profile);
+    // taint-bound supersedes the one-file lexical deser-bound: when
+    // both fire on the same file:line, keep the interprocedural
+    // finding (it names the source *and* the sink) and drop the
+    // lexical duplicate.
+    std::set<std::pair<std::string, int>> taintLines;
+    for (const Finding &f : flow) {
+        if (f.rule == "taint-bound")
+            taintLines.insert({f.file, f.line});
+    }
+    out.erase(std::remove_if(
+                  out.begin(), out.end(),
+                  [&](const Finding &f) {
+                      return f.rule == "deser-bound" &&
+                             taintLines.count({f.file, f.line}) > 0;
+                  }),
+              out.end());
+    out.insert(out.end(), flow.begin(), flow.end());
     const auto stale = staleAllowFindings(in, uses);
     out.insert(out.end(), stale.begin(), stale.end());
     std::sort(out.begin(), out.end(),

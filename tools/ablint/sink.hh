@@ -11,6 +11,7 @@
 
 #include "ablint.hh"
 
+#include <chrono>
 #include <sstream>
 #include <utility>
 
@@ -35,6 +36,26 @@ lineAllows(const LexedFile &f, int line, const std::string &rule)
 {
     const auto it = f.allows.find(line);
     return it != f.allows.end() && it->second.count(rule) > 0;
+}
+
+/**
+ * Run @p fn, accumulating its wall time under @p name in @p profile
+ * (in milliseconds) when a profile is requested.  Backs ablint's
+ * --profile flag across all three passes.
+ */
+template <typename Fn>
+void
+timeRule(RuleProfile *profile, const char *name, Fn &&fn)
+{
+    if (profile == nullptr) {
+        fn();
+        return;
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    (*profile)[name] +=
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
 }
 
 /**
